@@ -1,0 +1,105 @@
+// Command qdlpsim replays a cache trace against one or more eviction
+// policies and reports miss ratios.
+//
+// Usage:
+//
+//	qdlpsim -policy qd-lp-fifo,lru,arc -size 0.1 -trace msr.trc
+//	qdlpsim -policy all -family twitter -objects 20000 -requests 400000
+//	qdlpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	_ "repro/internal/policy/all"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qdlpsim: ")
+	var (
+		policies  = flag.String("policy", "qd-lp-fifo,lru,fifo", "comma-separated policy names, or \"all\"")
+		traceFile = flag.String("trace", "", "trace file (binary or CSV by extension); mutually exclusive with -family")
+		family    = flag.String("family", "", "synthetic family to generate instead of reading a file")
+		seed      = flag.Int64("seed", 1, "generator seed for -family")
+		objects   = flag.Int("objects", 20000, "catalog objects for -family")
+		requests  = flag.Int("requests", 400000, "requests for -family")
+		sizeFrac  = flag.Float64("size", 0.10, "cache size as a fraction of unique objects")
+		capacity  = flag.Int("capacity", 0, "cache capacity in objects (overrides -size)")
+		list      = flag.Bool("list", false, "list registered policies and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range core.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	tr, err := loadTrace(*traceFile, *family, *seed, *objects, *requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unique := tr.UniqueObjects()
+	capN := *capacity
+	if capN == 0 {
+		capN = workload.CacheSize(unique, *sizeFrac)
+	}
+
+	names := strings.Split(*policies, ",")
+	if *policies == "all" {
+		names = core.Names()
+	}
+	var jobs []sim.Job
+	for _, n := range names {
+		jobs = append(jobs, sim.Job{Trace: tr, Policy: strings.TrimSpace(n), Capacity: capN})
+	}
+	results, err := sim.RunSweep(jobs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trace %s: %d requests, %d unique objects, cache %d objects\n",
+		tr.Name, tr.Len(), unique, capN)
+	tb := stats.NewTable("policy", "miss ratio", "hits", "misses")
+	for _, r := range results {
+		tb.AddRow(r.Policy, r.MissRatio(), r.Hits, r.Requests-r.Hits)
+	}
+	fmt.Print(tb)
+}
+
+func loadTrace(file, family string, seed int64, objects, requests int) (*trace.Trace, error) {
+	switch {
+	case file != "" && family != "":
+		return nil, fmt.Errorf("-trace and -family are mutually exclusive")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(file, ".csv") {
+			return trace.ReadCSV(f)
+		}
+		return trace.ReadBinary(f)
+	default:
+		if family == "" {
+			family = "twitter"
+		}
+		fam, ok := workload.FamilyByName(family)
+		if !ok {
+			return nil, fmt.Errorf("unknown family %q", family)
+		}
+		return fam.Generate(seed, objects, requests), nil
+	}
+}

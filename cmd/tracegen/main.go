@@ -1,0 +1,85 @@
+// Command tracegen generates synthetic cache traces from the Table-1
+// dataset families and writes them in the repository's binary or CSV
+// format.
+//
+// Usage:
+//
+//	tracegen -family msr -seed 1 -objects 60000 -requests 1200000 -o msr.trc
+//	tracegen -family twitter -format csv -o twitter.csv
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		family   = flag.String("family", "msr", "dataset family (see -list)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		objects  = flag.Int("objects", 0, "catalog objects (0 = family default)")
+		requests = flag.Int("requests", 0, "request count (0 = family default)")
+		format   = flag.String("format", "binary", "output format: binary|csv")
+		out      = flag.String("o", "", "output file (default stdout)")
+		list     = flag.Bool("list", false, "list families and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("family        class  default-objects  default-requests")
+		for _, f := range workload.Families() {
+			fmt.Printf("%-13s %-6s %-16d %d\n", f.Name, f.Class, f.DefaultObjects, f.DefaultRequests)
+		}
+		return
+	}
+
+	fam, ok := workload.FamilyByName(*family)
+	if !ok {
+		log.Fatalf("unknown family %q (use -list)", *family)
+	}
+	obj, req := *objects, *requests
+	if obj == 0 {
+		obj = fam.DefaultObjects
+	}
+	if req == 0 {
+		req = fam.DefaultRequests
+	}
+	tr := fam.Generate(*seed, obj, req)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "binary":
+		err = trace.WriteBinary(w, tr)
+	case "csv":
+		err = trace.WriteCSV(w, tr)
+	default:
+		log.Fatalf("unknown format %q (want binary|csv)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	fmt.Fprintf(os.Stderr, "tracegen: %s: %d requests, %d objects, mean frequency %.2f\n",
+		tr.Name, st.Requests, st.Objects, st.MeanFrequency)
+}

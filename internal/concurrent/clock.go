@@ -1,0 +1,158 @@
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Clock is a sharded thread-safe k-bit CLOCK (FIFO-Reinsertion) cache.
+// Each shard stores entries in a fixed ring; the hit path takes only the
+// shard's shared (read) lock and performs one atomic counter store —
+// FIFO-Reinsertion "only needs to update a Boolean field upon the first
+// request to a cached object without locking" (§3). Misses take the
+// exclusive lock and advance the clock hand.
+type Clock struct {
+	shards  []clockShard
+	mask    uint64
+	cap     int
+	maxFreq uint32
+}
+
+type clockShard struct {
+	mu    sync.RWMutex
+	byKey map[uint64]int // key → slot index
+	slots []clockSlot
+	hand  int
+	used  int
+	_     [24]byte
+}
+
+type clockSlot struct {
+	key   uint64
+	value uint64
+	freq  atomic.Uint32
+	live  bool
+}
+
+// NewClock returns a sharded CLOCK cache with the given total capacity and
+// counter width in bits (1 = FIFO-Reinsertion, 2 = the paper's 2-bit
+// CLOCK).
+func NewClock(capacity, shards, bits int) (*Clock, error) {
+	n := shardCount(shards)
+	per, err := splitCapacity(capacity, n)
+	if err != nil {
+		return nil, err
+	}
+	if bits < 1 || bits > 6 {
+		bits = 1
+	}
+	c := &Clock{
+		shards:  make([]clockShard, n),
+		mask:    uint64(n - 1),
+		cap:     per * n,
+		maxFreq: uint32(1<<bits - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].byKey = make(map[uint64]int, per)
+		c.shards[i].slots = make([]clockSlot, per)
+	}
+	return c, nil
+}
+
+// Name implements Cache.
+func (c *Clock) Name() string { return "concurrent-clock" }
+
+// Capacity implements Cache.
+func (c *Clock) Capacity() int { return c.cap }
+
+// Len implements Cache.
+func (c *Clock) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		total += s.used
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+func (c *Clock) shard(key uint64) *clockShard {
+	return &c.shards[hash(key)&c.mask]
+}
+
+// Get implements Cache: shared lock + one atomic store. No pointer
+// updates, no exclusive locking — the lazy-promotion hit path.
+func (c *Clock) Get(key uint64) (uint64, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	idx, ok := s.byKey[key]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	slot := &s.slots[idx]
+	v := slot.value
+	if f := slot.freq.Load(); f < c.maxFreq {
+		slot.freq.Store(f + 1) // benign race: counter is a hint
+	}
+	s.mu.RUnlock()
+	return v, true
+}
+
+// Set implements Cache. Misses take the exclusive lock; eviction advances
+// the clock hand, decrementing counters and reclaiming the first
+// zero-counter slot.
+func (c *Clock) Set(key, value uint64) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if idx, ok := s.byKey[key]; ok {
+		slot := &s.slots[idx]
+		slot.value = value
+		if f := slot.freq.Load(); f < c.maxFreq {
+			slot.freq.Store(f + 1)
+		}
+		s.mu.Unlock()
+		return
+	}
+	idx := s.reclaim()
+	slot := &s.slots[idx]
+	if slot.live {
+		delete(s.byKey, slot.key)
+	} else {
+		slot.live = true
+		s.used++
+	}
+	slot.key = key
+	slot.value = value
+	slot.freq.Store(0)
+	s.byKey[key] = idx
+	s.mu.Unlock()
+}
+
+// reclaim returns the slot index to (re)use, advancing the hand past
+// recently referenced slots. Caller holds the exclusive lock.
+func (s *clockShard) reclaim() int {
+	if s.used < len(s.slots) {
+		// Fill empty slots first (they are contiguous from the start only
+		// on a fresh cache, so scan from the hand).
+		for i := 0; i < len(s.slots); i++ {
+			idx := (s.hand + i) % len(s.slots)
+			if !s.slots[idx].live {
+				s.hand = (idx + 1) % len(s.slots)
+				return idx
+			}
+		}
+	}
+	for {
+		slot := &s.slots[s.hand]
+		if f := slot.freq.Load(); f > 0 {
+			slot.freq.Store(f - 1)
+			s.hand = (s.hand + 1) % len(s.slots)
+			continue
+		}
+		idx := s.hand
+		s.hand = (s.hand + 1) % len(s.slots)
+		return idx
+	}
+}

@@ -1,0 +1,199 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+)
+
+func caches(t *testing.T, capacity, shards int) []Cache {
+	t.Helper()
+	lru, err := NewLRU(capacity, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk, err := NewClock(capacity, shards, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, err := NewQDLP(capacity, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewSieve(capacity, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Cache{lru, clk, qd, sv}
+}
+
+func TestBasicGetSet(t *testing.T) {
+	for _, c := range caches(t, 1024, 4) {
+		t.Run(c.Name(), func(t *testing.T) {
+			if _, ok := c.Get(1); ok {
+				t.Fatal("hit on empty cache")
+			}
+			c.Set(1, 100)
+			v, ok := c.Get(1)
+			if !ok || v != 100 {
+				t.Fatalf("Get(1) = %d,%v", v, ok)
+			}
+			c.Set(1, 200) // overwrite
+			if v, _ := c.Get(1); v != 200 {
+				t.Fatalf("overwrite lost: %d", v)
+			}
+			if c.Len() != 1 {
+				t.Fatalf("Len = %d", c.Len())
+			}
+		})
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	for _, c := range caches(t, 256, 4) {
+		t.Run(c.Name(), func(t *testing.T) {
+			for k := uint64(0); k < 10000; k++ {
+				c.Set(k, k)
+			}
+			if c.Len() > c.Capacity() {
+				t.Fatalf("Len %d > Capacity %d", c.Len(), c.Capacity())
+			}
+			if c.Len() == 0 {
+				t.Fatal("cache empty after fills")
+			}
+		})
+	}
+}
+
+func TestBadCapacityRejected(t *testing.T) {
+	if _, err := NewLRU(2, 16); err == nil {
+		t.Fatal("capacity < shards accepted (lru)")
+	}
+	if _, err := NewClock(2, 16, 1); err == nil {
+		t.Fatal("capacity < shards accepted (clock)")
+	}
+	if _, err := NewQDLP(2, 16); err == nil {
+		t.Fatal("capacity < shards accepted (qdlp)")
+	}
+	if _, err := NewSieve(2, 16); err == nil {
+		t.Fatal("capacity < shards accepted (sieve)")
+	}
+}
+
+// SIEVE keeps visited keys across a sweep and retains the hand position.
+func TestSieveVisitedSurvives(t *testing.T) {
+	c, err := NewSieve(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 4; k++ {
+		c.Set(k, k)
+	}
+	c.Get(1)
+	c.Get(2)
+	c.Set(5, 5) // sweep: clears 1,2 visited bits, evicts 3
+	c.Set(6, 6) // continues from 4: evicted
+	for _, k := range []uint64{1, 2, 5, 6} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+	for _, k := range []uint64{3, 4} {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("key %d should have been evicted", k)
+		}
+	}
+}
+
+// Hammer each cache from many goroutines; run with -race in CI. Values
+// always equal keys, so any cross-key corruption is detected.
+func TestConcurrentIntegrity(t *testing.T) {
+	for _, c := range caches(t, 2048, 8) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 20000; i++ {
+						k := uint64((g*7 + i*13) % 4096)
+						if v, ok := c.Get(k); ok {
+							if v != k {
+								t.Errorf("corruption: Get(%d) = %d", k, v)
+								return
+							}
+						} else {
+							c.Set(k, k)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if c.Len() > c.Capacity() {
+				t.Fatalf("Len %d > Capacity %d after hammering", c.Len(), c.Capacity())
+			}
+		})
+	}
+}
+
+// The QDLP ghost path: a key seen, demoted, and seen again lands in the
+// main ring.
+func TestQDLPGhostReadmission(t *testing.T) {
+	c, err := NewQDLP(64, 1) // one shard: small 6, main 58
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(1, 1)
+	// Push key 1 through the small FIFO without accessing it.
+	for k := uint64(2); k < 10; k++ {
+		c.Set(k, k)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("key 1 should have been demoted")
+	}
+	c.Set(1, 11)
+	s := &c.shards[0]
+	l, ok := s.byKey[1]
+	if !ok || l.where != locMain {
+		t.Fatalf("ghost readmission failed: %+v ok=%v", l, ok)
+	}
+	if v, ok := c.Get(1); !ok || v != 11 {
+		t.Fatalf("Get(1) = %d,%v after readmission", v, ok)
+	}
+}
+
+// CLOCK reinsertion in the concurrent cache: a hot key survives a stream
+// of cold inserts.
+func TestClockKeepsHotKey(t *testing.T) {
+	c, err := NewClock(64, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(1, 1)
+	for i := 0; i < 4; i++ {
+		c.Get(1)
+	}
+	for k := uint64(100); k < 160; k++ { // one full sweep of cold keys
+		c.Set(k, k)
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("hot key evicted within its frequency budget")
+	}
+}
+
+func TestMeasureThroughput(t *testing.T) {
+	c, err := NewQDLP(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MeasureThroughput(c, 4, 20000, 8192, 1)
+	if res.Ops != 80000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.HitRatio() <= 0 || res.HitRatio() >= 1 {
+		t.Fatalf("hit ratio %v", res.HitRatio())
+	}
+	if res.OpsPerSecond() <= 0 {
+		t.Fatal("rate not positive")
+	}
+}

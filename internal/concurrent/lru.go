@@ -1,0 +1,100 @@
+package concurrent
+
+import (
+	"sync"
+
+	"repro/internal/dlist"
+)
+
+// LRU is a sharded thread-safe LRU cache. Every hit takes the shard's
+// exclusive lock to splice the entry to the head of the recency list — the
+// six-pointer update the paper identifies as LRU's scalability bottleneck.
+type LRU struct {
+	shards []lruShard
+	mask   uint64
+	cap    int
+}
+
+type lruShard struct {
+	mu    sync.Mutex
+	cap   int
+	byKey map[uint64]*dlist.Node[lruEntry]
+	list  dlist.List[lruEntry] // front = MRU
+	_     [24]byte             // pad to limit false sharing between shards
+}
+
+type lruEntry struct {
+	key   uint64
+	value uint64
+}
+
+// NewLRU returns a sharded LRU cache with the given total capacity.
+func NewLRU(capacity, shards int) (*LRU, error) {
+	n := shardCount(shards)
+	per, err := splitCapacity(capacity, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &LRU{shards: make([]lruShard, n), mask: uint64(n - 1), cap: per * n}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].byKey = make(map[uint64]*dlist.Node[lruEntry], per)
+	}
+	return c, nil
+}
+
+// Name implements Cache.
+func (c *LRU) Name() string { return "concurrent-lru" }
+
+// Capacity implements Cache.
+func (c *LRU) Capacity() int { return c.cap }
+
+// Len implements Cache.
+func (c *LRU) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.list.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+func (c *LRU) shard(key uint64) *lruShard {
+	return &c.shards[hash(key)&c.mask]
+}
+
+// Get implements Cache. The promotion requires the exclusive lock.
+func (c *LRU) Get(key uint64) (uint64, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	n, ok := s.byKey[key]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.list.MoveToFront(n) // eager promotion: pointer surgery under lock
+	v := n.Value.value
+	s.mu.Unlock()
+	return v, true
+}
+
+// Set implements Cache.
+func (c *LRU) Set(key, value uint64) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if n, ok := s.byKey[key]; ok {
+		n.Value.value = value
+		s.list.MoveToFront(n)
+		s.mu.Unlock()
+		return
+	}
+	if s.list.Len() >= s.cap {
+		victim := s.list.Back()
+		delete(s.byKey, victim.Value.key)
+		s.list.Remove(victim)
+	}
+	s.byKey[key] = s.list.PushFront(lruEntry{key: key, value: value})
+	s.mu.Unlock()
+}

@@ -1,0 +1,241 @@
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// QDLP is a sharded thread-safe QD-LP-FIFO cache: a small probationary
+// FIFO ring, a 2-bit CLOCK main ring, and a metadata-only ghost FIFO per
+// shard. Hits perform at most one atomic counter store under a shared
+// lock — "at most one metadata update on a cache hit and no locking for
+// any cache operation" (§4) — while misses take the exclusive lock.
+type QDLP struct {
+	shards  []qdShard
+	mask    uint64
+	cap     int
+	maxFreq uint32
+}
+
+const (
+	locSmall uint8 = iota
+	locMain
+)
+
+type qdLoc struct {
+	where uint8
+	idx   int32
+}
+
+type qdSlot struct {
+	key   uint64
+	value uint64
+	freq  atomic.Uint32
+	live  bool
+}
+
+type qdShard struct {
+	mu    sync.RWMutex
+	byKey map[uint64]qdLoc
+
+	small      []qdSlot // circular FIFO: head = oldest
+	smallHead  int
+	smallCount int
+
+	main     []qdSlot // CLOCK ring
+	mainHand int
+	mainUsed int
+
+	ghost     map[uint64]struct{}
+	ghostRing []uint64
+	ghostHead int
+	ghostLen  int
+	_         [24]byte
+}
+
+// NewQDLP returns a sharded QD-LP-FIFO cache with the paper's sizing: the
+// probationary FIFO gets 10% of each shard, the CLOCK main cache the rest,
+// and the ghost remembers as many keys as the main ring holds objects.
+func NewQDLP(capacity, shards int) (*QDLP, error) {
+	n := shardCount(shards)
+	per, err := splitCapacity(capacity, n)
+	if err != nil {
+		return nil, err
+	}
+	smallCap := per / 10
+	if smallCap < 1 {
+		smallCap = 1
+	}
+	mainCap := per - smallCap
+	if mainCap < 1 {
+		mainCap = 1
+		smallCap = per - 1
+		if smallCap < 1 {
+			smallCap = 1
+		}
+	}
+	c := &QDLP{
+		shards:  make([]qdShard, n),
+		mask:    uint64(n - 1),
+		cap:     (smallCap + mainCap) * n,
+		maxFreq: 3, // 2-bit lazy promotion
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.byKey = make(map[uint64]qdLoc, per)
+		s.small = make([]qdSlot, smallCap)
+		s.main = make([]qdSlot, mainCap)
+		s.ghost = make(map[uint64]struct{}, mainCap)
+		s.ghostRing = make([]uint64, mainCap)
+	}
+	return c, nil
+}
+
+// Name implements Cache.
+func (c *QDLP) Name() string { return "concurrent-qdlp" }
+
+// Capacity implements Cache.
+func (c *QDLP) Capacity() int { return c.cap }
+
+// Len implements Cache.
+func (c *QDLP) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		total += s.smallCount + s.mainUsed
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+func (c *QDLP) shard(key uint64) *qdShard {
+	return &c.shards[hash(key)&c.mask]
+}
+
+func (s *qdShard) slot(l qdLoc) *qdSlot {
+	if l.where == locSmall {
+		return &s.small[l.idx]
+	}
+	return &s.main[l.idx]
+}
+
+// Get implements Cache: shared lock, one atomic store, no queue movement.
+func (c *QDLP) Get(key uint64) (uint64, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	l, ok := s.byKey[key]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	slot := s.slot(l)
+	v := slot.value
+	if f := slot.freq.Load(); f < c.maxFreq {
+		slot.freq.Store(f + 1) // benign race: counter is a hint
+	}
+	s.mu.RUnlock()
+	return v, true
+}
+
+// Set implements Cache.
+func (c *QDLP) Set(key, value uint64) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.byKey[key]; ok {
+		slot := s.slot(l)
+		slot.value = value
+		if f := slot.freq.Load(); f < c.maxFreq {
+			slot.freq.Store(f + 1)
+		}
+		return
+	}
+	if _, ok := s.ghost[key]; ok {
+		// Quick-demotion mistake: admit straight into the main ring.
+		delete(s.ghost, key)
+		s.insertMain(key, value)
+		return
+	}
+	// New object: probationary FIFO.
+	if s.smallCount >= len(s.small) {
+		s.evictSmall()
+	}
+	idx := (s.smallHead + s.smallCount) % len(s.small)
+	slot := &s.small[idx]
+	slot.key, slot.value, slot.live = key, value, true
+	slot.freq.Store(0)
+	s.smallCount++
+	s.byKey[key] = qdLoc{where: locSmall, idx: int32(idx)}
+}
+
+// evictSmall pops the probationary head: accessed objects move to the main
+// ring, untouched objects fall into the ghost.
+func (s *qdShard) evictSmall() {
+	idx := s.smallHead
+	slot := &s.small[idx]
+	key := slot.key
+	delete(s.byKey, key)
+	slot.live = false
+	s.smallHead = (s.smallHead + 1) % len(s.small)
+	s.smallCount--
+	if slot.freq.Load() > 0 {
+		s.insertMain(key, slot.value)
+		return
+	}
+	s.ghostAdd(key)
+}
+
+// insertMain places key into the main CLOCK ring, reclaiming a slot via
+// the hand if needed. Caller holds the exclusive lock.
+func (s *qdShard) insertMain(key, value uint64) {
+	idx := s.mainReclaim()
+	slot := &s.main[idx]
+	if slot.live {
+		delete(s.byKey, slot.key)
+	} else {
+		slot.live = true
+		s.mainUsed++
+	}
+	slot.key, slot.value = key, value
+	slot.freq.Store(0)
+	s.byKey[key] = qdLoc{where: locMain, idx: int32(idx)}
+}
+
+func (s *qdShard) mainReclaim() int {
+	if s.mainUsed < len(s.main) {
+		for i := 0; i < len(s.main); i++ {
+			idx := (s.mainHand + i) % len(s.main)
+			if !s.main[idx].live {
+				s.mainHand = (idx + 1) % len(s.main)
+				return idx
+			}
+		}
+	}
+	for {
+		slot := &s.main[s.mainHand]
+		if f := slot.freq.Load(); f > 0 {
+			slot.freq.Store(f - 1) // lazy promotion: second chances
+			s.mainHand = (s.mainHand + 1) % len(s.main)
+			continue
+		}
+		idx := s.mainHand
+		s.mainHand = (s.mainHand + 1) % len(s.main)
+		return idx
+	}
+}
+
+func (s *qdShard) ghostAdd(key uint64) {
+	if _, ok := s.ghost[key]; ok {
+		return
+	}
+	if s.ghostLen >= len(s.ghostRing) {
+		old := s.ghostRing[s.ghostHead]
+		delete(s.ghost, old)
+		s.ghostHead = (s.ghostHead + 1) % len(s.ghostRing)
+		s.ghostLen--
+	}
+	s.ghostRing[(s.ghostHead+s.ghostLen)%len(s.ghostRing)] = key
+	s.ghost[key] = struct{}{}
+	s.ghostLen++
+}

@@ -1,0 +1,84 @@
+package concurrent
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// ThroughputResult reports one load-generation run.
+type ThroughputResult struct {
+	Cache      string
+	Goroutines int
+	Ops        int64
+	Hits       int64
+	Elapsed    time.Duration
+}
+
+// OpsPerSecond returns the aggregate operation rate.
+func (r ThroughputResult) OpsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// HitRatio returns hits/ops.
+func (r ThroughputResult) HitRatio() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Ops)
+}
+
+// MeasureThroughput drives cache with goroutines workers issuing opsEach
+// get-or-set operations over a Zipf-popular key space of keySpace keys
+// (the standard cache micro-benchmark shape). It returns the aggregate
+// result. Deterministic per (seed, goroutines).
+func MeasureThroughput(cache Cache, goroutines, opsEach, keySpace int, seed int64) ThroughputResult {
+	if goroutines < 1 {
+		goroutines = 1
+	}
+	// Pre-generate per-worker key streams so the measured loop contains no
+	// generator work.
+	streams := make([][]uint64, goroutines)
+	for g := range streams {
+		rng := rand.New(rand.NewSource(seed + int64(g)*1009))
+		z := workload.NewZipf(rng, keySpace, 1.0)
+		keys := make([]uint64, opsEach)
+		for i := range keys {
+			keys[i] = uint64(z.Next())
+		}
+		streams[g] = keys
+	}
+
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(keys []uint64) {
+			defer wg.Done()
+			local := int64(0)
+			for _, k := range keys {
+				if _, ok := cache.Get(k); ok {
+					local++
+				} else {
+					cache.Set(k, k)
+				}
+			}
+			hits.Add(local)
+		}(streams[g])
+	}
+	wg.Wait()
+	return ThroughputResult{
+		Cache:      cache.Name(),
+		Goroutines: goroutines,
+		Ops:        int64(goroutines * opsEach),
+		Hits:       hits.Load(),
+		Elapsed:    time.Since(start),
+	}
+}

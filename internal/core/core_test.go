@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+type fakePolicy struct{ cap int }
+
+func (f *fakePolicy) Name() string               { return "fake" }
+func (f *fakePolicy) Access(*trace.Request) bool { return false }
+func (f *fakePolicy) Contains(uint64) bool       { return false }
+func (f *fakePolicy) Len() int                   { return 0 }
+func (f *fakePolicy) Capacity() int              { return f.cap }
+
+func TestRegistry(t *testing.T) {
+	Register("test-fake", func(capacity int) Policy { return &fakePolicy{cap: capacity} })
+
+	p, err := New("test-fake", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Capacity() != 10 {
+		t.Fatalf("capacity = %d, want 10", p.Capacity())
+	}
+
+	found := false
+	for _, n := range Names() {
+		if n == "test-fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing test-fake", Names())
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("no-such-policy", 10); err == nil {
+		t.Fatal("New on unknown policy succeeded")
+	} else if !strings.Contains(err.Error(), "no-such-policy") {
+		t.Fatalf("error does not name the policy: %v", err)
+	}
+}
+
+func TestNewBadCapacity(t *testing.T) {
+	Register("test-fake2", func(capacity int) Policy { return &fakePolicy{cap: capacity} })
+	for _, c := range []int{0, -1} {
+		if _, err := New("test-fake2", c); err == nil {
+			t.Fatalf("New with capacity %d succeeded", c)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	Register("test-dup", func(capacity int) Policy { return &fakePolicy{cap: capacity} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("test-dup", func(capacity int) Policy { return &fakePolicy{cap: capacity} })
+}
+
+func TestMustNewPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on unknown policy did not panic")
+		}
+	}()
+	MustNew("definitely-not-registered", 1)
+}

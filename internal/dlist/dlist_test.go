@@ -1,0 +1,184 @@
+package dlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkOrder(t *testing.T, l *List[int], want []int) {
+	t.Helper()
+	got := l.Values()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d (got %v want %v)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: got %v want %v", i, got, want)
+		}
+	}
+	if l.Len() != len(want) {
+		t.Fatalf("Len() = %d, want %d", l.Len(), len(want))
+	}
+	// Walk backward too, verifying link symmetry.
+	back := make([]int, 0, len(want))
+	for n := l.Back(); n != nil; n = n.Prev() {
+		back = append(back, n.Value)
+	}
+	for i := range back {
+		if back[i] != want[len(want)-1-i] {
+			t.Fatalf("backward order mismatch: %v vs %v", back, want)
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var l List[int]
+	if l.Len() != 0 || l.Front() != nil || l.Back() != nil {
+		t.Fatal("zero list not empty")
+	}
+	l.PushBack(1)
+	checkOrder(t, &l, []int{1})
+}
+
+func TestPushFrontBack(t *testing.T) {
+	l := New[int]()
+	l.PushBack(2)
+	l.PushFront(1)
+	l.PushBack(3)
+	checkOrder(t, l, []int{1, 2, 3})
+}
+
+func TestRemove(t *testing.T) {
+	l := New[int]()
+	a := l.PushBack(1)
+	b := l.PushBack(2)
+	c := l.PushBack(3)
+	if v := l.Remove(b); v != 2 {
+		t.Fatalf("Remove returned %d, want 2", v)
+	}
+	checkOrder(t, l, []int{1, 3})
+	if b.InList() {
+		t.Fatal("removed node still reports InList")
+	}
+	l.Remove(a)
+	l.Remove(c)
+	checkOrder(t, l, nil)
+}
+
+func TestMoveToFrontBack(t *testing.T) {
+	l := New[int]()
+	a := l.PushBack(1)
+	l.PushBack(2)
+	c := l.PushBack(3)
+	l.MoveToFront(c)
+	checkOrder(t, l, []int{3, 1, 2})
+	l.MoveToBack(a)
+	checkOrder(t, l, []int{3, 2, 1})
+	// Moving the node already in position is a no-op.
+	l.MoveToFront(c)
+	checkOrder(t, l, []int{3, 2, 1})
+	l.MoveToBack(a)
+	checkOrder(t, l, []int{3, 2, 1})
+}
+
+func TestInsertBeforeAfter(t *testing.T) {
+	l := New[int]()
+	b := l.PushBack(2)
+	l.InsertBefore(1, b)
+	l.InsertAfter(3, b)
+	checkOrder(t, l, []int{1, 2, 3})
+}
+
+func TestMoveNodeBetweenLists(t *testing.T) {
+	l1 := New[int]()
+	l2 := New[int]()
+	n := l1.PushBack(42)
+	l1.Remove(n)
+	l2.PushNodeFront(n)
+	checkOrder(t, l1, nil)
+	checkOrder(t, l2, []int{42})
+	l2.Remove(n)
+	l2.PushNodeBack(n)
+	checkOrder(t, l2, []int{42})
+}
+
+func TestPanicsOnForeignNode(t *testing.T) {
+	l1 := New[int]()
+	l2 := New[int]()
+	n := l1.PushBack(1)
+	for name, f := range map[string]func(){
+		"Remove":      func() { l2.Remove(n) },
+		"MoveToFront": func() { l2.MoveToFront(n) },
+		"MoveToBack":  func() { l2.MoveToBack(n) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on foreign node did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQuickModel drives a random operation sequence against a slice model
+// and checks the list always matches.
+func TestQuickModel(t *testing.T) {
+	err := quick.Check(func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New[int]()
+		var model []int
+		nodes := map[int]*Node[int]{}
+		next := 0
+		for i := 0; i < int(nOps); i++ {
+			switch op := rng.Intn(5); {
+			case op == 0 || len(model) == 0: // push back
+				nodes[next] = l.PushBack(next)
+				model = append(model, next)
+				next++
+			case op == 1: // push front
+				nodes[next] = l.PushFront(next)
+				model = append([]int{next}, model...)
+				next++
+			case op == 2: // remove random
+				v := model[rng.Intn(len(model))]
+				l.Remove(nodes[v])
+				delete(nodes, v)
+				model = remove(model, v)
+			case op == 3: // move to front
+				v := model[rng.Intn(len(model))]
+				l.MoveToFront(nodes[v])
+				model = append([]int{v}, remove(model, v)...)
+			default: // move to back
+				v := model[rng.Intn(len(model))]
+				l.MoveToBack(nodes[v])
+				model = append(remove(model, v), v)
+			}
+		}
+		got := l.Values()
+		if len(got) != len(model) {
+			return false
+		}
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func remove(s []int, v int) []int {
+	out := make([]int, 0, len(s))
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := QuickConfig()
+	cfg.Out = &buf
+	rows := Table1(cfg)
+	if len(rows) != 10 {
+		t.Fatalf("want 10 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Requests != cfg.Requests {
+			t.Fatalf("%s: requests %d", r.Family, r.Requests)
+		}
+		if r.Objects < 100 {
+			t.Fatalf("%s: too few objects", r.Family)
+		}
+	}
+	if !strings.Contains(buf.String(), "msr") {
+		t.Fatal("output missing families")
+	}
+}
+
+func TestFig2Quick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := QuickConfig()
+	cfg.Out = &buf
+	res, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 families × 2 sizes.
+	if len(res.Cells) != 20 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		for pol, f := range c.WinFrac {
+			if f < 0 || f > 1 {
+				t.Fatalf("%s/%s win fraction %v", c.Family, pol, f)
+			}
+		}
+	}
+	if len(res.DatasetsWon) != 2 {
+		t.Fatalf("sizes = %d", len(res.DatasetsWon))
+	}
+	if !strings.Contains(buf.String(), "Fig 2") {
+		t.Fatal("no output")
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := QuickConfig()
+	cfg.Out = &buf
+	res := Fig3(cfg)
+	if len(res.Profiles) != 8 { // 2 traces × 4 policies
+		t.Fatalf("profiles = %d", len(res.Profiles))
+	}
+	for _, tr := range []string{"msr", "twitter"} {
+		m := res.Table2[tr]
+		if len(m) != 4 {
+			t.Fatalf("%s: table2 incomplete: %v", tr, m)
+		}
+		// Belady must be the best on both traces (Table 2's shape).
+		for _, pol := range []string{"lru", "arc", "lhd"} {
+			if m["belady"] > m[pol] {
+				t.Errorf("%s: belady (%.4f) worse than %s (%.4f)", tr, m["belady"], pol, m[pol])
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Fatal("no table 2 output")
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := QuickConfig()
+	cfg.Seeds = 1 // keep the quick run fast: 13 policies × 10 families × 2 sizes
+	cfg.Out = &buf
+	res, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Gains) != 5 {
+		t.Fatalf("gains = %d", len(res.Gains))
+	}
+	if len(res.MeanReduction) == 0 {
+		t.Fatal("no mean reductions")
+	}
+	for _, s := range res.Series {
+		if len(s.Percentiles) != 5 {
+			t.Fatalf("series %s: %d percentiles", s.Policy, len(s.Percentiles))
+		}
+		for i := 1; i < len(s.Percentiles); i++ {
+			if s.Percentiles[i] < s.Percentiles[i-1] {
+				t.Fatalf("series %s: percentiles not monotone", s.Policy)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "qd-lp-fifo") {
+		t.Fatal("qd-lp-fifo missing from output")
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := QuickConfig()
+	cfg.Seeds = 1
+	cfg.Out = &buf
+	rows, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	studies := map[string]int{}
+	for _, r := range rows {
+		if r.MeanMiss <= 0 || r.MeanMiss > 1 {
+			t.Fatalf("%s/%s: mean miss %v", r.Study, r.Variant, r.MeanMiss)
+		}
+		studies[r.Study]++
+	}
+	for _, s := range []string{"probation-frac", "ghost-factor", "clock-bits", "huge-cache-80%", "arc-variants"} {
+		if studies[s] < 3 {
+			t.Fatalf("study %s has %d rows", s, studies[s])
+		}
+	}
+}
+
+func TestSizeName(t *testing.T) {
+	if sizeName(workload.SmallCacheFrac) != "small" || sizeName(workload.LargeCacheFrac) != "large" {
+		t.Fatal("size names wrong")
+	}
+	if sizeName(0.42) != "0.42" {
+		t.Fatalf("custom size name = %q", sizeName(0.42))
+	}
+}

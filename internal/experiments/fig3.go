@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// fig3Policies are the algorithms profiled in Figure 3 / Table 2.
+var fig3Policies = []string{"lru", "arc", "lhd", "belady"}
+
+// Fig3Profile is one policy's resource-consumption profile on one trace.
+type Fig3Profile struct {
+	Trace       string
+	Policy      string
+	MissRatio   float64
+	BucketShare []float64
+	Unpopular   float64
+}
+
+// Fig3Result carries both the Figure 3 profiles and the Table 2 miss
+// ratios (the paper presents them together).
+type Fig3Result struct {
+	Profiles []Fig3Profile
+	// Table2[trace][policy] = miss ratio.
+	Table2 map[string]map[string]float64
+}
+
+// Fig3 reproduces the resource-consumption study on the two representative
+// traces (MSR-like block, Twitter-like web) at the large cache size.
+func Fig3(cfg Config) Fig3Result {
+	cfg.normalize()
+	res := Fig3Result{Table2: map[string]map[string]float64{}}
+	const buckets = 10
+	for _, fam := range []workload.Family{workload.MSRLike(), workload.TwitterLike()} {
+		res.Table2[fam.Name] = map[string]float64{}
+		for _, pol := range fig3Policies {
+			// Fresh trace per run: the profiler attaches event hooks and
+			// the offline policy annotates, so no sharing.
+			tr := fam.Generate(1, cfg.Objects, cfg.Requests)
+			capacity := workload.CacheSize(tr.UniqueObjects(), workload.LargeCacheFrac)
+			prof := sim.ProfileResources(core.MustNew(pol, capacity), tr, buckets)
+			res.Profiles = append(res.Profiles, Fig3Profile{
+				Trace:       fam.Name,
+				Policy:      pol,
+				MissRatio:   prof.MissRatio(),
+				BucketShare: prof.BucketShare,
+				Unpopular:   prof.UnpopularShare,
+			})
+			res.Table2[fam.Name][pol] = prof.MissRatio()
+		}
+	}
+	printFig3(cfg, res)
+	return res
+}
+
+func printFig3(cfg Config, res Fig3Result) {
+	w := cfg.out()
+	fmt.Fprintln(w, "Fig 3: cache resource consumption by object popularity decile (0 = most popular)")
+	tb := stats.NewTable("trace", "policy", "d0", "d1", "d2", "d3", "d4", "d5-d9 (unpopular)")
+	for _, p := range res.Profiles {
+		cells := []any{p.Trace, p.Policy}
+		for i := 0; i < 5; i++ {
+			cells = append(cells, fmt.Sprintf("%.3f", p.BucketShare[i]))
+		}
+		cells = append(cells, fmt.Sprintf("%.3f", p.Unpopular))
+		tb.AddRow(cells...)
+	}
+	fmt.Fprintln(w, tb)
+
+	fmt.Fprintln(w, "Table 2: miss ratios of the algorithms in Fig. 3")
+	tb2 := stats.NewTable("workload", "lru", "arc", "lhd", "belady")
+	for _, tr := range []string{"msr", "twitter"} {
+		m := res.Table2[tr]
+		tb2.AddRow(tr, m["lru"], m["arc"], m["lhd"], m["belady"])
+	}
+	fmt.Fprintln(w, tb2)
+}

@@ -1,0 +1,83 @@
+// Package ghost implements a fixed-capacity metadata-only FIFO queue.
+//
+// Ghost queues remember keys of recently evicted objects without holding
+// their data. The paper's Quick Demotion technique uses one to distinguish
+// "new" objects (which must prove themselves in the probationary FIFO) from
+// objects that were demoted too quickly and deserve direct admission into
+// the main cache. 2Q's A1out and LeCaR's per-expert histories are the same
+// structure.
+package ghost
+
+import "repro/internal/dlist"
+
+// Queue is a FIFO of keys with O(1) membership checks. Adding a key that is
+// already present leaves its queue position unchanged (FIFO semantics, not
+// LRU). When full, adding a new key drops the oldest entry.
+//
+// The zero Queue is unusable; use New.
+type Queue struct {
+	capacity int
+	byKey    map[uint64]*dlist.Node[uint64]
+	fifo     dlist.List[uint64]
+}
+
+// New returns a ghost queue holding at most capacity keys. A capacity of 0
+// yields a queue that never retains anything (Add is a no-op).
+func New(capacity int) *Queue {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Queue{
+		capacity: capacity,
+		byKey:    make(map[uint64]*dlist.Node[uint64], capacity),
+	}
+}
+
+// Len returns the number of keys currently remembered.
+func (q *Queue) Len() int { return q.fifo.Len() }
+
+// Capacity returns the maximum number of keys remembered.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Contains reports whether key is remembered.
+func (q *Queue) Contains(key uint64) bool {
+	_, ok := q.byKey[key]
+	return ok
+}
+
+// Add remembers key. If the queue is full the oldest key is forgotten.
+// Re-adding an existing key keeps its original position.
+func (q *Queue) Add(key uint64) {
+	if q.capacity == 0 {
+		return
+	}
+	if _, ok := q.byKey[key]; ok {
+		return
+	}
+	if q.fifo.Len() >= q.capacity {
+		oldest := q.fifo.Front()
+		delete(q.byKey, oldest.Value)
+		q.fifo.Remove(oldest)
+	}
+	q.byKey[key] = q.fifo.PushBack(key)
+}
+
+// Remove forgets key and reports whether it was present.
+func (q *Queue) Remove(key uint64) bool {
+	n, ok := q.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(q.byKey, key)
+	q.fifo.Remove(n)
+	return true
+}
+
+// Oldest returns the oldest remembered key, or ok=false when empty.
+func (q *Queue) Oldest() (key uint64, ok bool) {
+	n := q.fifo.Front()
+	if n == nil {
+		return 0, false
+	}
+	return n.Value, true
+}

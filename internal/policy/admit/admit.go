@@ -1,0 +1,242 @@
+// Package admit implements admission algorithms as cache-policy wrappers.
+//
+// §5 of the paper observes that admission algorithms — TinyLFU, Bloom
+// filters, probabilistic admission — "can be viewed as a form of QD":
+// instead of demoting an unpopular object shortly after insertion, they
+// refuse to insert it at all, demoting at admission time. The paper also
+// warns that some are too aggressive. This package provides three gates
+// from that paragraph, each wrapping an arbitrary main policy:
+//
+//   - TinyLFU (Einziger, Friedman & Manes): admit a new object only if its
+//     sketched frequency exceeds that of the would-be victim; a doorkeeper
+//     Bloom filter absorbs the first occurrence.
+//   - Bloom ("cache on second request"): admit only previously seen keys,
+//     filtering one-hit wonders exactly.
+//   - Probabilistic (CacheLib-style): admit with fixed probability p.
+package admit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/policy/lru"
+	"repro/internal/policy/policyutil"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("tinylfu-lru", func(capacity int) core.Policy {
+		return NewTinyLFU(capacity, func(c int) core.Policy { return lru.New(c) })
+	})
+	core.Register("bloom-lru", func(capacity int) core.Policy {
+		return NewBloom(capacity, func(c int) core.Policy { return lru.New(c) })
+	})
+	core.Register("prob-lru", func(capacity int) core.Policy {
+		return NewProbabilistic(capacity, 0.5, 1, func(c int) core.Policy { return lru.New(c) })
+	})
+}
+
+// victimProvider is implemented by main policies that can name their next
+// eviction victim without evicting (needed by TinyLFU's duel). The LRU
+// policy in this repository satisfies it via its queue tail; for policies
+// that do not, TinyLFU falls back to frequency-threshold admission.
+type victimProvider interface {
+	Victim() (key uint64, ok bool)
+}
+
+// TinyLFU gates admission on a count-min sketch duel between the incoming
+// key and the main policy's eviction victim.
+type TinyLFU struct {
+	policyutil.EventEmitter
+	main       core.Policy
+	doorkeeper *sketch.Bloom
+	cms        *sketch.CountMin
+	capacity   int
+}
+
+// NewTinyLFU wraps the main policy (given the full capacity) with a
+// TinyLFU admission filter sized to the capacity.
+func NewTinyLFU(capacity int, mainNew func(capacity int) core.Policy) *TinyLFU {
+	p := &TinyLFU{
+		main:       mainNew(capacity),
+		doorkeeper: sketch.NewBloom(capacity * 8),
+		cms:        sketch.NewCountMin(capacity * 8),
+		capacity:   capacity,
+	}
+	p.forwardEvents()
+	return p
+}
+
+func (p *TinyLFU) forwardEvents() {
+	if sink, ok := p.main.(core.EventSink); ok {
+		sink.SetEvents(&core.Events{
+			OnInsert: func(k uint64, now int64) { p.Insert(k, now) },
+			OnEvict:  func(k uint64, now int64) { p.Evict(k, now) },
+			OnHit:    func(k uint64, now int64) { p.Hit(k, now) },
+		})
+	}
+}
+
+// Name implements core.Policy.
+func (p *TinyLFU) Name() string { return "tinylfu-" + p.main.Name() }
+
+// Len implements core.Policy.
+func (p *TinyLFU) Len() int { return p.main.Len() }
+
+// Capacity implements core.Policy.
+func (p *TinyLFU) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *TinyLFU) Contains(key uint64) bool { return p.main.Contains(key) }
+
+// Access implements core.Policy.
+func (p *TinyLFU) Access(r *trace.Request) bool {
+	// Record the reference: first occurrence in the doorkeeper, repeats in
+	// the sketch (the standard TinyLFU split that keeps one-hit wonders
+	// out of the counters).
+	if p.doorkeeper.Contains(r.Key) {
+		p.cms.Add(r.Key)
+	} else {
+		p.doorkeeper.Add(r.Key)
+		if p.doorkeeper.Count() >= p.capacity*8 {
+			p.doorkeeper.Reset()
+		}
+	}
+	if p.main.Contains(r.Key) {
+		return p.main.Access(r)
+	}
+	if p.main.Len() >= p.capacity {
+		// Duel: only admit if the newcomer is estimated more popular than
+		// the victim it would displace.
+		newFreq := p.estimate(r.Key)
+		if vp, ok := p.main.(victimProvider); ok {
+			if victim, vok := vp.Victim(); vok && newFreq <= p.estimate(victim) {
+				return false // rejected: quick demotion at admission time
+			}
+		} else if newFreq < 2 {
+			return false
+		}
+	}
+	p.main.Access(r)
+	return false
+}
+
+func (p *TinyLFU) estimate(key uint64) uint8 {
+	e := p.cms.Estimate(key)
+	if p.doorkeeper.Contains(key) && e < 15 {
+		e++
+	}
+	return e
+}
+
+// Bloom admits a key only on its second appearance: one-hit wonders are
+// never cached. The filter resets periodically so it tracks the recent
+// past rather than all history.
+type Bloom struct {
+	policyutil.EventEmitter
+	main     core.Policy
+	seen     *sketch.Bloom
+	capacity int
+}
+
+// NewBloom wraps the main policy with a second-request admission filter.
+func NewBloom(capacity int, mainNew func(capacity int) core.Policy) *Bloom {
+	p := &Bloom{
+		main:     mainNew(capacity),
+		seen:     sketch.NewBloom(capacity * 16),
+		capacity: capacity,
+	}
+	if sink, ok := p.main.(core.EventSink); ok {
+		sink.SetEvents(&core.Events{
+			OnInsert: func(k uint64, now int64) { p.Insert(k, now) },
+			OnEvict:  func(k uint64, now int64) { p.Evict(k, now) },
+			OnHit:    func(k uint64, now int64) { p.Hit(k, now) },
+		})
+	}
+	return p
+}
+
+// Name implements core.Policy.
+func (p *Bloom) Name() string { return "bloom-" + p.main.Name() }
+
+// Len implements core.Policy.
+func (p *Bloom) Len() int { return p.main.Len() }
+
+// Capacity implements core.Policy.
+func (p *Bloom) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Bloom) Contains(key uint64) bool { return p.main.Contains(key) }
+
+// Access implements core.Policy.
+func (p *Bloom) Access(r *trace.Request) bool {
+	if p.main.Contains(r.Key) {
+		return p.main.Access(r)
+	}
+	if !p.seen.Contains(r.Key) {
+		p.seen.Add(r.Key)
+		if p.seen.Count() >= p.capacity*16 {
+			p.seen.Reset()
+		}
+		return false // first sighting: never admit
+	}
+	p.main.Access(r)
+	return false
+}
+
+// Probabilistic admits new objects with fixed probability p — the
+// bluntest admission gate, used by flash caches to bound write rate.
+type Probabilistic struct {
+	policyutil.EventEmitter
+	main     core.Policy
+	prob     float64
+	rng      *rand.Rand
+	capacity int
+}
+
+// NewProbabilistic wraps the main policy with coin-flip admission.
+func NewProbabilistic(capacity int, prob float64, seed int64, mainNew func(capacity int) core.Policy) *Probabilistic {
+	if prob <= 0 || prob > 1 {
+		panic(fmt.Sprintf("admit: probability must be in (0,1], got %v", prob))
+	}
+	p := &Probabilistic{
+		main:     mainNew(capacity),
+		prob:     prob,
+		rng:      rand.New(rand.NewSource(seed)),
+		capacity: capacity,
+	}
+	if sink, ok := p.main.(core.EventSink); ok {
+		sink.SetEvents(&core.Events{
+			OnInsert: func(k uint64, now int64) { p.Insert(k, now) },
+			OnEvict:  func(k uint64, now int64) { p.Evict(k, now) },
+			OnHit:    func(k uint64, now int64) { p.Hit(k, now) },
+		})
+	}
+	return p
+}
+
+// Name implements core.Policy.
+func (p *Probabilistic) Name() string { return "prob-" + p.main.Name() }
+
+// Len implements core.Policy.
+func (p *Probabilistic) Len() int { return p.main.Len() }
+
+// Capacity implements core.Policy.
+func (p *Probabilistic) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Probabilistic) Contains(key uint64) bool { return p.main.Contains(key) }
+
+// Access implements core.Policy.
+func (p *Probabilistic) Access(r *trace.Request) bool {
+	if p.main.Contains(r.Key) {
+		return p.main.Access(r)
+	}
+	if p.rng.Float64() >= p.prob {
+		return false
+	}
+	p.main.Access(r)
+	return false
+}

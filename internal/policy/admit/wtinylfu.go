@@ -1,0 +1,193 @@
+package admit
+
+import (
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("w-tinylfu", func(capacity int) core.Policy { return NewWTinyLFU(capacity) })
+}
+
+type wSegment uint8
+
+const (
+	segWindow wSegment = iota
+	segProbation
+	segProtected
+)
+
+type wEntry struct {
+	key uint64
+	seg wSegment
+}
+
+// WTinyLFU implements Window-TinyLFU (Einziger, Friedman & Manes — the
+// design behind Caffeine): a small LRU admission window (1% of capacity)
+// in front of an SLRU main cache gated by a TinyLFU frequency duel.
+//
+// The window absorbs bursts and newly-hot objects — fixing plain TinyLFU's
+// weakness under popularity decay (its sketch lags reality) — while the
+// duel still blocks one-hit wonders from displacing proven objects. The
+// paper (§5) places this family of admission filters among the Quick
+// Demotion techniques.
+type WTinyLFU struct {
+	policyutil.EventEmitter
+	capacity     int
+	windowCap    int
+	protectedCap int
+
+	byKey      map[uint64]*dlist.Node[wEntry]
+	window     dlist.List[wEntry] // front = MRU
+	probation  dlist.List[wEntry]
+	protected  dlist.List[wEntry]
+	doorkeeper *sketch.Bloom
+	cms        *sketch.CountMin
+}
+
+// NewWTinyLFU returns a W-TinyLFU cache with Caffeine's canonical split:
+// 1% window, 99% main (of which 80% protected).
+func NewWTinyLFU(capacity int) *WTinyLFU {
+	windowCap := capacity / 100
+	if windowCap < 1 {
+		windowCap = 1
+	}
+	mainCap := capacity - windowCap
+	if mainCap < 1 {
+		mainCap = 1
+		windowCap = capacity - 1
+		if windowCap < 1 {
+			windowCap = 0
+		}
+	}
+	protectedCap := mainCap * 8 / 10
+	return &WTinyLFU{
+		capacity:     capacity,
+		windowCap:    windowCap,
+		protectedCap: protectedCap,
+		byKey:        make(map[uint64]*dlist.Node[wEntry], capacity),
+		doorkeeper:   sketch.NewBloom(capacity * 8),
+		cms:          sketch.NewCountMin(capacity * 8),
+	}
+}
+
+// Name implements core.Policy.
+func (p *WTinyLFU) Name() string { return "w-tinylfu" }
+
+// Len implements core.Policy.
+func (p *WTinyLFU) Len() int {
+	return p.window.Len() + p.probation.Len() + p.protected.Len()
+}
+
+// Capacity implements core.Policy.
+func (p *WTinyLFU) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *WTinyLFU) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+func (p *WTinyLFU) list(seg wSegment) *dlist.List[wEntry] {
+	switch seg {
+	case segWindow:
+		return &p.window
+	case segProbation:
+		return &p.probation
+	default:
+		return &p.protected
+	}
+}
+
+func (p *WTinyLFU) record(key uint64) {
+	if p.doorkeeper.Contains(key) {
+		p.cms.Add(key)
+	} else {
+		p.doorkeeper.Add(key)
+		if p.doorkeeper.Count() >= p.capacity*8 {
+			p.doorkeeper.Reset()
+		}
+	}
+}
+
+func (p *WTinyLFU) estimate(key uint64) uint8 {
+	e := p.cms.Estimate(key)
+	if p.doorkeeper.Contains(key) && e < 15 {
+		e++
+	}
+	return e
+}
+
+// Access implements core.Policy.
+func (p *WTinyLFU) Access(r *trace.Request) bool {
+	p.record(r.Key)
+	if n, ok := p.byKey[r.Key]; ok {
+		switch n.Value.seg {
+		case segWindow:
+			p.window.MoveToFront(n)
+		case segProbation:
+			// Probation hit: promote to protected.
+			p.probation.Remove(n)
+			n.Value.seg = segProtected
+			p.protected.PushNodeFront(n)
+			p.balanceProtected()
+		case segProtected:
+			p.protected.MoveToFront(n)
+		}
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	// Miss: new objects enter the admission window.
+	p.byKey[r.Key] = p.window.PushFront(wEntry{key: r.Key, seg: segWindow})
+	p.Insert(r.Key, r.Time)
+	if p.window.Len() > p.windowCap {
+		p.evictWindow(r.Time)
+	}
+	return false
+}
+
+// evictWindow handles a window overflow: the window's LRU candidate duels
+// the main cache's eviction victim on sketched frequency.
+func (p *WTinyLFU) evictWindow(now int64) {
+	cand := p.window.Back()
+	p.window.Remove(cand)
+	mainLen := p.probation.Len() + p.protected.Len()
+	if mainLen < p.capacity-p.windowCap {
+		// Main has room: admit without a duel.
+		cand.Value.seg = segProbation
+		p.probation.PushNodeFront(cand)
+		return
+	}
+	victim := p.probation.Back()
+	if victim == nil {
+		victim = p.protected.Back()
+	}
+	if victim == nil || p.estimate(cand.Value.key) > p.estimate(victim.Value.key) {
+		// Candidate wins: evict the victim, admit the candidate.
+		if victim != nil {
+			p.list(victim.Value.seg).Remove(victim)
+			delete(p.byKey, victim.Value.key)
+			p.Evict(victim.Value.key, now)
+		}
+		cand.Value.seg = segProbation
+		p.probation.PushNodeFront(cand)
+		return
+	}
+	// Victim wins: the candidate is evicted (quick demotion at admission).
+	delete(p.byKey, cand.Value.key)
+	p.Evict(cand.Value.key, now)
+}
+
+// balanceProtected demotes the protected LRU back to probation when the
+// protected segment outgrows its share.
+func (p *WTinyLFU) balanceProtected() {
+	for p.protected.Len() > p.protectedCap {
+		lru := p.protected.Back()
+		p.protected.Remove(lru)
+		lru.Value.seg = segProbation
+		p.probation.PushNodeFront(lru)
+	}
+}

@@ -1,0 +1,209 @@
+// Package arc implements Adaptive Replacement Cache (Megiddo & Modha,
+// FAST'03), following the paper's Figure 4 pseudocode exactly.
+//
+// ARC partitions the cache into a recency list T1 and a frequency list T2,
+// with ghost lists B1 and B2 remembering recent evictions from each. The
+// adaptation target p grows when ghost hits land in B1 (favoring recency)
+// and shrinks on B2 hits (favoring frequency). ARC is the strongest of the
+// five state-of-the-art algorithms the paper enhances with Quick Demotion:
+// §4 reports ARC reduces LRU's miss ratio by 6.2% on average, and QD-ARC
+// reduces ARC's by up to 59.8%.
+package arc
+
+import (
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("arc", func(capacity int) core.Policy { return New(capacity) })
+	// §5 claim: "manually limiting the queue size and slowing down the
+	// queue size adjustment often reduce miss ratios". arc-damped slows
+	// the adaptation 4× and caps T1's target at half the cache.
+	core.Register("arc-damped", func(capacity int) core.Policy {
+		return NewWithOptions(capacity, Options{Damping: 4, MaxTargetFrac: 0.5})
+	})
+}
+
+// Options tunes ARC's adaptation, for the §5 ablation study. Zero values
+// select the canonical FAST'03 behaviour.
+type Options struct {
+	// Damping divides every adaptation step (1 = canonical).
+	Damping int
+	// MaxTargetFrac caps the T1 target p at this fraction of capacity
+	// (0 = uncapped).
+	MaxTargetFrac float64
+}
+
+type listID uint8
+
+const (
+	inT1 listID = iota
+	inT2
+	inB1
+	inB2
+)
+
+type entry struct {
+	key uint64
+	loc listID
+}
+
+// Policy is an ARC cache. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity int
+	p        int // adaptation target for |T1|
+	damping  int
+	maxP     int
+	name     string
+	byKey    map[uint64]*dlist.Node[entry]
+	t1, t2   dlist.List[entry] // front = MRU
+	b1, b2   dlist.List[entry] // front = MRU
+}
+
+// New returns a canonical ARC policy with the given capacity in objects.
+func New(capacity int) *Policy { return NewWithOptions(capacity, Options{}) }
+
+// NewWithOptions returns an ARC with tuned adaptation (see Options).
+func NewWithOptions(capacity int, opts Options) *Policy {
+	damping := opts.Damping
+	if damping < 1 {
+		damping = 1
+	}
+	maxP := capacity
+	name := "arc"
+	if opts.MaxTargetFrac > 0 && opts.MaxTargetFrac < 1 {
+		maxP = int(float64(capacity) * opts.MaxTargetFrac)
+	}
+	if damping != 1 || maxP != capacity {
+		name = "arc-damped"
+	}
+	return &Policy{
+		capacity: capacity,
+		damping:  damping,
+		maxP:     maxP,
+		name:     name,
+		byKey:    make(map[uint64]*dlist.Node[entry], 2*capacity),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return p.name }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return p.t1.Len() + p.t2.Len() }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	n, ok := p.byKey[key]
+	return ok && (n.Value.loc == inT1 || n.Value.loc == inT2)
+}
+
+// Target returns the current adaptation target p (|T1|'s target size), for
+// tests and the ablation experiments.
+func (p *Policy) Target() int { return p.p }
+
+// Access implements core.Policy (ARC(c) from the FAST'03 paper, Fig. 4).
+func (p *Policy) Access(r *trace.Request) bool {
+	x := r.Key
+	n, ok := p.byKey[x]
+	if ok {
+		switch n.Value.loc {
+		case inT1: // Case I: hit in T1 → promote to T2 MRU.
+			p.t1.Remove(n)
+			n.Value.loc = inT2
+			p.t2.PushNodeFront(n)
+			p.Hit(x, r.Time)
+			return true
+		case inT2: // Case I: hit in T2 → MRU of T2.
+			p.t2.MoveToFront(n)
+			p.Hit(x, r.Time)
+			return true
+		case inB1: // Case II: ghost hit in B1 → adapt toward recency.
+			d := 1
+			if p.b1.Len() > 0 && p.b2.Len() > p.b1.Len() {
+				d = p.b2.Len() / p.b1.Len()
+			}
+			d = max(1, d/p.damping)
+			p.p = min(p.p+d, p.maxP)
+			p.replace(x, r.Time)
+			p.b1.Remove(n)
+			n.Value.loc = inT2
+			p.t2.PushNodeFront(n)
+			p.Insert(x, r.Time)
+			return false
+		case inB2: // Case III: ghost hit in B2 → adapt toward frequency.
+			d := 1
+			if p.b2.Len() > 0 && p.b1.Len() > p.b2.Len() {
+				d = p.b1.Len() / p.b2.Len()
+			}
+			d = max(1, d/p.damping)
+			p.p = max(p.p-d, 0)
+			p.replace(x, r.Time)
+			p.b2.Remove(n)
+			n.Value.loc = inT2
+			p.t2.PushNodeFront(n)
+			p.Insert(x, r.Time)
+			return false
+		}
+	}
+	// Case IV: completely new key.
+	l1 := p.t1.Len() + p.b1.Len()
+	l2 := p.t2.Len() + p.b2.Len()
+	switch {
+	case l1 == p.capacity:
+		// A: L1 holds exactly c entries.
+		if p.t1.Len() < p.capacity {
+			// Delete B1 LRU, then REPLACE.
+			lru := p.b1.Back()
+			delete(p.byKey, lru.Value.key)
+			p.b1.Remove(lru)
+			p.replace(x, r.Time)
+		} else {
+			// B1 empty: evict T1 LRU without remembering it.
+			lru := p.t1.Back()
+			delete(p.byKey, lru.Value.key)
+			p.t1.Remove(lru)
+			p.Evict(lru.Value.key, r.Time)
+		}
+	case l1 < p.capacity && l1+l2 >= p.capacity:
+		// B: directory reached capacity.
+		if l1+l2 == 2*p.capacity {
+			lru := p.b2.Back()
+			delete(p.byKey, lru.Value.key)
+			p.b2.Remove(lru)
+		}
+		p.replace(x, r.Time)
+	}
+	p.byKey[x] = p.t1.PushFront(entry{key: x, loc: inT1})
+	p.Insert(x, r.Time)
+	return false
+}
+
+// replace implements REPLACE(x, p): demote the T1 LRU to B1 when T1 exceeds
+// the target (or exactly meets it on a B2 hit), otherwise demote the T2 LRU
+// to B2.
+func (p *Policy) replace(x uint64, now int64) {
+	xInB2 := false
+	if n, ok := p.byKey[x]; ok && n.Value.loc == inB2 {
+		xInB2 = true
+	}
+	if p.t1.Len() >= 1 && ((xInB2 && p.t1.Len() == p.p) || p.t1.Len() > p.p) {
+		lru := p.t1.Back()
+		p.t1.Remove(lru)
+		lru.Value.loc = inB1
+		p.b1.PushNodeFront(lru)
+		p.Evict(lru.Value.key, now)
+	} else if lru := p.t2.Back(); lru != nil {
+		p.t2.Remove(lru)
+		lru.Value.loc = inB2
+		p.b2.PushNodeFront(lru)
+		p.Evict(lru.Value.key, now)
+	}
+}

@@ -1,0 +1,123 @@
+// Package belady implements Belady's MIN, the offline-optimal eviction
+// algorithm (Belady, 1966): always evict the object whose next reference is
+// farthest in the future.
+//
+// MIN is the unreachable lower bound in the paper's Figure 3 and Table 2 —
+// it spends the fewest resources on unpopular objects of any algorithm
+// because it never caches an object past its last use. The policy requires
+// traces annotated with next-access indices (trace.Annotate); internal/sim
+// annotates automatically when it detects an offline policy.
+package belady
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("belady", func(capacity int) core.Policy { return New(capacity) })
+}
+
+// NeedsFuture marks policies that require annotated traces. internal/sim
+// checks for it.
+type NeedsFuture interface {
+	NeedsFuture() bool
+}
+
+// farthest is the heap priority for keys never referenced again.
+const farthest = math.MaxInt64
+
+type heapItem struct {
+	key  uint64
+	next int64
+}
+
+// maxHeap orders by next-access descending (farthest first). Stale items
+// (whose next doesn't match the live map) are skipped lazily on pop.
+type maxHeap []heapItem
+
+func (h maxHeap) Len() int           { return len(h) }
+func (h maxHeap) Less(i, j int) bool { return h[i].next > h[j].next }
+func (h maxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x any)        { *h = append(*h, x.(heapItem)) }
+func (h *maxHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Policy is Belady's MIN. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity int
+	next     map[uint64]int64 // resident keys → their next access index
+	h        maxHeap
+}
+
+// New returns a MIN policy with the given capacity in objects.
+func New(capacity int) *Policy {
+	return &Policy{
+		capacity: capacity,
+		next:     make(map[uint64]int64, capacity),
+		h:        make(maxHeap, 0, capacity),
+	}
+}
+
+// NeedsFuture implements the offline-policy marker.
+func (p *Policy) NeedsFuture() bool { return true }
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "belady" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return len(p.next) }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.next[key]
+	return ok
+}
+
+func nextOf(r *trace.Request) int64 {
+	if r.NextAccess == trace.NoFutureAccess {
+		return farthest
+	}
+	return r.NextAccess
+}
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	nxt := nextOf(r)
+	if _, ok := p.next[r.Key]; ok {
+		p.next[r.Key] = nxt
+		heap.Push(&p.h, heapItem{key: r.Key, next: nxt})
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	if len(p.next) >= p.capacity {
+		p.evict(r.Time)
+	}
+	p.next[r.Key] = nxt
+	heap.Push(&p.h, heapItem{key: r.Key, next: nxt})
+	p.Insert(r.Key, r.Time)
+	return false
+}
+
+// evict pops heap items until one matches the live next-access table (lazy
+// deletion of stale entries), then evicts that key — the farthest-future
+// resident.
+func (p *Policy) evict(now int64) {
+	for {
+		it := heap.Pop(&p.h).(heapItem)
+		cur, resident := p.next[it.key]
+		if !resident || cur != it.next {
+			continue // stale: key evicted earlier or re-referenced since
+		}
+		delete(p.next, it.key)
+		p.Evict(it.key, now)
+		return
+	}
+}

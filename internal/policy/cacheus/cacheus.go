@@ -1,0 +1,338 @@
+// Package cacheus implements CACHEUS (Rodriguez et al., FAST'21), the
+// adaptive successor of LeCaR and one of the five state-of-the-art
+// algorithms the paper enhances with Quick Demotion.
+//
+// CACHEUS keeps LeCaR's regret-minimization frame but swaps the experts
+// for scan-resistant and churn-resistant variants and adapts the learning
+// rate online:
+//
+//   - SR-LRU: new objects enter a scan-resistant segment and only hits
+//     promote them to the reused segment; victims come from the
+//     scan-resistant tail, so scans cannot flush reused data.
+//   - CR-LFU: LFU whose ties at minimum frequency break toward the MOST
+//     recently used object, keeping long-lived equal-frequency objects
+//     stable instead of churning them.
+//
+// Simplifications vs FAST'21, documented in DESIGN.md: the SR segment is a
+// fixed half of the cache rather than history-adapted, and the learning
+// rate adapts by deterministic hill climbing on the windowed hit rate
+// rather than the paper's randomized scheme. Both preserve the qualitative
+// behaviour (scan/churn resistance + adaptivity) the experiments need.
+package cacheus
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("cacheus", func(capacity int) core.Policy { return New(capacity, 1) })
+}
+
+type segment uint8
+
+const (
+	segSR segment = iota
+	segR
+)
+
+type entry struct {
+	key     uint64
+	freq    int
+	seg     segment
+	lruNode *dlist.Node[*entry] // node in SR or R (per seg)
+	lfuNode *dlist.Node[*entry]
+}
+
+type histEntry struct {
+	key     uint64
+	freq    int
+	evictAt int64
+	node    *dlist.Node[*histEntry]
+}
+
+type history struct {
+	cap   int
+	byKey map[uint64]*histEntry
+	fifo  dlist.List[*histEntry]
+}
+
+func newHistory(cap int) *history {
+	return &history{cap: cap, byKey: make(map[uint64]*histEntry, cap)}
+}
+
+func (h *history) add(key uint64, freq int, now int64) {
+	if h.cap == 0 {
+		return
+	}
+	if e, ok := h.byKey[key]; ok {
+		e.freq, e.evictAt = freq, now
+		return
+	}
+	if h.fifo.Len() >= h.cap {
+		old := h.fifo.Front()
+		delete(h.byKey, old.Value.key)
+		h.fifo.Remove(old)
+	}
+	e := &histEntry{key: key, freq: freq, evictAt: now}
+	e.node = h.fifo.PushBack(e)
+	h.byKey[key] = e
+}
+
+func (h *history) take(key uint64) (*histEntry, bool) {
+	e, ok := h.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	delete(h.byKey, key)
+	h.fifo.Remove(e.node)
+	return e, true
+}
+
+// Policy is a CACHEUS cache. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity int
+	srCap    int
+
+	wSRLRU       float64
+	learningRate float64
+	lrDirection  float64 // +1 grow λ, −1 shrink λ
+	discount     float64
+
+	// Adaptive-λ bookkeeping.
+	window     int
+	windowHits int
+	windowReqs int
+	prevHR     float64
+
+	byKey   map[uint64]*entry
+	sr, rr  dlist.List[*entry]          // front = MRU
+	buckets map[int]*dlist.List[*entry] // CR-LFU buckets, front = MRU
+	minFreq int
+
+	histSR  *history
+	histLFU *history
+	rng     *rand.Rand
+}
+
+// New returns a CACHEUS policy; seed drives expert sampling.
+func New(capacity int, seed int64) *Policy {
+	srCap := capacity / 2
+	if srCap < 1 {
+		srCap = 1
+	}
+	return &Policy{
+		capacity:     capacity,
+		srCap:        srCap,
+		wSRLRU:       0.5,
+		learningRate: 0.45,
+		lrDirection:  1,
+		discount:     math.Pow(0.005, 1/float64(capacity)),
+		window:       capacity,
+		byKey:        make(map[uint64]*entry, capacity),
+		buckets:      make(map[int]*dlist.List[*entry]),
+		histSR:       newHistory(capacity),
+		histLFU:      newHistory(capacity),
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "cacheus" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return len(p.byKey) }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// LearningRate exposes λ for tests and experiments.
+func (p *Policy) LearningRate() float64 { return p.learningRate }
+
+// WeightSRLRU exposes the SR-LRU expert weight for tests.
+func (p *Policy) WeightSRLRU() float64 { return p.wSRLRU }
+
+func (p *Policy) bucket(freq int) *dlist.List[*entry] {
+	b, ok := p.buckets[freq]
+	if !ok {
+		b = dlist.New[*entry]()
+		p.buckets[freq] = b
+	}
+	return b
+}
+
+func (p *Policy) lruList(e *entry) *dlist.List[*entry] {
+	if e.seg == segSR {
+		return &p.sr
+	}
+	return &p.rr
+}
+
+func (p *Policy) insert(e *entry, intoR bool) {
+	if intoR {
+		e.seg = segR
+	} else {
+		e.seg = segSR
+	}
+	e.lruNode = p.lruList(e).PushFront(e)
+	e.lfuNode = p.bucket(e.freq).PushFront(e)
+	if e.freq < p.minFreq || len(p.byKey) == 0 {
+		p.minFreq = e.freq
+	}
+	p.byKey[e.key] = e
+	p.balanceR()
+}
+
+// balanceR demotes the reused segment's LRU back to SR when R outgrows its
+// share, keeping both segments bounded.
+func (p *Policy) balanceR() {
+	rCap := p.capacity - p.srCap
+	if rCap < 1 {
+		rCap = 1
+	}
+	for p.rr.Len() > rCap {
+		lru := p.rr.Back()
+		e := lru.Value
+		p.rr.Remove(lru)
+		e.seg = segSR
+		e.lruNode = p.sr.PushFront(e)
+	}
+}
+
+func (p *Policy) bumpFreq(e *entry) {
+	b := p.buckets[e.freq]
+	b.Remove(e.lfuNode)
+	if b.Len() == 0 {
+		delete(p.buckets, e.freq)
+		if p.minFreq == e.freq {
+			p.minFreq = e.freq + 1
+		}
+	}
+	e.freq++
+	e.lfuNode = p.bucket(e.freq).PushFront(e)
+}
+
+func (p *Policy) remove(e *entry) {
+	p.lruList(e).Remove(e.lruNode)
+	b := p.buckets[e.freq]
+	b.Remove(e.lfuNode)
+	if b.Len() == 0 {
+		delete(p.buckets, e.freq)
+	}
+	delete(p.byKey, e.key)
+}
+
+func (p *Policy) adjustWeights(srMistake bool, sinceEvict int64) {
+	regret := math.Pow(p.discount, float64(sinceEvict))
+	wLFU := 1 - p.wSRLRU
+	if srMistake {
+		p.wSRLRU *= math.Exp(-p.learningRate * regret)
+	} else {
+		wLFU *= math.Exp(-p.learningRate * regret)
+	}
+	p.wSRLRU = p.wSRLRU / (p.wSRLRU + wLFU)
+}
+
+// adaptLearningRate hill-climbs λ on the windowed hit rate: keep moving λ
+// in the same direction while the hit rate improves, reverse when it
+// degrades.
+func (p *Policy) adaptLearningRate() {
+	hr := float64(p.windowHits) / float64(p.windowReqs)
+	if hr < p.prevHR {
+		p.lrDirection = -p.lrDirection
+	}
+	if p.lrDirection > 0 {
+		p.learningRate *= 1.25
+	} else {
+		p.learningRate *= 0.75
+	}
+	if p.learningRate > 1 {
+		p.learningRate = 1
+	}
+	if p.learningRate < 1e-3 {
+		p.learningRate = 1e-3
+	}
+	p.prevHR = hr
+	p.windowHits, p.windowReqs = 0, 0
+}
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	p.windowReqs++
+	if p.windowReqs >= p.window {
+		defer p.adaptLearningRate()
+	}
+	if e, ok := p.byKey[r.Key]; ok {
+		p.windowHits++
+		// SR-LRU view: hits promote into the reused segment.
+		if e.seg == segSR {
+			p.sr.Remove(e.lruNode)
+			e.seg = segR
+			e.lruNode = p.rr.PushFront(e)
+			p.balanceR()
+		} else {
+			p.rr.MoveToFront(e.lruNode)
+		}
+		p.bumpFreq(e)
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	freq := 1
+	intoR := false
+	if he, ok := p.histSR.take(r.Key); ok {
+		p.adjustWeights(true, r.Time-he.evictAt)
+		freq = he.freq + 1
+		intoR = true // proven reuse: skip the scan-resistant probation
+	} else if he, ok := p.histLFU.take(r.Key); ok {
+		p.adjustWeights(false, r.Time-he.evictAt)
+		freq = he.freq + 1
+	}
+	if len(p.byKey) >= p.capacity {
+		p.evict(r.Time)
+	}
+	p.insert(&entry{key: r.Key, freq: freq}, intoR)
+	p.Insert(r.Key, r.Time)
+	return false
+}
+
+// evict samples an expert by weight and removes its victim.
+func (p *Policy) evict(now int64) {
+	var victim *entry
+	useSR := p.rng.Float64() < p.wSRLRU
+	if useSR {
+		// SR-LRU victim: scan-resistant tail first, reused tail if empty.
+		if n := p.sr.Back(); n != nil {
+			victim = n.Value
+		} else {
+			victim = p.rr.Back().Value
+		}
+	} else {
+		// CR-LFU victim: most recently used of the minimum frequency.
+		b := p.buckets[p.minFreq]
+		for b == nil || b.Len() == 0 {
+			delete(p.buckets, p.minFreq)
+			p.minFreq++
+			b = p.buckets[p.minFreq]
+		}
+		victim = b.Front().Value
+	}
+	p.remove(victim)
+	if useSR {
+		p.histSR.add(victim.key, victim.freq, now)
+	} else {
+		p.histLFU.add(victim.key, victim.freq, now)
+	}
+	p.Evict(victim.key, now)
+}

@@ -1,0 +1,104 @@
+package car
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy/arc"
+	"repro/internal/policy/policytest"
+	"repro/internal/workload"
+)
+
+func TestConformance(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy { return New(c) })
+}
+
+func TestRegistered(t *testing.T) {
+	if core.MustNew("car", 8).Name() != "car" {
+		t.Fatal("car not registered")
+	}
+}
+
+// A hit only sets a bit: the object's clock position is unchanged, but the
+// replacement sweep moves it into T2 instead of evicting it.
+func TestSecondChance(t *testing.T) {
+	p := New(3)
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 3, 1, 4})
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if !p.Contains(1) {
+		t.Fatal("referenced page evicted by the sweep")
+	}
+	if p.Contains(2) {
+		t.Fatal("unreferenced oldest page survived")
+	}
+}
+
+// Referenced pages promoted by the sweep land in T2 and survive a scan.
+func TestScanResistanceViaT2(t *testing.T) {
+	p := New(16)
+	var seq []uint64
+	for round := 0; round < 3; round++ {
+		for k := uint64(0); k < 8; k++ {
+			seq = append(seq, k)
+		}
+	}
+	for i := uint64(0); i < 400; i++ {
+		seq = append(seq, 1000+i)
+	}
+	reqs := policytest.KeysToRequests(seq)
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	kept := 0
+	for k := uint64(0); k < 8; k++ {
+		if p.Contains(k) {
+			kept++
+		}
+	}
+	if kept < 6 {
+		t.Fatalf("only %d/8 hot keys survived the scan", kept)
+	}
+}
+
+// Ghost hits adapt the target like ARC's.
+func TestAdaptation(t *testing.T) {
+	p := New(4)
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 1, 2, 3, 4, 5, 6, 3})
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if p.Target() < 0 || p.Target() > 4 {
+		t.Fatalf("target %d out of range", p.Target())
+	}
+}
+
+// The §5 observation: CAR (ARC with FIFO-Reinsertion queues) matches or
+// beats ARC on popularity-decay web workloads.
+func TestCARvsARCOnDecayWorkload(t *testing.T) {
+	tr := workload.MajorCDNLike().Generate(4, 8000, 150000)
+	capacity := workload.CacheSize(tr.UniqueObjects(), workload.LargeCacheFrac)
+	carMR := policytest.MissRatio(New(capacity), tr.Requests)
+	arcMR := policytest.MissRatio(arc.New(capacity), tr.Requests)
+	if carMR > arcMR*1.05 {
+		t.Fatalf("car (%.4f) more than 5%% worse than arc (%.4f)", carMR, arcMR)
+	}
+}
+
+// Directory never exceeds 2c entries.
+func TestDirectoryBound(t *testing.T) {
+	const c = 32
+	p := New(c)
+	reqs := policytest.Workload(5, 20000, 300)
+	for i := range reqs {
+		p.Access(&reqs[i])
+		dir := p.t1.Len() + p.t2.Len() + p.b1.Len() + p.b2.Len()
+		if dir > 2*c {
+			t.Fatalf("directory %d > 2c", dir)
+		}
+		if p.Len() > c {
+			t.Fatalf("residents %d > capacity", p.Len())
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package fifo implements plain first-in-first-out eviction.
+//
+// FIFO is the base algorithm of the paper: no promotion ever happens, the
+// insertion order is the eviction order. It has the least metadata and the
+// cheapest hit path of any policy (nothing is updated on a hit), which is
+// why the paper builds its Lazy Promotion and Quick Demotion techniques on
+// top of it rather than on LRU.
+package fifo
+
+import (
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("fifo", func(capacity int) core.Policy { return New(capacity) })
+}
+
+// Policy is a FIFO cache. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity int
+	byKey    map[uint64]*dlist.Node[uint64]
+	queue    dlist.List[uint64] // front = oldest
+}
+
+// New returns a FIFO policy with the given capacity in objects.
+func New(capacity int) *Policy {
+	return &Policy{
+		capacity: capacity,
+		byKey:    make(map[uint64]*dlist.Node[uint64], capacity),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "fifo" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return p.queue.Len() }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// Remove implements core.Remover.
+func (p *Policy) Remove(key uint64) bool {
+	n, ok := p.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(p.byKey, key)
+	p.queue.Remove(n)
+	p.Evict(key, 0)
+	return true
+}
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	if _, ok := p.byKey[r.Key]; ok {
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	if p.queue.Len() >= p.capacity {
+		oldest := p.queue.Front()
+		delete(p.byKey, oldest.Value)
+		p.queue.Remove(oldest)
+		p.Evict(oldest.Value, r.Time)
+	}
+	p.byKey[r.Key] = p.queue.PushBack(r.Key)
+	p.Insert(r.Key, r.Time)
+	return false
+}

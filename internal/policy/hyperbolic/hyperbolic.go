@@ -1,0 +1,113 @@
+// Package hyperbolic implements Hyperbolic Caching (Blankstein, Sen &
+// Freedman, ATC'17).
+//
+// Each object's priority is its request count divided by its time in cache
+// — an estimate of its per-slot hit rate that, unlike LFU, decays for
+// objects that stop being requested. Eviction samples a fixed number of
+// random residents and evicts the lowest-priority one, as in the original
+// system (which cannot maintain a total order because priorities change
+// continuously). The paper cites Hyperbolic (§4, §5) as a prior technique
+// for discovering unpopular objects quickly.
+package hyperbolic
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("hyperbolic", func(capacity int) core.Policy { return New(capacity, 1) })
+}
+
+const sampleSize = 64
+
+type entry struct {
+	key      uint64
+	insertAt int64
+	hits     float64
+	idx      int
+}
+
+// Policy is a hyperbolic-caching policy. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity int
+	byKey    map[uint64]*entry
+	resident []*entry
+	rng      *rand.Rand
+}
+
+// New returns a hyperbolic policy; seed drives eviction sampling.
+func New(capacity int, seed int64) *Policy {
+	return &Policy{
+		capacity: capacity,
+		byKey:    make(map[uint64]*entry, capacity),
+		resident: make([]*entry, 0, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "hyperbolic" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return len(p.resident) }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	if e, ok := p.byKey[r.Key]; ok {
+		e.hits++
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	if len(p.resident) >= p.capacity {
+		p.evict(r.Time)
+	}
+	e := &entry{key: r.Key, insertAt: r.Time, hits: 1, idx: len(p.resident)}
+	p.resident = append(p.resident, e)
+	p.byKey[r.Key] = e
+	p.Insert(r.Key, r.Time)
+	return false
+}
+
+func (p *Policy) priority(e *entry, now int64) float64 {
+	age := now - e.insertAt
+	if age < 1 {
+		age = 1
+	}
+	return e.hits / float64(age)
+}
+
+func (p *Policy) evict(now int64) {
+	n := len(p.resident)
+	samples := sampleSize
+	if samples > n {
+		samples = n
+	}
+	var victim *entry
+	best := 0.0
+	for i := 0; i < samples; i++ {
+		e := p.resident[p.rng.Intn(n)]
+		if pr := p.priority(e, now); victim == nil || pr < best {
+			victim, best = e, pr
+		}
+	}
+	last := len(p.resident) - 1
+	p.resident[victim.idx] = p.resident[last]
+	p.resident[victim.idx].idx = victim.idx
+	p.resident = p.resident[:last]
+	delete(p.byKey, victim.key)
+	p.Evict(victim.key, now)
+}

@@ -1,0 +1,48 @@
+package hyperbolic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy/fifo"
+	"repro/internal/policy/policytest"
+	"repro/internal/workload"
+)
+
+func TestConformance(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy { return New(c, 1) })
+}
+
+// Priority must decay with age: an object hit long ago ranks below a
+// fresher object with the same hit count — unlike LFU.
+func TestPriorityDecays(t *testing.T) {
+	p := New(4, 1)
+	old := &entry{key: 1, insertAt: 0, hits: 5}
+	fresh := &entry{key: 2, insertAt: 900, hits: 5}
+	if p.priority(old, 1000) >= p.priority(fresh, 1000) {
+		t.Fatal("old object's priority did not decay below fresh object's")
+	}
+}
+
+func TestBeatsFIFOOnZipf(t *testing.T) {
+	tr := workload.Family{Name: "zipf", Alpha: 1.0, OneHitFrac: 0.2}.Generate(6, 5000, 100000)
+	cap := 250
+	hypMR := policytest.MissRatio(New(cap, 1), tr.Requests)
+	fifoMR := policytest.MissRatio(fifo.New(cap), tr.Requests)
+	if hypMR >= fifoMR {
+		t.Fatalf("hyperbolic (%.4f) not better than FIFO (%.4f)", hypMR, fifoMR)
+	}
+}
+
+func TestResidentIndex(t *testing.T) {
+	p := New(32, 1)
+	reqs := policytest.Workload(19, 10000, 300)
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	for i, e := range p.resident {
+		if e.idx != i || p.byKey[e.key] != e {
+			t.Fatalf("resident index broken at %d", i)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package lecar implements LeCaR, the learning cache replacement policy of
+// Vietri et al. (HotStorage'18).
+//
+// LeCaR maintains one cache but two eviction experts — LRU and LFU — and a
+// weight per expert. On each eviction it samples an expert according to the
+// weights and evicts that expert's victim, remembering the victim in the
+// expert's ghost history. A later miss on a remembered key means the
+// responsible expert made a mistake: its weight decays multiplicatively by
+// exp(-λ·dᵗ), where t is the time since the eviction and d the discount
+// rate (regret minimization). The paper enhances LeCaR with Quick Demotion
+// (§4: QD-LeCaR reduces LeCaR's miss ratio by up to 58.8%, mean 4.5% — the
+// largest improvement of the five, because LeCaR is the weakest baseline).
+package lecar
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("lecar", func(capacity int) core.Policy { return New(capacity, 1) })
+}
+
+// DefaultLearningRate is λ from the LeCaR paper.
+const DefaultLearningRate = 0.45
+
+type entry struct {
+	key     uint64
+	freq    int
+	lruNode *dlist.Node[*entry]
+	lfuNode *dlist.Node[*entry]
+}
+
+type histEntry struct {
+	key     uint64
+	freq    int // frequency at eviction time, restored on readmission
+	evictAt int64
+	node    *dlist.Node[*histEntry]
+}
+
+// history is a fixed-capacity FIFO of eviction records with O(1) lookup.
+type history struct {
+	cap   int
+	byKey map[uint64]*histEntry
+	fifo  dlist.List[*histEntry]
+}
+
+func newHistory(cap int) *history {
+	return &history{cap: cap, byKey: make(map[uint64]*histEntry, cap)}
+}
+
+func (h *history) add(key uint64, freq int, now int64) {
+	if h.cap == 0 {
+		return
+	}
+	if e, ok := h.byKey[key]; ok {
+		e.freq, e.evictAt = freq, now
+		return
+	}
+	if h.fifo.Len() >= h.cap {
+		old := h.fifo.Front()
+		delete(h.byKey, old.Value.key)
+		h.fifo.Remove(old)
+	}
+	e := &histEntry{key: key, freq: freq, evictAt: now}
+	e.node = h.fifo.PushBack(e)
+	h.byKey[key] = e
+}
+
+func (h *history) take(key uint64) (*histEntry, bool) {
+	e, ok := h.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	delete(h.byKey, key)
+	h.fifo.Remove(e.node)
+	return e, true
+}
+
+// Policy is a LeCaR cache. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity     int
+	wLRU         float64 // wLFU = 1 - wLRU
+	learningRate float64
+	discount     float64
+
+	byKey   map[uint64]*entry
+	lru     dlist.List[*entry]          // front = MRU
+	buckets map[int]*dlist.List[*entry] // LFU frequency buckets, front = MRU
+	minFreq int
+
+	histLRU *history
+	histLFU *history
+	rng     *rand.Rand
+}
+
+// New returns a LeCaR policy. The seed drives the expert-sampling
+// randomness; the same seed always reproduces the same decisions.
+func New(capacity int, seed int64) *Policy {
+	return &Policy{
+		capacity:     capacity,
+		wLRU:         0.5,
+		learningRate: DefaultLearningRate,
+		discount:     math.Pow(0.005, 1/float64(capacity)),
+		byKey:        make(map[uint64]*entry, capacity),
+		buckets:      make(map[int]*dlist.List[*entry]),
+		histLRU:      newHistory(capacity),
+		histLFU:      newHistory(capacity),
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "lecar" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return len(p.byKey) }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// WeightLRU returns the current LRU expert weight (for tests and the
+// experiment harness).
+func (p *Policy) WeightLRU() float64 { return p.wLRU }
+
+func (p *Policy) bucket(freq int) *dlist.List[*entry] {
+	b, ok := p.buckets[freq]
+	if !ok {
+		b = dlist.New[*entry]()
+		p.buckets[freq] = b
+	}
+	return b
+}
+
+func (p *Policy) insert(e *entry) {
+	e.lruNode = p.lru.PushFront(e)
+	e.lfuNode = p.bucket(e.freq).PushFront(e)
+	if e.freq < p.minFreq || len(p.byKey) == 0 {
+		p.minFreq = e.freq
+	}
+	p.byKey[e.key] = e
+}
+
+func (p *Policy) bumpFreq(e *entry) {
+	b := p.buckets[e.freq]
+	b.Remove(e.lfuNode)
+	if b.Len() == 0 {
+		delete(p.buckets, e.freq)
+		if p.minFreq == e.freq {
+			p.minFreq = e.freq + 1
+		}
+	}
+	e.freq++
+	e.lfuNode = p.bucket(e.freq).PushFront(e)
+}
+
+func (p *Policy) remove(e *entry) {
+	p.lru.Remove(e.lruNode)
+	b := p.buckets[e.freq]
+	b.Remove(e.lfuNode)
+	if b.Len() == 0 {
+		delete(p.buckets, e.freq)
+	}
+	delete(p.byKey, e.key)
+}
+
+// adjust applies the regret update: the expert whose past eviction caused
+// this miss decays by exp(-λ·dᵗ).
+func (p *Policy) adjust(lruMistake bool, sinceEvict int64) {
+	regret := math.Pow(p.discount, float64(sinceEvict))
+	wLFU := 1 - p.wLRU
+	if lruMistake {
+		p.wLRU *= math.Exp(-p.learningRate * regret)
+	} else {
+		wLFU *= math.Exp(-p.learningRate * regret)
+	}
+	p.wLRU = p.wLRU / (p.wLRU + wLFU)
+}
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	if e, ok := p.byKey[r.Key]; ok {
+		p.lru.MoveToFront(e.lruNode)
+		p.bumpFreq(e)
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	freq := 1
+	if he, ok := p.histLRU.take(r.Key); ok {
+		p.adjust(true, r.Time-he.evictAt)
+		freq = he.freq + 1
+	} else if he, ok := p.histLFU.take(r.Key); ok {
+		p.adjust(false, r.Time-he.evictAt)
+		freq = he.freq + 1
+	}
+	if len(p.byKey) >= p.capacity {
+		p.evict(r.Time)
+	}
+	p.insert(&entry{key: r.Key, freq: freq})
+	p.Insert(r.Key, r.Time)
+	return false
+}
+
+// evict samples an expert by weight and removes its victim, recording it in
+// that expert's history.
+func (p *Policy) evict(now int64) {
+	var victim *entry
+	useLRU := p.rng.Float64() < p.wLRU
+	if useLRU {
+		victim = p.lru.Back().Value
+	} else {
+		b := p.buckets[p.minFreq]
+		for b == nil || b.Len() == 0 {
+			delete(p.buckets, p.minFreq)
+			p.minFreq++
+			b = p.buckets[p.minFreq]
+		}
+		victim = b.Back().Value
+	}
+	p.remove(victim)
+	if useLRU {
+		p.histLRU.add(victim.key, victim.freq, now)
+	} else {
+		p.histLFU.add(victim.key, victim.freq, now)
+	}
+	p.Evict(victim.key, now)
+}

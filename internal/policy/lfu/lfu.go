@@ -1,0 +1,127 @@
+// Package lfu implements in-cache Least-Frequently-Used eviction with O(1)
+// operations via frequency buckets.
+//
+// Ties within the minimum-frequency bucket break toward the least recently
+// used object. LFU is one of LeCaR's two experts; it is also registered
+// standalone as a baseline.
+package lfu
+
+import (
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("lfu", func(capacity int) core.Policy { return New(capacity) })
+}
+
+type entry struct {
+	key  uint64
+	freq int
+	node *dlist.Node[*entry] // node within its frequency bucket list
+}
+
+// Policy is an LFU cache. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity int
+	byKey    map[uint64]*entry
+	buckets  map[int]*dlist.List[*entry] // freq → entries, front = MRU
+	minFreq  int
+}
+
+// New returns an LFU policy with the given capacity in objects.
+func New(capacity int) *Policy {
+	return &Policy{
+		capacity: capacity,
+		byKey:    make(map[uint64]*entry, capacity),
+		buckets:  make(map[int]*dlist.List[*entry]),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "lfu" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return len(p.byKey) }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// Frequency returns the tracked frequency of key, or 0 if absent (for
+// tests).
+func (p *Policy) Frequency(key uint64) int {
+	if e, ok := p.byKey[key]; ok {
+		return e.freq
+	}
+	return 0
+}
+
+func (p *Policy) bucket(freq int) *dlist.List[*entry] {
+	b, ok := p.buckets[freq]
+	if !ok {
+		b = dlist.New[*entry]()
+		p.buckets[freq] = b
+	}
+	return b
+}
+
+func (p *Policy) promote(e *entry) {
+	old := p.buckets[e.freq]
+	old.Remove(e.node)
+	if old.Len() == 0 {
+		delete(p.buckets, e.freq)
+		if p.minFreq == e.freq {
+			p.minFreq = e.freq + 1
+		}
+	}
+	e.freq++
+	e.node = p.bucket(e.freq).PushFront(e)
+}
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	if e, ok := p.byKey[r.Key]; ok {
+		p.promote(e)
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	if len(p.byKey) >= p.capacity {
+		p.evictMin(r.Time)
+	}
+	e := &entry{key: r.Key, freq: 1}
+	e.node = p.bucket(1).PushFront(e)
+	p.byKey[r.Key] = e
+	p.minFreq = 1
+	p.Insert(r.Key, r.Time)
+	return false
+}
+
+// evictMin removes the least recently used entry of the minimum-frequency
+// bucket.
+func (p *Policy) evictMin(now int64) {
+	b := p.buckets[p.minFreq]
+	for b == nil || b.Len() == 0 {
+		// minFreq can go stale after promotions emptied the bucket;
+		// advance to the next populated one.
+		delete(p.buckets, p.minFreq)
+		p.minFreq++
+		b = p.buckets[p.minFreq]
+	}
+	victim := b.Back() // LRU within the bucket
+	e := victim.Value
+	b.Remove(victim)
+	if b.Len() == 0 {
+		delete(p.buckets, e.freq)
+	}
+	delete(p.byKey, e.key)
+	p.Evict(e.key, now)
+}

@@ -1,0 +1,134 @@
+package lirs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy/lru"
+	"repro/internal/policy/policytest"
+	"repro/internal/workload"
+)
+
+func TestConformance(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy { return New(c) })
+}
+
+// Internal invariants under a long random workload: LIR count bounded,
+// stack bottom always LIR, resident sets disjoint and complete.
+func TestInvariants(t *testing.T) {
+	p := New(50)
+	reqs := policytest.Workload(11, 30000, 400)
+	for i := range reqs {
+		p.Access(&reqs[i])
+		if p.lirCount > p.lirCap {
+			t.Fatalf("req %d: LIR count %d > cap %d", i, p.lirCount, p.lirCap)
+		}
+		if b := p.s.Back(); b != nil && b.Value.state != lir {
+			t.Fatalf("req %d: stack bottom is not LIR", i)
+		}
+		if p.nonres.Len() > p.nrCap {
+			t.Fatalf("req %d: nonresident %d > bound %d", i, p.nonres.Len(), p.nrCap)
+		}
+		if p.Len() > p.capacity {
+			t.Fatalf("req %d: residents %d > capacity", i, p.Len())
+		}
+	}
+	// Cross-check bookkeeping: count states in byKey.
+	lirs, hirRes, hirNon := 0, 0, 0
+	for _, e := range p.byKey {
+		switch e.state {
+		case lir:
+			lirs++
+			if e.sNode == nil {
+				t.Fatal("LIR entry not in stack")
+			}
+			if e.qNode != nil {
+				t.Fatal("LIR entry in queue Q")
+			}
+		case hirResident:
+			hirRes++
+			if e.qNode == nil {
+				t.Fatal("resident HIR not in queue Q")
+			}
+		case hirNonResident:
+			hirNon++
+			if e.sNode == nil && e.nNode == nil {
+				t.Fatal("nonresident HIR tracked nowhere")
+			}
+		}
+	}
+	if lirs != p.lirCount {
+		t.Fatalf("LIR count mismatch: %d vs %d", lirs, p.lirCount)
+	}
+	if hirRes != p.q.Len() {
+		t.Fatalf("resident HIR mismatch: %d vs Q %d", hirRes, p.q.Len())
+	}
+	if hirNon != p.nonres.Len() {
+		t.Fatalf("nonresident mismatch: %d vs %d", hirNon, p.nonres.Len())
+	}
+}
+
+// Low-IRR objects (the looped hot set) must stay resident while high-IRR
+// scan traffic flows through the 1% HIR quota — LIRS's defining property.
+func TestScanResistance(t *testing.T) {
+	p := New(100)
+	// Establish a hot set of 50 keys with two rounds (low IRR).
+	var seq []uint64
+	for round := 0; round < 3; round++ {
+		for k := uint64(0); k < 50; k++ {
+			seq = append(seq, k)
+		}
+	}
+	// Now a huge scan of cold keys.
+	for i := uint64(0); i < 2000; i++ {
+		seq = append(seq, 10000+i)
+	}
+	// Hot set again: should still be mostly resident.
+	reqs := policytest.KeysToRequests(seq)
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	kept := 0
+	for k := uint64(0); k < 50; k++ {
+		if p.Contains(k) {
+			kept++
+		}
+	}
+	if kept < 45 {
+		t.Fatalf("only %d/50 hot keys survived the scan", kept)
+	}
+}
+
+// LIRS should beat LRU on a looping workload larger than the cache.
+func TestBeatsLRUOnLoop(t *testing.T) {
+	tr := workload.Family{
+		Name: "loop", Class: 0, Alpha: 0.8,
+		LoopFrac: 0.4, LoopLen: 300,
+	}.Generate(3, 2000, 50000)
+	cap := 200
+	lirsMR := policytest.MissRatio(New(cap), tr.Requests)
+	lruMR := policytest.MissRatio(lru.New(cap), tr.Requests)
+	if lirsMR >= lruMR {
+		t.Fatalf("LIRS (%.4f) not better than LRU (%.4f) on loop workload", lirsMR, lruMR)
+	}
+}
+
+// A nonresident HIR key re-referenced quickly gets readmitted as LIR.
+func TestNonresidentUpgrade(t *testing.T) {
+	p := New(10) // lirCap 9, hirCap 1
+	var seq []uint64
+	for k := uint64(0); k < 9; k++ { // fill LIR set
+		seq = append(seq, k)
+	}
+	// 100,101,102: each becomes resident HIR then is pushed out by the next.
+	seq = append(seq, 100, 101, 102, 100)
+	reqs := policytest.KeysToRequests(seq)
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	// 100 was nonresident-HIR in the stack when re-referenced → now LIR.
+	e, ok := p.byKey[100]
+	if !ok || e.state != lir {
+		t.Fatalf("re-referenced nonresident key not upgraded to LIR (entry %+v)", e)
+	}
+}

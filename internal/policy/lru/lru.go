@@ -1,0 +1,92 @@
+// Package lru implements least-recently-used eviction.
+//
+// LRU is the paper's primary baseline: it promotes eagerly — every hit
+// moves the object to the head of the queue — and demotes passively, since
+// objects are pushed toward the tail only by promotions and insertions in
+// front of them. The eager promotion is exactly what makes LRU expensive in
+// production (six pointer writes under a lock per hit, see
+// internal/concurrent), and the passive demotion is what Quick Demotion
+// attacks.
+package lru
+
+import (
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("lru", func(capacity int) core.Policy { return New(capacity) })
+}
+
+// Policy is an LRU cache. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity int
+	byKey    map[uint64]*dlist.Node[uint64]
+	queue    dlist.List[uint64] // front = most recently used
+}
+
+// New returns an LRU policy with the given capacity in objects.
+func New(capacity int) *Policy {
+	return &Policy{
+		capacity: capacity,
+		byKey:    make(map[uint64]*dlist.Node[uint64], capacity),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "lru" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return p.queue.Len() }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// Victim returns the key that would be evicted next (the LRU tail) without
+// evicting it. Admission filters (TinyLFU) use it for the frequency duel.
+func (p *Policy) Victim() (uint64, bool) {
+	n := p.queue.Back()
+	if n == nil {
+		return 0, false
+	}
+	return n.Value, true
+}
+
+// Remove implements core.Remover.
+func (p *Policy) Remove(key uint64) bool {
+	n, ok := p.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(p.byKey, key)
+	p.queue.Remove(n)
+	p.Evict(key, 0)
+	return true
+}
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	if n, ok := p.byKey[r.Key]; ok {
+		p.queue.MoveToFront(n) // eager promotion
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	if p.queue.Len() >= p.capacity {
+		victim := p.queue.Back()
+		delete(p.byKey, victim.Value)
+		p.queue.Remove(victim)
+		p.Evict(victim.Value, r.Time)
+	}
+	p.byKey[r.Key] = p.queue.PushFront(r.Key)
+	p.Insert(r.Key, r.Time)
+	return false
+}

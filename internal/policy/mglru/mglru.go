@@ -1,0 +1,170 @@
+// Package mglru implements a simulator-grade Multi-Generational LRU,
+// modelled on the Linux MGLRU design cited in the paper's introduction
+// ([5]: multi-generational LRU separates pages into generations and
+// updates membership lazily).
+//
+// Objects live in one of G generation FIFOs (newest generation = youngest).
+// A hit only records the object's target generation — one field write, no
+// queue movement, which is exactly a Lazy Promotion discipline. Eviction
+// scans the oldest generation: objects whose recorded target is younger
+// than their current generation are moved there (the deferred promotion);
+// the rest are evicted. A new generation is opened every capacity/G
+// insertions, aging every older generation by one step.
+package mglru
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("mglru", func(capacity int) core.Policy { return New(capacity, 4) })
+}
+
+type entry struct {
+	key uint64
+	gen int // generation the entry currently sits in
+	// target is the generation the entry earned by its last access;
+	// applied lazily at eviction time.
+	target int
+}
+
+// Policy is an MGLRU cache. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity int
+	numGens  int
+	byKey    map[uint64]*dlist.Node[entry]
+	// gens[0] is the oldest generation; gens[len-1] the youngest. Each
+	// list front = oldest insertion within the generation.
+	gens []*dlist.List[entry]
+	// maxGen is the id of the youngest generation; gens[i] holds
+	// generation maxGen-(len-1-i).
+	maxGen     int
+	sinceAging int
+	agingEvery int
+}
+
+// New returns an MGLRU policy with the given capacity and generation count
+// (Linux uses 4).
+func New(capacity, generations int) *Policy {
+	if generations < 2 || generations > 16 {
+		panic(fmt.Sprintf("mglru: generations must be in [2,16], got %d", generations))
+	}
+	agingEvery := capacity / generations
+	if agingEvery < 1 {
+		agingEvery = 1
+	}
+	p := &Policy{
+		capacity:   capacity,
+		numGens:    generations,
+		byKey:      make(map[uint64]*dlist.Node[entry], capacity),
+		gens:       make([]*dlist.List[entry], generations),
+		maxGen:     generations - 1,
+		agingEvery: agingEvery,
+	}
+	for i := range p.gens {
+		p.gens[i] = dlist.New[entry]()
+	}
+	return p
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "mglru" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return len(p.byKey) }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// listOf returns the queue holding generation g, or nil if g has aged out.
+func (p *Policy) listOf(g int) *dlist.List[entry] {
+	idx := len(p.gens) - 1 - (p.maxGen - g)
+	if idx < 0 || idx >= len(p.gens) {
+		return nil
+	}
+	return p.gens[idx]
+}
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	if n, ok := p.byKey[r.Key]; ok {
+		// Lazy promotion: one field write, no list movement.
+		n.Value.target = p.maxGen
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	if len(p.byKey) >= p.capacity {
+		p.evict(r.Time)
+	}
+	p.sinceAging++
+	if p.sinceAging >= p.agingEvery {
+		p.age()
+	}
+	n := p.gens[len(p.gens)-1].PushBack(entry{key: r.Key, gen: p.maxGen, target: p.maxGen})
+	p.byKey[r.Key] = n
+	p.Insert(r.Key, r.Time)
+	return false
+}
+
+// age opens a new youngest generation. The two oldest generations merge so
+// the window of tracked ages stays bounded.
+func (p *Policy) age() {
+	p.sinceAging = 0
+	p.maxGen++
+	oldest := p.gens[0]
+	second := p.gens[1]
+	// Merge oldest into the front of second (it is older material).
+	for oldest.Len() > 0 {
+		n := oldest.Back()
+		oldest.Remove(n)
+		second.PushNodeFront(n)
+	}
+	copy(p.gens, p.gens[1:])
+	p.gens[len(p.gens)-1] = oldest // reuse the emptied list as the new youngest
+}
+
+// evict scans the oldest generation, applying deferred promotions and
+// evicting the first object whose target generation is also the oldest.
+func (p *Policy) evict(now int64) {
+	for {
+		var n *dlist.Node[entry]
+		var fromList *dlist.List[entry]
+		for _, l := range p.gens {
+			if l.Len() > 0 {
+				n = l.Front()
+				fromList = l
+				break
+			}
+		}
+		if n == nil {
+			return
+		}
+		e := n.Value
+		// Deferred promotion: the object earned a younger generation since
+		// it was queued here.
+		if e.target > e.gen {
+			if dest := p.listOf(e.target); dest != nil && dest != fromList {
+				fromList.Remove(n)
+				n.Value.gen = e.target
+				dest.PushNodeBack(n)
+				continue
+			}
+		}
+		fromList.Remove(n)
+		delete(p.byKey, e.key)
+		p.Evict(e.key, now)
+		return
+	}
+}

@@ -1,0 +1,230 @@
+// Package policytest provides a conformance suite run against every
+// eviction policy in the repository. It checks the behavioural contract of
+// core.Policy that all policies must share, regardless of eviction
+// decisions:
+//
+//   - Len never exceeds Capacity.
+//   - Access returns true exactly when Contains(key) was true beforehand.
+//   - Contains(key) is true immediately after any Access(key).
+//   - Event callbacks balance: inserts − evicts == Len, and an OnHit fires
+//     for every hit.
+//   - Replaying the same trace on a fresh instance yields identical hit
+//     sequences (determinism).
+package policytest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Workload produces a deterministic mixed workload: Zipf-ish reuse plus a
+// scan segment, enough to push any policy through fill, hit, and eviction
+// phases.
+func Workload(seed int64, n, keyspace int) []trace.Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		var k uint64
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // hot set reuse
+			k = uint64(rng.Intn(keyspace / 4))
+		case 6, 7, 8: // warm
+			k = uint64(rng.Intn(keyspace))
+		default: // cold tail / scan-ish
+			k = uint64(keyspace + i)
+		}
+		reqs[i] = trace.Request{Key: k, Size: 1, Time: int64(i)}
+	}
+	trace.Annotate(reqs)
+	return reqs
+}
+
+// RunConformance runs the full conformance suite against policies built by
+// factory.
+func RunConformance(t *testing.T, factory func(capacity int) core.Policy) {
+	t.Helper()
+	t.Run("contract", func(t *testing.T) { testContract(t, factory) })
+	t.Run("events", func(t *testing.T) { testEvents(t, factory) })
+	t.Run("determinism", func(t *testing.T) { testDeterminism(t, factory) })
+	t.Run("capacity-one", func(t *testing.T) { testCapacityOne(t, factory) })
+}
+
+func testContract(t *testing.T, factory func(int) core.Policy) {
+	t.Helper()
+	for _, capacity := range []int{2, 10, 64, 333} {
+		p := factory(capacity)
+		if p.Capacity() != capacity {
+			t.Fatalf("Capacity() = %d, want %d", p.Capacity(), capacity)
+		}
+		reqs := Workload(42, 5000, 200)
+		for i := range reqs {
+			r := &reqs[i]
+			before := p.Contains(r.Key)
+			hit := p.Access(r)
+			if hit != before {
+				t.Fatalf("cap=%d req=%d key=%d: hit=%v but Contains-before=%v",
+					capacity, i, r.Key, hit, before)
+			}
+			if !p.Contains(r.Key) {
+				t.Fatalf("cap=%d req=%d key=%d: not resident immediately after access",
+					capacity, i, r.Key)
+			}
+			if p.Len() > p.Capacity() {
+				t.Fatalf("cap=%d req=%d: Len %d > Capacity %d", capacity, i, p.Len(), p.Capacity())
+			}
+			if p.Len() < 0 {
+				t.Fatalf("cap=%d req=%d: negative Len %d", capacity, i, p.Len())
+			}
+		}
+	}
+}
+
+func testEvents(t *testing.T, factory func(int) core.Policy) {
+	t.Helper()
+	p := factory(32)
+	sink, ok := p.(core.EventSink)
+	if !ok {
+		t.Fatalf("policy %s does not implement core.EventSink", p.Name())
+	}
+	resident := map[uint64]bool{}
+	inserts, evicts, hits := 0, 0, 0
+	sink.SetEvents(&core.Events{
+		OnInsert: func(key uint64, _ int64) {
+			if resident[key] {
+				t.Fatalf("OnInsert for already-resident key %d", key)
+			}
+			resident[key] = true
+			inserts++
+		},
+		OnEvict: func(key uint64, _ int64) {
+			if !resident[key] {
+				t.Fatalf("OnEvict for non-resident key %d", key)
+			}
+			delete(resident, key)
+			evicts++
+		},
+		OnHit: func(key uint64, _ int64) { hits++ },
+	})
+	reqs := Workload(7, 4000, 150)
+	gotHits := 0
+	for i := range reqs {
+		if p.Access(&reqs[i]) {
+			gotHits++
+		}
+	}
+	if inserts-evicts != p.Len() {
+		t.Fatalf("inserts(%d) - evicts(%d) = %d, want Len %d", inserts, evicts, inserts-evicts, p.Len())
+	}
+	if hits != gotHits {
+		t.Fatalf("OnHit fired %d times, Access reported %d hits", hits, gotHits)
+	}
+	if len(resident) != p.Len() {
+		t.Fatalf("event-tracked residents %d != Len %d", len(resident), p.Len())
+	}
+	for k := range resident {
+		if !p.Contains(k) {
+			t.Fatalf("event-tracked resident %d not in cache", k)
+		}
+	}
+}
+
+func testDeterminism(t *testing.T, factory func(int) core.Policy) {
+	t.Helper()
+	reqs := Workload(99, 3000, 120)
+	run := func() []bool {
+		p := factory(48)
+		out := make([]bool, len(reqs))
+		local := make([]trace.Request, len(reqs))
+		copy(local, reqs)
+		for i := range local {
+			out[i] = p.Access(&local[i])
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at request %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func testCapacityOne(t *testing.T, factory func(int) core.Policy) {
+	t.Helper()
+	p := factory(1)
+	reqs := Workload(3, 1000, 20)
+	for i := range reqs {
+		p.Access(&reqs[i])
+		if p.Len() > 1 {
+			t.Fatalf("capacity-1 cache holds %d objects", p.Len())
+		}
+	}
+}
+
+// RunAdmissionConformance is the relaxed suite for admission-gated
+// policies: they may legitimately refuse to admit on a miss, so the
+// "resident immediately after access" clause of the standard contract does
+// not apply. Everything else (hit iff resident-before, capacity bound,
+// determinism) must still hold.
+func RunAdmissionConformance(t *testing.T, factory func(capacity int) core.Policy) {
+	t.Helper()
+	t.Run("contract", func(t *testing.T) {
+		for _, capacity := range []int{10, 64, 333} {
+			p := factory(capacity)
+			reqs := Workload(42, 5000, 200)
+			for i := range reqs {
+				r := &reqs[i]
+				before := p.Contains(r.Key)
+				hit := p.Access(r)
+				if hit != before {
+					t.Fatalf("cap=%d req=%d key=%d: hit=%v but Contains-before=%v",
+						capacity, i, r.Key, hit, before)
+				}
+				if p.Len() > p.Capacity() {
+					t.Fatalf("cap=%d req=%d: Len %d > Capacity %d", capacity, i, p.Len(), p.Capacity())
+				}
+			}
+			if p.Len() == 0 {
+				t.Fatalf("cap=%d: admission gate admitted nothing over the whole workload", capacity)
+			}
+		}
+	})
+	t.Run("determinism", func(t *testing.T) { testDeterminism(t, factory) })
+}
+
+// MissRatio replays reqs against p and returns the miss ratio. Shared by
+// policy behaviour tests.
+func MissRatio(p core.Policy, reqs []trace.Request) float64 {
+	misses := 0
+	local := make([]trace.Request, len(reqs))
+	copy(local, reqs)
+	for i := range local {
+		if !p.Access(&local[i]) {
+			misses++
+		}
+	}
+	return float64(misses) / float64(len(local))
+}
+
+// SequentialRequests returns reqs accessing keys 0..n-1 in order, annotated.
+func SequentialRequests(n int) []trace.Request {
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{Key: uint64(i), Size: 1, Time: int64(i)}
+	}
+	trace.Annotate(reqs)
+	return reqs
+}
+
+// KeysToRequests converts a key sequence into annotated requests.
+func KeysToRequests(keys []uint64) []trace.Request {
+	reqs := make([]trace.Request, len(keys))
+	for i, k := range keys {
+		reqs[i] = trace.Request{Key: k, Size: 1, Time: int64(i)}
+	}
+	trace.Annotate(reqs)
+	return reqs
+}

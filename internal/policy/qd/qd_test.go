@@ -1,0 +1,161 @@
+package qd
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy/arc"
+	"repro/internal/policy/lru"
+	"repro/internal/policy/policytest"
+)
+
+func newQDLRU(c int) *Policy {
+	return New(c, Options{}, func(mainCap int) core.Policy { return lru.New(mainCap) })
+}
+
+func TestConformanceOverLRU(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy { return newQDLRU(c) })
+}
+
+func TestConformanceOverARC(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy {
+		return New(c, Options{}, func(mainCap int) core.Policy { return arc.New(mainCap) })
+	})
+}
+
+func TestRegisteredVariants(t *testing.T) {
+	for _, name := range []string{"qd-arc", "qd-lirs", "qd-lecar", "qd-cacheus", "qd-lhd"} {
+		p := core.MustNew(name, 100)
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+}
+
+func TestBadProbationFracPanics(t *testing.T) {
+	for _, f := range []float64{-0.1, 1.0, 2.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ProbationFrac %v did not panic", f)
+				}
+			}()
+			New(10, Options{ProbationFrac: f}, func(c int) core.Policy { return lru.New(c) })
+		}()
+	}
+}
+
+// The paper's sizing: probation 10% of capacity, ghost as many entries as
+// the main cache.
+func TestPaperSizing(t *testing.T) {
+	p := newQDLRU(100)
+	if p.probCap != 10 {
+		t.Fatalf("probation cap = %d, want 10", p.probCap)
+	}
+	if p.Main().Capacity() != 90 {
+		t.Fatalf("main cap = %d, want 90", p.Main().Capacity())
+	}
+	if p.ghost.Capacity() != 90 {
+		t.Fatalf("ghost cap = %d, want 90", p.ghost.Capacity())
+	}
+}
+
+// One-hit wonders never reach the main cache: they die in probation.
+func TestOneHitWondersFiltered(t *testing.T) {
+	p := newQDLRU(100)
+	scan := policytest.SequentialRequests(5000)
+	for i := range scan {
+		p.Access(&scan[i])
+	}
+	if got := p.Main().Len(); got != 0 {
+		t.Fatalf("%d one-hit wonders reached the main cache", got)
+	}
+	if p.GhostLen() == 0 {
+		t.Fatal("ghost never recorded the filtered objects")
+	}
+}
+
+// An object accessed while in probation is promoted to the main cache at
+// probation-eviction time, never leaving residency.
+func TestPromotionOnAccess(t *testing.T) {
+	p := newQDLRU(20) // probation 2, main 18
+	var evicted []uint64
+	p.SetEvents(&core.Events{OnEvict: func(k uint64, _ int64) { evicted = append(evicted, k) }})
+	reqs := policytest.KeysToRequests([]uint64{1, 1, 2, 3})
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if !p.Main().Contains(1) {
+		t.Fatal("accessed probation object not promoted to main")
+	}
+	if !p.Contains(1) {
+		t.Fatal("promoted object lost")
+	}
+	for _, k := range evicted {
+		if k == 1 {
+			t.Fatal("promotion surfaced as an eviction event")
+		}
+	}
+}
+
+// A ghost-remembered object is admitted straight into the main cache on its
+// next miss.
+func TestGhostDirectAdmission(t *testing.T) {
+	p := newQDLRU(20)                                       // probation 2, main 18
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 3, 4}) // 1,2 fall to ghost
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if !p.ghost.Contains(1) {
+		t.Fatal("unaccessed probation victim not in ghost")
+	}
+	again := policytest.KeysToRequests([]uint64{1})
+	if p.Access(&again[0]) {
+		t.Fatal("ghost admission reported as a hit")
+	}
+	if !p.Main().Contains(1) {
+		t.Fatal("ghost hit not admitted into main cache")
+	}
+	if p.ghost.Contains(1) {
+		t.Fatal("key left in ghost after admission")
+	}
+}
+
+// Events balance even across promotions and ghost admissions.
+func TestEventBalance(t *testing.T) {
+	p := newQDLRU(32)
+	resident := map[uint64]bool{}
+	p.SetEvents(&core.Events{
+		OnInsert: func(k uint64, _ int64) {
+			if resident[k] {
+				t.Fatalf("double insert of %d", k)
+			}
+			resident[k] = true
+		},
+		OnEvict: func(k uint64, _ int64) {
+			if !resident[k] {
+				t.Fatalf("evict of non-resident %d", k)
+			}
+			delete(resident, k)
+		},
+	})
+	reqs := policytest.Workload(77, 20000, 400)
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if len(resident) != p.Len() {
+		t.Fatalf("tracked %d residents, cache has %d", len(resident), p.Len())
+	}
+}
+
+// Degenerate capacity-1 wrapper: probation disabled, main gets everything.
+func TestTinyCapacity(t *testing.T) {
+	p := newQDLRU(1)
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 1, 2})
+	for i := range reqs {
+		p.Access(&reqs[i])
+		if p.Len() > 1 {
+			t.Fatalf("capacity-1 wrapper holds %d", p.Len())
+		}
+	}
+}

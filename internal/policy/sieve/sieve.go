@@ -1,0 +1,112 @@
+// Package sieve implements the SIEVE eviction algorithm.
+//
+// SIEVE is the follow-up algorithm spawned by this paper's Lazy Promotion
+// insight (Zhang et al., NSDI'24): a single FIFO queue with one visited bit
+// per object and a hand that, unlike CLOCK's, keeps its position after an
+// eviction instead of resetting to the queue tail. Surviving (visited)
+// objects therefore stay where they are — "lazy promotion via retention" —
+// and new objects inserted at the head are examined quickly, giving quick
+// demotion for free. Included as an extension beyond the paper's own
+// algorithms.
+package sieve
+
+import (
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("sieve", func(capacity int) core.Policy { return New(capacity) })
+}
+
+type entry struct {
+	key     uint64
+	visited bool
+}
+
+// Policy is a SIEVE cache. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity int
+	byKey    map[uint64]*dlist.Node[entry]
+	queue    dlist.List[entry] // front = newest (head), back = oldest (tail)
+	hand     *dlist.Node[entry]
+}
+
+// New returns a SIEVE policy with the given capacity in objects.
+func New(capacity int) *Policy {
+	return &Policy{
+		capacity: capacity,
+		byKey:    make(map[uint64]*dlist.Node[entry], capacity),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "sieve" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return p.queue.Len() }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// Remove implements core.Remover. Removing the node under the hand moves
+// the hand one step toward the head first, preserving the sweep position.
+func (p *Policy) Remove(key uint64) bool {
+	n, ok := p.byKey[key]
+	if !ok {
+		return false
+	}
+	if p.hand == n {
+		p.hand = n.Prev()
+	}
+	delete(p.byKey, key)
+	p.queue.Remove(n)
+	p.Evict(key, 0)
+	return true
+}
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	if n, ok := p.byKey[r.Key]; ok {
+		n.Value.visited = true
+		p.Hit(r.Key, r.Time)
+		return true
+	}
+	if p.queue.Len() >= p.capacity {
+		p.evict(r.Time)
+	}
+	p.byKey[r.Key] = p.queue.PushFront(entry{key: r.Key})
+	p.Insert(r.Key, r.Time)
+	return false
+}
+
+// evict moves the hand from its retained position toward the head,
+// clearing visited bits, and evicts the first unvisited object. Objects are
+// never moved in the queue.
+func (p *Policy) evict(now int64) {
+	n := p.hand
+	if n == nil {
+		n = p.queue.Back()
+	}
+	for n.Value.visited {
+		n.Value.visited = false
+		prev := n.Prev() // toward the head (newer objects)
+		if prev == nil {
+			prev = p.queue.Back() // wrap to the tail
+		}
+		n = prev
+	}
+	p.hand = n.Prev() // retained position: may be nil (head), next evict wraps
+	delete(p.byKey, n.Value.key)
+	p.queue.Remove(n)
+	p.Evict(n.Value.key, now)
+}

@@ -1,0 +1,69 @@
+package sieve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy/policytest"
+)
+
+func TestConformance(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy { return New(c) })
+}
+
+func TestRegistered(t *testing.T) {
+	if core.MustNew("sieve", 4).Name() != "sieve" {
+		t.Fatal("sieve not registered")
+	}
+}
+
+// Visited objects survive one sweep; unvisited new objects are evicted
+// quickly (the quick-demotion property SIEVE inherits).
+func TestVisitedSurvives(t *testing.T) {
+	p := New(3)
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 3, 1, 4})
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if !p.Contains(1) {
+		t.Fatal("visited key 1 evicted")
+	}
+	if p.Contains(2) {
+		t.Fatal("unvisited oldest key 2 survived")
+	}
+}
+
+// The hand retains its position: after an eviction mid-queue, the next
+// eviction continues from there rather than restarting at the tail.
+func TestHandRetention(t *testing.T) {
+	p := New(4)
+	// Fill with 1,2,3,4 (queue head→tail: 4,3,2,1), visit 1 and 2.
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 3, 4, 1, 2, 5, 6})
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	// First eviction (for 5): hand scans tail 1 (visited→clear), 2
+	// (visited→clear), evicts 3. Second eviction (for 6) continues from 4:
+	// unvisited → evicted. 1 and 2 stay despite being oldest.
+	if !p.Contains(1) || !p.Contains(2) {
+		t.Fatal("previously visited old keys evicted")
+	}
+	if p.Contains(3) || p.Contains(4) {
+		t.Fatal("hand did not retain position")
+	}
+	if !p.Contains(5) || !p.Contains(6) {
+		t.Fatal("new keys missing")
+	}
+}
+
+// All-visited queue: the sweep clears everything and terminates.
+func TestAllVisitedTerminates(t *testing.T) {
+	p := New(2)
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 1, 2, 3})
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+}

@@ -1,0 +1,127 @@
+// Package slru implements Segmented LRU (Karedla et al., 1994).
+//
+// SLRU splits the cache into a probationary segment, where new objects
+// land, and a protected segment reserved for objects hit at least once.
+// Evictions come from the probationary tail, so one-hit wonders never
+// displace proven objects — an early, partial form of the paper's Quick
+// Demotion idea (§4 cites SLRU among the algorithms inspired by it).
+package slru
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dlist"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	core.Register("slru", func(capacity int) core.Policy { return New(capacity, 0.8) })
+}
+
+type segment uint8
+
+const (
+	probationary segment = iota
+	protected
+)
+
+type entry struct {
+	key uint64
+	seg segment
+}
+
+// Policy is an SLRU cache. Not safe for concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	capacity     int
+	protectedCap int
+	byKey        map[uint64]*dlist.Node[entry]
+	prob         dlist.List[entry] // front = MRU
+	prot         dlist.List[entry] // front = MRU
+}
+
+// New returns an SLRU policy. protectedFrac is the fraction of capacity
+// reserved for the protected segment (commonly 0.8); it is clamped so both
+// segments can hold at least one object when capacity permits.
+func New(capacity int, protectedFrac float64) *Policy {
+	if protectedFrac < 0 || protectedFrac > 1 {
+		panic(fmt.Sprintf("slru: protectedFrac must be in [0,1], got %v", protectedFrac))
+	}
+	pc := int(float64(capacity) * protectedFrac)
+	if pc >= capacity {
+		pc = capacity - 1
+	}
+	if pc < 0 {
+		pc = 0
+	}
+	return &Policy{
+		capacity:     capacity,
+		protectedCap: pc,
+		byKey:        make(map[uint64]*dlist.Node[entry], capacity),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "slru" }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return p.prob.Len() + p.prot.Len() }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Contains implements core.Policy.
+func (p *Policy) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// ProtectedLen reports the protected segment's population (for tests).
+func (p *Policy) ProtectedLen() int { return p.prot.Len() }
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	if n, ok := p.byKey[r.Key]; ok {
+		p.Hit(r.Key, r.Time)
+		if n.Value.seg == protected {
+			p.prot.MoveToFront(n)
+			return true
+		}
+		// Promote probationary → protected.
+		p.prob.Remove(n)
+		n.Value.seg = protected
+		p.prot.PushNodeFront(n)
+		// If protected overflows, demote its LRU back to probationary MRU;
+		// no data leaves the cache.
+		if p.prot.Len() > p.protectedCap {
+			lru := p.prot.Back()
+			p.prot.Remove(lru)
+			lru.Value.seg = probationary
+			p.prob.PushNodeFront(lru)
+		}
+		return true
+	}
+	if p.Len() >= p.capacity {
+		p.evict(r.Time)
+	}
+	p.byKey[r.Key] = p.prob.PushFront(entry{key: r.Key, seg: probationary})
+	p.Insert(r.Key, r.Time)
+	return false
+}
+
+// evict removes the probationary LRU; if the probationary segment is empty
+// (possible when protectedCap is 0 or after demotions), the protected LRU
+// goes instead.
+func (p *Policy) evict(now int64) {
+	victim := p.prob.Back()
+	list := &p.prob
+	if victim == nil {
+		victim = p.prot.Back()
+		list = &p.prot
+	}
+	delete(p.byKey, victim.Value.key)
+	list.Remove(victim)
+	p.Evict(victim.Value.key, now)
+}

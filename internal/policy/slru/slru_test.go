@@ -1,0 +1,72 @@
+package slru
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy/policytest"
+)
+
+func TestConformance(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy { return New(c, 0.8) })
+}
+
+func TestConformanceHalfProtected(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy { return New(c, 0.5) })
+}
+
+func TestBadFracPanics(t *testing.T) {
+	for _, f := range []float64{-0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(4, %v) did not panic", f)
+				}
+			}()
+			New(4, f)
+		}()
+	}
+}
+
+// A hit object moves to the protected segment and survives a scan that
+// flushes the probationary segment.
+func TestProtectedSurvivesScan(t *testing.T) {
+	p := New(10, 0.5)
+	reqs := policytest.KeysToRequests([]uint64{1, 1}) // insert + promote
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if p.ProtectedLen() != 1 {
+		t.Fatalf("ProtectedLen = %d, want 1", p.ProtectedLen())
+	}
+	scan := policytest.SequentialRequests(100)
+	for i := range scan {
+		scan[i].Key += 1000
+		p.Access(&scan[i])
+	}
+	if !p.Contains(1) {
+		t.Fatal("protected key 1 was evicted by a scan")
+	}
+}
+
+// Protected overflow demotes the protected LRU back to probationary rather
+// than evicting it.
+func TestDemotionNotEviction(t *testing.T) {
+	p := New(4, 0.5) // protected cap = 2
+	var evicted []uint64
+	p.SetEvents(&core.Events{OnEvict: func(k uint64, _ int64) { evicted = append(evicted, k) }})
+	// Promote 1, 2, 3 in turn; protected cap 2 forces a demotion of 1.
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 3, 1, 2, 3})
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("demotion caused evictions: %v", evicted)
+	}
+	if p.ProtectedLen() != 2 {
+		t.Fatalf("ProtectedLen = %d, want 2", p.ProtectedLen())
+	}
+	if !p.Contains(1) {
+		t.Fatal("demoted key 1 left the cache")
+	}
+}

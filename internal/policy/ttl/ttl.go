@@ -1,0 +1,174 @@
+// Package ttl wraps an eviction policy with time-to-live expiration — the
+// indirect removal path of the paper's Figure-1 cache abstraction
+// ("removal can either be directly invoked by the user or indirectly via
+// the use of time-to-live (TTL)"). §4 points at "the use of short TTLs in
+// the web cache workloads" as one reason most new objects deserve quick
+// demotion; this wrapper lets experiments quantify that interaction.
+//
+// The wrapper assigns each object a deterministic TTL when its data enters
+// the cache, tracks deadlines in a min-heap, and expires due objects
+// lazily at the start of each Access (a request to an expired object is a
+// miss, as in production caches). The inner policy must implement
+// core.Remover.
+package ttl
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/policy/clock"
+	"repro/internal/policy/lru"
+	"repro/internal/policy/policyutil"
+	"repro/internal/trace"
+)
+
+func init() {
+	// Registered variants use a TTL of 4× the capacity in logical time: at
+	// typical miss ratios that expires objects after a few cache
+	// lifetimes, mimicking "short TTL" web behaviour at simulation scale.
+	core.Register("ttl-lru", func(capacity int) core.Policy {
+		return Wrap(lru.New(capacity), Fixed(int64(capacity)*4))
+	})
+	core.Register("ttl-clock-2bit", func(capacity int) core.Policy {
+		return Wrap(clock.New(capacity, 2), Fixed(int64(capacity)*4))
+	})
+}
+
+// Func returns the TTL (in logical time units, i.e. requests) for a key.
+// It must be deterministic.
+type Func func(key uint64) int64
+
+// Fixed returns a Func giving every object the same TTL.
+func Fixed(ttl int64) Func {
+	return func(uint64) int64 { return ttl }
+}
+
+// PerKeyJitter returns a Func spreading TTLs deterministically in
+// [base/2, 3·base/2) by key hash, modelling heterogeneous site-configured
+// TTLs.
+func PerKeyJitter(base int64) Func {
+	return func(key uint64) int64 {
+		x := key * 0x9e3779b97f4a7c15
+		x ^= x >> 29
+		frac := float64(x&0xffff) / 0x10000 // [0,1)
+		return base/2 + int64(frac*float64(base))
+	}
+}
+
+type deadline struct {
+	key uint64
+	at  int64
+}
+
+type deadlineHeap []deadline
+
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(deadline)) }
+func (h *deadlineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
+}
+
+// Policy wraps an inner policy with TTL expiration. Not safe for
+// concurrent use.
+type Policy struct {
+	policyutil.EventEmitter
+	inner     core.Policy
+	remover   core.Remover
+	ttlOf     Func
+	expiry    map[uint64]int64 // live deadline per resident key
+	h         deadlineHeap
+	expired   int64 // total expirations, for tests/experiments
+	lastSweep int64 // logical time of the most recent expiration sweep
+	sweeping  bool  // true while expiring, to stamp evict events correctly
+}
+
+// Wrap returns a TTL policy around inner, which must implement
+// core.Remover (fifo, lru, clock, sieve, and qd-wrapped variants do).
+func Wrap(inner core.Policy, ttlOf Func) *Policy {
+	rm, ok := inner.(core.Remover)
+	if !ok {
+		panic(fmt.Sprintf("ttl: inner policy %s does not implement core.Remover", inner.Name()))
+	}
+	p := &Policy{
+		inner:   inner,
+		remover: rm,
+		ttlOf:   ttlOf,
+		expiry:  make(map[uint64]int64),
+	}
+	// Track residency through the inner policy's own events so TTL state
+	// follows evictions the wrapper did not initiate.
+	if sink, ok := inner.(core.EventSink); ok {
+		sink.SetEvents(&core.Events{
+			OnInsert: func(key uint64, now int64) {
+				dl := now + p.ttlOf(key)
+				p.expiry[key] = dl
+				heap.Push(&p.h, deadline{key: key, at: dl})
+				p.Insert(key, now)
+			},
+			OnEvict: func(key uint64, now int64) {
+				delete(p.expiry, key)
+				if p.sweeping {
+					// Remover implementations stamp time 0; the logical
+					// removal moment is the sweep time.
+					now = p.lastSweep
+				}
+				p.Evict(key, now)
+			},
+			OnHit: func(key uint64, now int64) { p.Hit(key, now) },
+		})
+	}
+	return p
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "ttl-" + p.inner.Name() }
+
+// Len implements core.Policy.
+func (p *Policy) Len() int { return p.inner.Len() }
+
+// Capacity implements core.Policy.
+func (p *Policy) Capacity() int { return p.inner.Capacity() }
+
+// Contains implements core.Policy (expired-but-not-yet-collected objects
+// do not count).
+func (p *Policy) Contains(key uint64) bool {
+	if !p.inner.Contains(key) {
+		return false
+	}
+	// An object whose deadline passed is logically gone even before the
+	// lazy sweep collects it; report it absent so Contains matches Access.
+	if dl, ok := p.expiry[key]; ok && dl <= p.lastSweep {
+		return false
+	}
+	return true
+}
+
+// Expired reports the number of TTL expirations so far.
+func (p *Policy) Expired() int64 { return p.expired }
+
+// Access implements core.Policy.
+func (p *Policy) Access(r *trace.Request) bool {
+	p.sweep(r.Time)
+	return p.inner.Access(r)
+}
+
+func (p *Policy) sweep(now int64) {
+	p.lastSweep = now
+	p.sweeping = true
+	defer func() { p.sweeping = false }()
+	for len(p.h) > 0 && p.h[0].at <= now {
+		d := heap.Pop(&p.h).(deadline)
+		if live, ok := p.expiry[d.key]; !ok || live != d.at {
+			continue // stale heap entry: key evicted or re-inserted since
+		}
+		p.remover.Remove(d.key) // fires OnEvict → expiry cleanup above
+		p.expired++
+	}
+}

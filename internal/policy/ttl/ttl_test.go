@@ -1,0 +1,160 @@
+package ttl
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy/lru"
+	"repro/internal/policy/policytest"
+	"repro/internal/policy/qdlp"
+	"repro/internal/workload"
+)
+
+func TestConformanceOverLRU(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy {
+		// Generous TTL so the standard contract (resident after access
+		// within the workload horizon) holds.
+		return Wrap(lru.New(c), Fixed(1<<40))
+	})
+}
+
+func TestRegistered(t *testing.T) {
+	for _, name := range []string{"ttl-lru", "ttl-clock-2bit"} {
+		p := core.MustNew(name, 50)
+		if p.Name() != name {
+			t.Fatalf("%s reports %q", name, p.Name())
+		}
+	}
+}
+
+func TestWrapRequiresRemover(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrapping a non-Remover did not panic")
+		}
+	}()
+	// LHD does not implement Remove.
+	Wrap(core.MustNew("lhd", 10), Fixed(100))
+}
+
+// An object expires exactly after its TTL: resident at deadline−1, gone at
+// the first access at/after the deadline.
+func TestExpiryTiming(t *testing.T) {
+	p := Wrap(lru.New(10), Fixed(5))
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 2, 2, 2, 2, 2})
+	// Key 1 inserted at t=0 with deadline 5.
+	for i := 0; i < 5; i++ {
+		p.Access(&reqs[i])
+	}
+	if !p.inner.Contains(1) {
+		t.Fatal("key 1 collected before its deadline")
+	}
+	p.Access(&reqs[5]) // t=5: sweep collects key 1
+	if p.inner.Contains(1) {
+		t.Fatal("key 1 survived its deadline")
+	}
+	if p.Expired() != 1 {
+		t.Fatalf("Expired() = %d, want 1", p.Expired())
+	}
+}
+
+// A re-accessed object is NOT refreshed (TTL measured from insertion, as
+// in most production caches): it still expires.
+func TestTTLFromInsertionNotAccess(t *testing.T) {
+	p := Wrap(lru.New(10), Fixed(4))
+	keys := []uint64{1, 1, 1, 1, 2, 2, 2}
+	reqs := policytest.KeysToRequests(keys)
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if p.inner.Contains(1) {
+		t.Fatal("hits refreshed the TTL; expiry must count from insertion")
+	}
+}
+
+// Re-insertion after expiry earns a fresh TTL (no stale-heap interference).
+func TestReinsertionFreshTTL(t *testing.T) {
+	p := Wrap(lru.New(10), Fixed(3))
+	seq := []uint64{1, 9, 9, 9, 1, 9, 1} // 1 expires at t=3, reinserted at t=4
+	reqs := policytest.KeysToRequests(seq)
+	hits := 0
+	for i := range reqs {
+		if p.Access(&reqs[i]) {
+			hits++
+		}
+	}
+	// The final access to 1 at t=6 must hit: reinserted at t=4, deadline 7.
+	if !p.inner.Contains(1) {
+		t.Fatal("reinserted key expired on the old deadline")
+	}
+}
+
+// Short TTLs raise the miss ratio; long TTLs approach the TTL-free policy.
+func TestTTLMissRatioMonotonicity(t *testing.T) {
+	tr := workload.TwitterLike().Generate(3, 4000, 80000)
+	capacity := workload.CacheSize(tr.UniqueObjects(), workload.LargeCacheFrac)
+	run := func(ttl int64) float64 {
+		return policytest.MissRatio(Wrap(lru.New(capacity), Fixed(ttl)), tr.Requests)
+	}
+	short := run(200)
+	long := run(1 << 40)
+	bare := policytest.MissRatio(lru.New(capacity), tr.Requests)
+	if short <= long {
+		t.Fatalf("short TTL (%.4f) not worse than long TTL (%.4f)", short, long)
+	}
+	if long != bare {
+		t.Fatalf("effectively-infinite TTL (%.4f) differs from bare policy (%.4f)", long, bare)
+	}
+}
+
+// TTL over QD-LP-FIFO works end to end (qd implements Remover).
+func TestTTLOverQDLP(t *testing.T) {
+	p := Wrap(qdlp.New(100), PerKeyJitter(500))
+	tr := workload.MajorCDNLike().Generate(2, 2000, 40000)
+	hits := 0
+	for i := range tr.Requests {
+		tr.Requests[i].Time = int64(i)
+		if p.Access(&tr.Requests[i]) {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no hits at all")
+	}
+	if p.Expired() == 0 {
+		t.Fatal("no expirations despite short jittered TTLs")
+	}
+	if p.Len() > p.Capacity() {
+		t.Fatalf("Len %d > Capacity %d", p.Len(), p.Capacity())
+	}
+}
+
+// Event stream balances across expirations.
+func TestEventBalanceWithExpiry(t *testing.T) {
+	p := Wrap(lru.New(32), Fixed(100))
+	resident := map[uint64]bool{}
+	p.SetEvents(&core.Events{
+		OnInsert: func(k uint64, _ int64) {
+			if resident[k] {
+				t.Fatalf("double insert %d", k)
+			}
+			resident[k] = true
+		},
+		OnEvict: func(k uint64, now int64) {
+			if !resident[k] {
+				t.Fatalf("evict of non-resident %d", k)
+			}
+			if now < 0 {
+				t.Fatalf("evict with negative time %d", now)
+			}
+			delete(resident, k)
+		},
+	})
+	reqs := policytest.Workload(5, 10000, 300)
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if len(resident) != p.Len() {
+		t.Fatalf("tracked %d, cache holds %d", len(resident), p.Len())
+	}
+}

@@ -1,0 +1,67 @@
+package twoq
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy/policytest"
+)
+
+func TestConformance(t *testing.T) {
+	policytest.RunConformance(t, func(c int) core.Policy { return New(c, 0.25, 0.5) })
+}
+
+func TestBadKinPanics(t *testing.T) {
+	for _, f := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(4, %v, 0.5) did not panic", f)
+				}
+			}()
+			New(4, f, 0.5)
+		}()
+	}
+}
+
+// A key seen once, evicted from A1in, and seen again while in A1out is
+// admitted to Am and then survives scans.
+func TestGhostReadmission(t *testing.T) {
+	p := New(4, 0.25, 1.0) // kin = 1, kout = 4
+	// Fill the cache, overflow it so key 1 falls out of A1in into A1out,
+	// then request 1 again: it must come back via A1out into Am.
+	reqs := policytest.KeysToRequests([]uint64{1, 2, 3, 4, 5, 1})
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	if !p.Contains(1) {
+		t.Fatal("key 1 not readmitted from A1out")
+	}
+	// A scan through A1in must not evict it now.
+	scan := policytest.SequentialRequests(50)
+	for i := range scan {
+		scan[i].Key += 100
+		p.Access(&scan[i])
+	}
+	if !p.Contains(1) {
+		t.Fatal("Am-resident key 1 evicted by scan")
+	}
+}
+
+// Hits while in A1in do not promote (correlated-reference insensitivity).
+func TestA1inHitNoPromotion(t *testing.T) {
+	p := New(4, 0.25, 0.5)                                  // kin = 1
+	reqs := policytest.KeysToRequests([]uint64{1, 1, 1, 2}) // hits in A1in, then overflow
+	for i := range reqs {
+		p.Access(&reqs[i])
+	}
+	// kin=1 and capacity not yet reached: nothing evicted yet. Fill up.
+	more := policytest.KeysToRequests([]uint64{3, 4, 5})
+	for i := range more {
+		p.Access(&more[i])
+	}
+	// Key 1 was the A1in FIFO head; despite 2 hits it is evicted first.
+	if p.Contains(1) {
+		t.Fatal("A1in hits earned promotion; 2Q must ignore them")
+	}
+}

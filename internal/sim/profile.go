@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// ResourceProfile reports how a policy spends cache resources on objects of
+// varying popularity — the paper's Figure 3 study. Each object's resource
+// consumption is Σ(t_evicted − t_inserted) over its residencies (objects
+// still resident at the end are charged until the last request), and
+// objects are bucketed by popularity rank (bucket 0 = most requested).
+type ResourceProfile struct {
+	Result
+	// BucketShare[i] is the fraction of total consumed space-time spent on
+	// popularity bucket i.
+	BucketShare []float64
+	// UnpopularShare is the share spent on the least-popular half of the
+	// objects — the paper's summary comparison ("efficient algorithms
+	// spend fewer resources on unpopular objects").
+	UnpopularShare float64
+}
+
+// ProfileResources replays tr against p with event hooks attached and
+// returns the per-popularity-bucket resource consumption. The policy must
+// implement core.EventSink (all repository policies do).
+func ProfileResources(p core.Policy, tr *trace.Trace, buckets int) ResourceProfile {
+	if buckets <= 0 {
+		buckets = 10
+	}
+	if nf, ok := p.(needsFuture); ok && nf.NeedsFuture() {
+		Prepare(tr, true)
+	}
+
+	insertAt := make(map[uint64]int64)
+	consumed := make(map[uint64]int64)
+	sink, _ := p.(core.EventSink)
+	if sink != nil {
+		sink.SetEvents(&core.Events{
+			OnInsert: func(key uint64, now int64) { insertAt[key] = now },
+			OnEvict: func(key uint64, now int64) {
+				consumed[key] += now - insertAt[key]
+				delete(insertAt, key)
+			},
+		})
+	}
+
+	prof := ResourceProfile{Result: Result{
+		Trace:    tr.Name,
+		Class:    tr.Class,
+		Policy:   p.Name(),
+		Capacity: p.Capacity(),
+		Requests: int64(len(tr.Requests)),
+	}}
+	freq := make(map[uint64]int64, len(tr.Requests)/4+1)
+	for i := range tr.Requests {
+		if p.Access(&tr.Requests[i]) {
+			prof.Hits++
+		}
+		freq[tr.Requests[i].Key]++
+	}
+	if sink != nil {
+		sink.SetEvents(nil)
+	}
+	// Charge still-resident objects until the end of the trace.
+	end := int64(len(tr.Requests))
+	for key, t := range insertAt {
+		consumed[key] += end - t
+	}
+
+	// Rank objects by popularity (most requested first; ties by key for
+	// determinism) and accumulate consumption into buckets.
+	keys := make([]uint64, 0, len(freq))
+	for k := range freq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if freq[keys[i]] != freq[keys[j]] {
+			return freq[keys[i]] > freq[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	prof.BucketShare = make([]float64, buckets)
+	total := 0.0
+	for rank, k := range keys {
+		b := rank * buckets / len(keys)
+		prof.BucketShare[b] += float64(consumed[k])
+		total += float64(consumed[k])
+	}
+	if total > 0 {
+		for i := range prof.BucketShare {
+			prof.BucketShare[i] /= total
+		}
+	}
+	for i := buckets / 2; i < buckets; i++ {
+		prof.UnpopularShare += prof.BucketShare[i]
+	}
+	return prof
+}

@@ -1,0 +1,155 @@
+package sizeaware
+
+import (
+	"repro/internal/dlist"
+	"repro/internal/trace"
+)
+
+type entry struct {
+	key  uint64
+	size uint32
+	freq uint8
+}
+
+// FIFO is a byte-bounded first-in-first-out cache.
+type FIFO struct {
+	name     string
+	capacity int64
+	used     int64
+	byKey    map[uint64]*dlist.Node[entry]
+	queue    dlist.List[entry] // front = oldest
+	maxFreq  uint8             // 0 for plain FIFO; >0 turns it into k-bit CLOCK
+}
+
+// NewFIFO returns a byte-capacity FIFO.
+func NewFIFO(capacityBytes int64) *FIFO {
+	validateCapacity(capacityBytes)
+	return &FIFO{
+		name:     "size-fifo",
+		capacity: capacityBytes,
+		byKey:    make(map[uint64]*dlist.Node[entry]),
+	}
+}
+
+// NewClock returns a byte-capacity k-bit CLOCK: size-aware Lazy Promotion.
+// Reinsertion is unchanged by object size — a requested object earns a
+// second traversal whatever its footprint, so large cold objects leave as
+// fast as small ones.
+func NewClock(capacityBytes int64, bits int) *FIFO {
+	validateCapacity(capacityBytes)
+	if bits < 1 || bits > 6 {
+		panic("sizeaware: clock bits must be in [1,6]")
+	}
+	return &FIFO{
+		name:     "size-clock",
+		capacity: capacityBytes,
+		byKey:    make(map[uint64]*dlist.Node[entry]),
+		maxFreq:  uint8(1<<bits - 1),
+	}
+}
+
+// Name implements Policy.
+func (p *FIFO) Name() string { return p.name }
+
+// Len implements Policy.
+func (p *FIFO) Len() int { return p.queue.Len() }
+
+// UsedBytes implements Policy.
+func (p *FIFO) UsedBytes() int64 { return p.used }
+
+// CapacityBytes implements Policy.
+func (p *FIFO) CapacityBytes() int64 { return p.capacity }
+
+// Contains implements Policy.
+func (p *FIFO) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// Access implements Policy.
+func (p *FIFO) Access(r *trace.Request) bool {
+	if n, ok := p.byKey[r.Key]; ok {
+		if n.Value.freq < p.maxFreq {
+			n.Value.freq++
+		}
+		return true
+	}
+	size := int64(r.Size)
+	if size > p.capacity {
+		return false // larger than the cache: bypass
+	}
+	for p.used+size > p.capacity {
+		p.evictOne()
+	}
+	p.byKey[r.Key] = p.queue.PushBack(entry{key: r.Key, size: r.Size})
+	p.used += size
+	return false
+}
+
+func (p *FIFO) evictOne() {
+	for {
+		oldest := p.queue.Front()
+		if oldest.Value.freq > 0 {
+			oldest.Value.freq--
+			p.queue.MoveToBack(oldest)
+			continue
+		}
+		delete(p.byKey, oldest.Value.key)
+		p.used -= int64(oldest.Value.size)
+		p.queue.Remove(oldest)
+		return
+	}
+}
+
+// LRU is a byte-bounded least-recently-used cache.
+type LRU struct {
+	capacity int64
+	used     int64
+	byKey    map[uint64]*dlist.Node[entry]
+	queue    dlist.List[entry] // front = MRU
+}
+
+// NewLRU returns a byte-capacity LRU.
+func NewLRU(capacityBytes int64) *LRU {
+	validateCapacity(capacityBytes)
+	return &LRU{capacity: capacityBytes, byKey: make(map[uint64]*dlist.Node[entry])}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "size-lru" }
+
+// Len implements Policy.
+func (p *LRU) Len() int { return p.queue.Len() }
+
+// UsedBytes implements Policy.
+func (p *LRU) UsedBytes() int64 { return p.used }
+
+// CapacityBytes implements Policy.
+func (p *LRU) CapacityBytes() int64 { return p.capacity }
+
+// Contains implements Policy.
+func (p *LRU) Contains(key uint64) bool {
+	_, ok := p.byKey[key]
+	return ok
+}
+
+// Access implements Policy.
+func (p *LRU) Access(r *trace.Request) bool {
+	if n, ok := p.byKey[r.Key]; ok {
+		p.queue.MoveToFront(n)
+		return true
+	}
+	size := int64(r.Size)
+	if size > p.capacity {
+		return false
+	}
+	for p.used+size > p.capacity {
+		victim := p.queue.Back()
+		delete(p.byKey, victim.Value.key)
+		p.used -= int64(victim.Value.size)
+		p.queue.Remove(victim)
+	}
+	p.byKey[r.Key] = p.queue.PushFront(entry{key: r.Key, size: r.Size})
+	p.used += size
+	return false
+}

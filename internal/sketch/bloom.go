@@ -1,0 +1,62 @@
+package sketch
+
+// Bloom is a standard Bloom filter over uint64 keys with k derived hash
+// functions. It backs the one-hit-wonder admission filter ("cache on
+// second request", Maggs & Sitaraman's CDN nugget cited in §4) and
+// TinyLFU's doorkeeper.
+type Bloom struct {
+	bits  []uint64
+	mask  uint64 // bit-count mask (power of two)
+	k     int
+	count int
+}
+
+// NewBloom returns a filter sized for roughly n keys at ~1% false-positive
+// rate (10 bits/key, 4 hashes — close enough to optimal for n in the
+// millions and cheap to compute).
+func NewBloom(n int) *Bloom {
+	if n < 16 {
+		n = 16
+	}
+	bitCount := uint64(1)
+	for bitCount < uint64(n)*10 {
+		bitCount <<= 1
+	}
+	return &Bloom{
+		bits: make([]uint64, bitCount/64),
+		mask: bitCount - 1,
+		k:    4,
+	}
+}
+
+// Add inserts key.
+func (b *Bloom) Add(key uint64) {
+	for i := 0; i < b.k; i++ {
+		bit := hashN(key, i) & b.mask
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+	b.count++
+}
+
+// Contains reports whether key may have been added (false positives
+// possible, false negatives not).
+func (b *Bloom) Contains(key uint64) bool {
+	for i := 0; i < b.k; i++ {
+		bit := hashN(key, i) & b.mask
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of Add calls since the last Reset.
+func (b *Bloom) Count() int { return b.count }
+
+// Reset clears the filter (doorkeeper periodic reset).
+func (b *Bloom) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+	b.count = 0
+}

@@ -1,0 +1,127 @@
+// Package sketch provides the probabilistic frequency structures used by
+// admission algorithms: a conservative-update count-min sketch with
+// periodic aging (TinyLFU's backbone) and a blocked Bloom filter
+// (doorkeeper / one-hit-wonder filter).
+//
+// The paper (§5) classifies admission policies — TinyLFU, Bloom-filter
+// admission, probabilistic admission — as aggressive forms of Quick
+// Demotion: they demote at admission time, before the object ever occupies
+// cache space.
+package sketch
+
+import "fmt"
+
+// CountMin is a conservative-update count-min sketch over uint64 keys with
+// 4-bit counters and TinyLFU-style aging: once Additions reaches the reset
+// sample size, every counter halves, so stale popularity decays.
+type CountMin struct {
+	rows    int
+	width   uint64 // power of two
+	mask    uint64
+	table   [][]uint8 // 4-bit counters packed two per byte
+	adds    uint64
+	resetAt uint64
+}
+
+// maxCount is the 4-bit counter ceiling (TinyLFU uses 4-bit counters; an
+// object seen 15 times is hot regardless of anything beyond).
+const maxCount = 15
+
+// NewCountMin returns a sketch sized for roughly n distinct keys: width is
+// the next power of two ≥ n, 4 rows, aging every 10n additions.
+func NewCountMin(n int) *CountMin {
+	if n < 16 {
+		n = 16
+	}
+	width := uint64(1)
+	for width < uint64(n) {
+		width <<= 1
+	}
+	const rows = 4
+	t := make([][]uint8, rows)
+	for i := range t {
+		t[i] = make([]uint8, width/2)
+	}
+	return &CountMin{
+		rows:    rows,
+		width:   width,
+		mask:    width - 1,
+		table:   t,
+		resetAt: 10 * uint64(n),
+	}
+}
+
+// hashN derives the i-th row hash of key.
+func hashN(key uint64, i int) uint64 {
+	x := key + uint64(i)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (c *CountMin) get(row int, idx uint64) uint8 {
+	b := c.table[row][idx/2]
+	if idx&1 == 0 {
+		return b & 0x0f
+	}
+	return b >> 4
+}
+
+func (c *CountMin) set(row int, idx uint64, v uint8) {
+	b := &c.table[row][idx/2]
+	if idx&1 == 0 {
+		*b = (*b &^ 0x0f) | v
+	} else {
+		*b = (*b &^ 0xf0) | v<<4
+	}
+}
+
+// Add records one occurrence of key using conservative update (only the
+// minimal counters increment), then ages the sketch when the sample is
+// full.
+func (c *CountMin) Add(key uint64) {
+	est := c.Estimate(key)
+	if est < maxCount {
+		for i := 0; i < c.rows; i++ {
+			idx := hashN(key, i) & c.mask
+			if v := c.get(i, idx); v == est {
+				c.set(i, idx, v+1)
+			}
+		}
+	}
+	c.adds++
+	if c.adds >= c.resetAt {
+		c.age()
+	}
+}
+
+// Estimate returns the (over)estimated occurrence count of key, capped at
+// 15.
+func (c *CountMin) Estimate(key uint64) uint8 {
+	est := uint8(maxCount)
+	for i := 0; i < c.rows; i++ {
+		if v := c.get(i, hashN(key, i)&c.mask); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// age halves every counter (the TinyLFU reset operation).
+func (c *CountMin) age() {
+	for _, row := range c.table {
+		for i := range row {
+			// Halve both packed 4-bit counters.
+			row[i] = (row[i] >> 1) & 0x77
+		}
+	}
+	c.adds /= 2
+}
+
+// Additions reports the adds since the last full reset (for tests).
+func (c *CountMin) Additions() uint64 { return c.adds }
+
+// String describes the sketch configuration.
+func (c *CountMin) String() string {
+	return fmt.Sprintf("countmin(rows=%d width=%d resetAt=%d)", c.rows, c.width, c.resetAt)
+}

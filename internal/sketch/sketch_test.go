@@ -1,0 +1,139 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinBasic(t *testing.T) {
+	c := NewCountMin(1024)
+	if got := c.Estimate(42); got != 0 {
+		t.Fatalf("fresh estimate = %d", got)
+	}
+	for i := 0; i < 5; i++ {
+		c.Add(42)
+	}
+	if got := c.Estimate(42); got < 5 {
+		t.Fatalf("estimate = %d, want >= 5 (count-min never underestimates)", got)
+	}
+}
+
+func TestCountMinCap(t *testing.T) {
+	c := NewCountMin(1024)
+	for i := 0; i < 100; i++ {
+		c.Add(7)
+	}
+	if got := c.Estimate(7); got != maxCount {
+		t.Fatalf("estimate = %d, want cap %d", got, maxCount)
+	}
+}
+
+// Count-min property: estimates never underestimate true counts (as long
+// as counts stay under the cap and no aging occurred).
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCountMin(4096)
+		truth := map[uint64]int{}
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(500))
+			if truth[k] < maxCount {
+				truth[k]++
+				c.Add(k)
+			}
+		}
+		for k, n := range truth {
+			if int(c.Estimate(k)) < n {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMinAging(t *testing.T) {
+	c := NewCountMin(16) // resetAt = 160
+	for i := 0; i < 10; i++ {
+		c.Add(1)
+	}
+	before := c.Estimate(1)
+	// Push unrelated adds until the aging threshold trips.
+	for i := 0; i < 200; i++ {
+		c.Add(uint64(1000 + i%50))
+	}
+	after := c.Estimate(1)
+	if after >= before {
+		t.Fatalf("aging did not decay: before %d, after %d", before, after)
+	}
+	if c.Additions() >= 160 {
+		t.Fatalf("additions not halved at reset: %d", c.Additions())
+	}
+}
+
+func TestCountMinTinySize(t *testing.T) {
+	c := NewCountMin(1) // clamps to 16
+	c.Add(5)
+	if c.Estimate(5) == 0 {
+		t.Fatal("tiny sketch dropped an add")
+	}
+}
+
+func TestBloomBasic(t *testing.T) {
+	b := NewBloom(1000)
+	if b.Contains(1) {
+		t.Fatal("fresh filter contains key")
+	}
+	b.Add(1)
+	if !b.Contains(1) {
+		t.Fatal("no false negatives allowed")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("count = %d", b.Count())
+	}
+	b.Reset()
+	if b.Contains(1) || b.Count() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// Bloom property: no false negatives for any added set.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	err := quick.Check(func(keys []uint64) bool {
+		b := NewBloom(len(keys) + 16)
+		for _, k := range keys {
+			b.Add(k)
+		}
+		for _, k := range keys {
+			if !b.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The false-positive rate at design load stays low.
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	b := NewBloom(n)
+	for i := uint64(0); i < n; i++ {
+		b.Add(i)
+	}
+	fp := 0
+	const probes = 20000
+	for i := uint64(0); i < probes; i++ {
+		if b.Contains(1_000_000 + i) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2, 75: 4}
+	for p, want := range cases {
+		if got := Percentile(v, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	v := []float64{0, 10}
+	if got := Percentile(v, 50); got != 5 {
+		t.Fatalf("P50 of {0,10} = %v", got)
+	}
+}
+
+func TestPercentileEmptyNaN(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile not NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Percentile(v, 50)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileProperty(t *testing.T) {
+	err := quick.Check(func(raw []float64, a, b uint8) bool {
+		v := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		lo, hi := Percentile(v, p1), Percentile(v, p2)
+		s := append([]float64(nil), v...)
+		sort.Float64s(s)
+		return lo <= hi && lo >= s[0] && hi <= s[len(s)-1]
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	got := Percentiles([]float64{1, 2, 3}, 0, 100)
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestFractionPositive(t *testing.T) {
+	if f := FractionPositive([]float64{1, -1, 0, 2}); f != 0.5 {
+		t.Fatalf("fraction = %v", f)
+	}
+	if FractionPositive(nil) != 0 {
+		t.Fatal("empty fraction not 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "miss")
+	tb.AddRow("lru", 0.5263)
+	tb.AddRow("arc", 0.4899)
+	out := tb.String()
+	if !strings.Contains(out, "lru") || !strings.Contains(out, "0.5263") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+}

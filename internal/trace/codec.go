@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The binary trace format is a compact fixed-record encoding:
+//
+//	magic   [8]byte  "QDLPTRC1"
+//	class   uint8
+//	namelen uint16, name bytes
+//	count   uint64
+//	records count × { key uint64, size uint32, time int64 } little-endian
+//
+// NextAccess is not serialized; readers re-derive it with Annotate.
+
+var binaryMagic = [8]byte{'Q', 'D', 'L', 'P', 'T', 'R', 'C', '1'}
+
+// ErrBadFormat is returned when decoding an input that is not a valid trace.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// WriteBinary encodes t into w in the repository's binary trace format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(t.Class)); err != nil {
+		return err
+	}
+	if len(t.Name) > 1<<16-1 {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	var buf [20]byte
+	binary.LittleEndian.PutUint16(buf[:2], uint16(len(t.Name)))
+	if _, err := bw.Write(buf[:2]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(t.Requests)))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		binary.LittleEndian.PutUint64(buf[0:8], r.Key)
+		binary.LittleEndian.PutUint32(buf[8:12], r.Size)
+		binary.LittleEndian.PutUint64(buf[12:20], uint64(r.Time))
+		if _, err := bw.Write(buf[:20]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
+	}
+	hdr := make([]byte, 3)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+	}
+	t := &Trace{Class: Class(hdr[0])}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[1:3]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: truncated name: %v", ErrBadFormat, err)
+	}
+	t.Name = string(name)
+	var cntBuf [8]byte
+	if _, err := io.ReadFull(br, cntBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated count: %v", ErrBadFormat, err)
+	}
+	count := binary.LittleEndian.Uint64(cntBuf[:])
+	const maxReasonable = 1 << 34
+	if count > maxReasonable {
+		return nil, fmt.Errorf("%w: implausible request count %d", ErrBadFormat, count)
+	}
+	t.Requests = make([]Request, count)
+	var rec [20]byte
+	for i := range t.Requests {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated record %d: %v", ErrBadFormat, i, err)
+		}
+		t.Requests[i] = Request{
+			Key:  binary.LittleEndian.Uint64(rec[0:8]),
+			Size: binary.LittleEndian.Uint32(rec[8:12]),
+			Time: int64(binary.LittleEndian.Uint64(rec[12:20])),
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV encodes t as "time,key,size" lines preceded by a header comment.
+// The CSV form is for interoperability and eyeballing; the binary form is
+// preferred for volume.
+func WriteCSV(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "# qdlp trace name=%s class=%s\n", t.Name, t.Class); err != nil {
+		return err
+	}
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", r.Time, r.Key, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV decodes the CSV form produced by WriteCSV. Lines starting with '#'
+// are treated as comments; the first comment's name=/class= fields, when
+// present, populate the trace metadata.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseCSVHeader(line, t)
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%w: line %d: want 3 fields, got %d", ErrBadFormat, lineno, len(parts))
+		}
+		tm, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: time: %v", ErrBadFormat, lineno, err)
+		}
+		key, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: key: %v", ErrBadFormat, lineno, err)
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(parts[2]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: size: %v", ErrBadFormat, lineno, err)
+		}
+		t.Requests = append(t.Requests, Request{Key: key, Size: uint32(size), Time: tm})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseCSVHeader(line string, t *Trace) {
+	for _, f := range strings.Fields(strings.TrimPrefix(line, "#")) {
+		switch {
+		case strings.HasPrefix(f, "name="):
+			t.Name = strings.TrimPrefix(f, "name=")
+		case strings.HasPrefix(f, "class="):
+			if strings.TrimPrefix(f, "class=") == "web" {
+				t.Class = Web
+			} else {
+				t.Class = Block
+			}
+		}
+	}
+}

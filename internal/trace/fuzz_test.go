@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary checks the binary decoder never panics and that anything
+// it accepts round-trips.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBinary(&seed, &Trace{
+		Name: "seed", Class: Web,
+		Requests: []Request{{Key: 1, Size: 2, Time: 3}, {Key: 4, Size: 5, Time: 6}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("QDLPTRC1"))
+	f.Add([]byte("QDLPTRC1\x00\x03\x00abc"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if tr2.Name != tr.Name || tr2.Class != tr.Class || len(tr2.Requests) != len(tr.Requests) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}
+
+// FuzzReadCSV checks the CSV decoder never panics and round-trips what it
+// accepts (modulo header metadata defaults).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("# qdlp trace name=x class=web\n1,2,3\n")
+	f.Add("1,2,3\n4,5,6\n")
+	f.Add(",,\n")
+	f.Add("#\n")
+	f.Add("9223372036854775807,18446744073709551615,4294967295\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		tr2, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(tr2.Requests) != len(tr.Requests) {
+			t.Fatalf("round trip changed request count: %d vs %d", len(tr2.Requests), len(tr.Requests))
+		}
+		for i := range tr.Requests {
+			if tr.Requests[i] != tr2.Requests[i] {
+				t.Fatalf("request %d changed: %+v vs %+v", i, tr.Requests[i], tr2.Requests[i])
+			}
+		}
+	})
+}

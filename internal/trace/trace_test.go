@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkTrace(keys ...uint64) *Trace {
+	t := &Trace{Name: "t", Class: Web}
+	for i, k := range keys {
+		t.Requests = append(t.Requests, Request{Key: k, Size: 1, Time: int64(i)})
+	}
+	return t
+}
+
+func TestAnnotate(t *testing.T) {
+	tr := mkTrace(1, 2, 1, 3, 2, 1)
+	tr.Annotate()
+	want := []int64{2, 4, 5, NoFutureAccess, NoFutureAccess, NoFutureAccess}
+	for i, r := range tr.Requests {
+		if r.NextAccess != want[i] {
+			t.Errorf("req %d: NextAccess = %d, want %d", i, r.NextAccess, want[i])
+		}
+		if r.Time != int64(i) {
+			t.Errorf("req %d: Time = %d, want %d", i, r.Time, i)
+		}
+	}
+}
+
+// Property: NextAccess always points at the nearest later request with the
+// same key, for arbitrary key sequences.
+func TestAnnotateProperty(t *testing.T) {
+	err := quick.Check(func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]Request, int(n))
+		for i := range reqs {
+			reqs[i].Key = uint64(rng.Intn(8)) // small key space forces reuse
+		}
+		Annotate(reqs)
+		for i := range reqs {
+			// brute force
+			want := NoFutureAccess
+			for j := i + 1; j < len(reqs); j++ {
+				if reqs[j].Key == reqs[i].Key {
+					want = int64(j)
+					break
+				}
+			}
+			if reqs[i].NextAccess != want {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniqueObjectsAndStats(t *testing.T) {
+	tr := mkTrace(1, 2, 1, 3, 2, 1, 9)
+	if got := tr.UniqueObjects(); got != 4 {
+		t.Fatalf("UniqueObjects = %d, want 4", got)
+	}
+	s := tr.ComputeStats()
+	if s.Requests != 7 || s.Objects != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.OneHitWonders != 2 { // keys 3 and 9
+		t.Fatalf("OneHitWonders = %d, want 2", s.OneHitWonders)
+	}
+	if s.MaxFrequency != 3 {
+		t.Fatalf("MaxFrequency = %d, want 3", s.MaxFrequency)
+	}
+	if s.MeanFrequency != 7.0/4.0 {
+		t.Fatalf("MeanFrequency = %v", s.MeanFrequency)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	tr := &Trace{}
+	s := tr.ComputeStats()
+	if s.Requests != 0 || s.Objects != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := mkTrace(5, 7, 5, 1<<40, 9)
+	tr.Class = Block
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Class != tr.Class || len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, tr)
+	}
+	for i := range tr.Requests {
+		if got.Requests[i].Key != tr.Requests[i].Key ||
+			got.Requests[i].Size != tr.Requests[i].Size ||
+			got.Requests[i].Time != tr.Requests[i].Time {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, got.Requests[i], tr.Requests[i])
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________"),
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("ReadBinary(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestBinaryTruncatedRecords(t *testing.T) {
+	tr := mkTrace(1, 2, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-5])); err == nil {
+		t.Fatal("truncated binary trace decoded without error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := mkTrace(3, 1, 4, 1, 5)
+	tr.Class = Web
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "t" || got.Class != Web {
+		t.Fatalf("header not parsed: %+v", got)
+	}
+	for i := range tr.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d: %+v vs %+v", i, got.Requests[i], tr.Requests[i])
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"1,2\n",
+		"a,2,3\n",
+		"1,b,3\n",
+		"1,2,c\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestCSVSkipsBlankAndComments(t *testing.T) {
+	in := "# qdlp trace name=x class=block\n\n1,2,3\n# mid comment\n2,3,4\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "x" || tr.Class != Block || len(tr.Requests) != 2 {
+		t.Fatalf("got %+v", tr)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Block.String() != "block" || Web.String() != "web" {
+		t.Fatal("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class should still print")
+	}
+}

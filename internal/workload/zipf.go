@@ -1,0 +1,69 @@
+// Package workload generates the synthetic traces that stand in for the
+// paper's 5307 production traces (see DESIGN.md, "Substitutions").
+//
+// Each of the paper's ten Table-1 dataset collections is modelled as a
+// Family: a parameterized mixture of access-pattern components — Zipf
+// popularity with catalog drift (popularity decay), sequential scans,
+// loops, one-hit wonders, LRU-stack-distance temporal locality, and abrupt
+// phase changes — whose parameters are chosen so the family reproduces the
+// qualitative behaviour the paper reports for the corresponding dataset.
+// Every generator is fully deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^alpha. Unlike math/rand's Zipf it accepts any alpha >= 0
+// (production cache workloads cluster around alpha ≈ 0.6–1.2, below
+// math/rand's s > 1 requirement). Sampling inverts a precomputed CDF with
+// binary search: exact, O(log n) per sample, O(n) memory.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with skew alpha, drawing
+// randomness from rng.
+func NewZipf(rng *rand.Rand, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: Zipf needs n > 0, got %d", n))
+	}
+	if alpha < 0 {
+		panic(fmt.Sprintf("workload: Zipf needs alpha >= 0, got %v", alpha))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next sampled rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// splitmix64 is a strong 64-bit mixing function used to scramble catalog
+// indices into key space, so key numeric order carries no locality.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
