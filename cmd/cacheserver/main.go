@@ -1,0 +1,110 @@
+// Command cacheserver serves a memcached-compatible text protocol subset
+// (get/gets multi-key, set, delete, stats, quit) over the sharded
+// thread-safe caches in internal/concurrent — the paper's §5–§6 deployment
+// argument as a runnable system. The eviction policy is selectable, so the
+// LRU-vs-lazy-promotion comparison carries over to served traffic:
+//
+//	cacheserver -addr :11211 -cache qdlp -capacity 1048576 -shards 64
+//	cacheserver -cache lru -debug-addr :8080    # expvar at /debug/vars
+//
+// SIGINT/SIGTERM drain gracefully: in-flight and pipelined requests finish
+// with their responses flushed before connections close.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cacheserver: ")
+	var (
+		addr        = flag.String("addr", ":11211", "TCP listen address")
+		cache       = flag.String("cache", "qdlp", "eviction policy: lru|clock|qdlp|sieve")
+		capacity    = flag.Int("capacity", 1<<20, "cache capacity in objects")
+		shards      = flag.Int("shards", 64, "shard count (rounded up to a power of two)")
+		maxConns    = flag.Int("max-conns", 1024, "max concurrent client connections")
+		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this long")
+		maxItemSize = flag.Int("max-item-size", server.DefaultMaxValueLen, "max value size in bytes")
+		debugAddr   = flag.String("debug-addr", "", "optional HTTP address exposing expvar at /debug/vars")
+		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	inner, err := newCache(*cache, *capacity, *shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := concurrent.NewKV(inner, *shards)
+	srv, err := server.New(server.Config{
+		Addr:        *addr,
+		Store:       store,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+		MaxValueLen: *maxItemSize,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		expvar.Publish("cacheserver", srv.ExpvarMap())
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		log.Printf("expvar at http://%s/debug/vars", *debugAddr)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving %s on %s (capacity %d objects, %d shards)",
+		store.Name(), *addr, inner.Capacity(), *shards)
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case sig := <-sigs:
+		log.Printf("%v: draining (deadline %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		log.Print("drained cleanly")
+	}
+}
+
+func newCache(kind string, capacity, shards int) (concurrent.Cache, error) {
+	switch kind {
+	case "lru":
+		return concurrent.NewLRU(capacity, shards)
+	case "clock":
+		return concurrent.NewClock(capacity, shards, 2)
+	case "qdlp":
+		return concurrent.NewQDLP(capacity, shards)
+	case "sieve":
+		return concurrent.NewSieve(capacity, shards)
+	}
+	return nil, fmt.Errorf("unknown cache kind %q (want lru|clock|qdlp|sieve)", kind)
+}

@@ -61,17 +61,19 @@ func main() {
 		gs = append(gs, g)
 	}
 
-	tb := stats.NewTable("cache", "goroutines", "Mops/s", "hit ratio")
+	tb := stats.NewTable("cache", "goroutines", "ops", "Mops/s", "hit ratio")
 	for _, g := range gs {
 		for _, kind := range strings.Split(*caches, ",") {
 			c, err := mk(strings.TrimSpace(kind))
 			if err != nil {
 				log.Fatal(err)
 			}
-			// Warm up, then measure.
-			concurrent.MeasureThroughput(c, g, *keySpace/g+1, *keySpace, *seed+42)
-			res := concurrent.MeasureThroughput(c, g, *ops/g, *keySpace, *seed)
-			tb.AddRow(c.Name(), g,
+			// Warm up, then measure. MeasureThroughput distributes the
+			// total across workers with the remainder spread exactly, so
+			// res.Ops is the actual count issued (== -ops).
+			concurrent.MeasureThroughput(c, g, *keySpace, *keySpace, *seed+42)
+			res := concurrent.MeasureThroughput(c, g, *ops, *keySpace, *seed)
+			tb.AddRow(c.Name(), g, res.Ops,
 				fmt.Sprintf("%.2f", res.OpsPerSecond()/1e6),
 				fmt.Sprintf("%.3f", res.HitRatio()))
 		}

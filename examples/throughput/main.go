@@ -23,7 +23,7 @@ func main() {
 		capacity = 1 << 16
 		shards   = 16
 		keySpace = 1 << 17
-		opsEach  = 300000
+		totalOps = 300000
 	)
 	fmt.Printf("GOMAXPROCS=%d (scalability gaps grow with real core counts)\n\n", runtime.GOMAXPROCS(0))
 
@@ -43,8 +43,8 @@ func main() {
 	for _, g := range []int{1, 2, 4, 8} {
 		for _, c := range mkCaches() {
 			// Warm the cache before measuring.
-			concurrent.MeasureThroughput(c, g, opsEach/4, keySpace, 42)
-			res := concurrent.MeasureThroughput(c, g, opsEach/g, keySpace, 1)
+			concurrent.MeasureThroughput(c, g, totalOps/4, keySpace, 42)
+			res := concurrent.MeasureThroughput(c, g, totalOps, keySpace, 1)
 			tb.AddRow(c.Name(), g,
 				fmt.Sprintf("%.2f", res.OpsPerSecond()/1e6),
 				fmt.Sprintf("%.3f", res.HitRatio()))

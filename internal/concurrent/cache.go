@@ -20,17 +20,29 @@ import (
 )
 
 // Cache is a fixed-capacity thread-safe key-value cache. Values are uint64
-// payloads (simulation stand-ins for object data).
+// payloads (simulation stand-ins for object data; the KV adapter stores the
+// object size here).
 type Cache interface {
 	// Get returns the cached value and whether it was present. Get is the
 	// hit path whose cost the paper's scalability argument is about.
 	Get(key uint64) (uint64, bool)
 	// Set inserts or overwrites key, evicting as needed.
 	Set(key, value uint64)
+	// Delete removes key, reporting whether it was present. Deletions do
+	// not count as evictions and do not fire the eviction hook.
+	Delete(key uint64) bool
 	// Len returns the total number of cached objects.
 	Len() int
 	// Capacity returns the configured capacity in objects.
 	Capacity() int
+	// Evictions returns the number of objects evicted to make room (not
+	// counting overwrites or Deletes).
+	Evictions() int64
+	// SetEvictHook registers fn to be called with the key of every object
+	// evicted for capacity. It must be called before the cache is shared
+	// between goroutines. fn runs while the victim's shard lock is held
+	// and must not call back into the cache.
+	SetEvictHook(fn func(key uint64))
 	// Name identifies the implementation.
 	Name() string
 }
@@ -56,11 +68,21 @@ func shardCount(requested int) int {
 	return n
 }
 
-// splitCapacity divides capacity across shards, guaranteeing each shard at
-// least one slot.
-func splitCapacity(capacity, shards int) (int, error) {
+// splitCapacity divides capacity across shards exactly: every shard gets at
+// least one slot, the first capacity%shards shards get one extra, and the
+// per-shard capacities sum to capacity (so the aggregate never exceeds the
+// configured value).
+func splitCapacity(capacity, shards int) ([]int, error) {
 	if capacity < shards {
-		return 0, fmt.Errorf("concurrent: capacity %d below shard count %d", capacity, shards)
+		return nil, fmt.Errorf("concurrent: capacity %d below shard count %d", capacity, shards)
 	}
-	return (capacity + shards - 1) / shards, nil
+	base, extra := capacity/shards, capacity%shards
+	per := make([]int, shards)
+	for i := range per {
+		per[i] = base
+		if i < extra {
+			per[i]++
+		}
+	}
+	return per, nil
 }

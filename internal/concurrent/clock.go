@@ -12,10 +12,12 @@ import (
 // request to a cached object without locking" (§3). Misses take the
 // exclusive lock and advance the clock hand.
 type Clock struct {
-	shards  []clockShard
-	mask    uint64
-	cap     int
-	maxFreq uint32
+	shards    []clockShard
+	mask      uint64
+	cap       int
+	maxFreq   uint32
+	evictions atomic.Int64
+	onEvict   func(uint64)
 }
 
 type clockShard struct {
@@ -49,12 +51,12 @@ func NewClock(capacity, shards, bits int) (*Clock, error) {
 	c := &Clock{
 		shards:  make([]clockShard, n),
 		mask:    uint64(n - 1),
-		cap:     per * n,
+		cap:     capacity,
 		maxFreq: uint32(1<<bits - 1),
 	}
 	for i := range c.shards {
-		c.shards[i].byKey = make(map[uint64]int, per)
-		c.shards[i].slots = make([]clockSlot, per)
+		c.shards[i].byKey = make(map[uint64]int, per[i])
+		c.shards[i].slots = make([]clockSlot, per[i])
 	}
 	return c, nil
 }
@@ -119,6 +121,10 @@ func (c *Clock) Set(key, value uint64) {
 	slot := &s.slots[idx]
 	if slot.live {
 		delete(s.byKey, slot.key)
+		c.evictions.Add(1)
+		if c.onEvict != nil {
+			c.onEvict(slot.key)
+		}
 	} else {
 		slot.live = true
 		s.used++
@@ -129,6 +135,27 @@ func (c *Clock) Set(key, value uint64) {
 	s.byKey[key] = idx
 	s.mu.Unlock()
 }
+
+// Delete implements Cache: the slot becomes a hole the reclaim scan reuses.
+func (c *Clock) Delete(key uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(s.byKey, key)
+	s.slots[idx].live = false
+	s.used--
+	return true
+}
+
+// Evictions implements Cache.
+func (c *Clock) Evictions() int64 { return c.evictions.Load() }
+
+// SetEvictHook implements Cache.
+func (c *Clock) SetEvictHook(fn func(uint64)) { c.onEvict = fn }
 
 // reclaim returns the slot index to (re)use, advancing the hand past
 // recently referenced slots. Caller holds the exclusive lock.

@@ -186,7 +186,7 @@ func TestMeasureThroughput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := MeasureThroughput(c, 4, 20000, 8192, 1)
+	res := MeasureThroughput(c, 4, 80000, 8192, 1)
 	if res.Ops != 80000 {
 		t.Fatalf("ops = %d", res.Ops)
 	}
@@ -195,5 +195,152 @@ func TestMeasureThroughput(t *testing.T) {
 	}
 	if res.OpsPerSecond() <= 0 {
 		t.Fatal("rate not positive")
+	}
+}
+
+// The remainder of a non-dividing op count is distributed, not dropped:
+// the streams sum exactly to the requested total.
+func TestZipfStreamsExactTotal(t *testing.T) {
+	for _, tc := range []struct{ workers, total int }{
+		{1, 100}, {3, 100}, {7, 100}, {8, 100}, {7, 5},
+	} {
+		streams := ZipfStreams(tc.workers, tc.total, 512, 1)
+		sum := 0
+		for _, s := range streams {
+			sum += len(s)
+		}
+		if sum != tc.total {
+			t.Errorf("workers=%d total=%d: streams sum to %d", tc.workers, tc.total, sum)
+		}
+	}
+	c, err := NewQDLP(256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100000 does not divide by 7: the reported Ops must still be exact.
+	if res := MeasureThroughput(c, 7, 100000, 4096, 1); res.Ops != 100000 {
+		t.Fatalf("ops = %d, want 100000", res.Ops)
+	}
+}
+
+// Regression for the old ceil-division splitCapacity: aggregate capacity
+// must equal the configured value exactly (100 objects over 16 shards used
+// to yield 112).
+func TestSplitCapacityExact(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{100, 16}, {100, 7}, {1000, 13}, {64, 1}, {4096, 16}, {65, 32},
+	} {
+		for _, c := range caches(t, tc.capacity, tc.shards) {
+			if got := c.Capacity(); got != tc.capacity {
+				t.Errorf("%s: capacity %d over %d shards reports Capacity()=%d",
+					c.Name(), tc.capacity, tc.shards, got)
+			}
+		}
+	}
+	per, err := splitCapacity(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, p := range per {
+		if p < 1 {
+			t.Fatalf("shard with %d slots", p)
+		}
+		sum += p
+	}
+	if sum != 100 {
+		t.Fatalf("per-shard capacities sum to %d, want 100", sum)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for _, c := range caches(t, 1024, 4) {
+		t.Run(c.Name(), func(t *testing.T) {
+			if c.Delete(1) {
+				t.Fatal("delete on empty cache reported true")
+			}
+			c.Set(1, 10)
+			c.Set(2, 20)
+			if !c.Delete(1) {
+				t.Fatal("delete of present key reported false")
+			}
+			if _, ok := c.Get(1); ok {
+				t.Fatal("deleted key still readable")
+			}
+			if v, ok := c.Get(2); !ok || v != 20 {
+				t.Fatalf("unrelated key damaged: %d,%v", v, ok)
+			}
+			if c.Len() != 1 {
+				t.Fatalf("Len = %d after delete", c.Len())
+			}
+			if c.Delete(1) {
+				t.Fatal("second delete reported true")
+			}
+			// The freed slot is reusable.
+			c.Set(1, 11)
+			if v, ok := c.Get(1); !ok || v != 11 {
+				t.Fatalf("reinsert after delete: %d,%v", v, ok)
+			}
+			if c.Evictions() != 0 {
+				t.Fatalf("deletes counted as evictions: %d", c.Evictions())
+			}
+		})
+	}
+}
+
+// Deleting from the middle of QDLP's probationary ring leaves a tombstone;
+// the ring must stay consistent through subsequent fills and demotions.
+func TestQDLPDeleteTombstone(t *testing.T) {
+	c, err := NewQDLP(64, 1) // one shard: small 6, main 58
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 6; k++ {
+		c.Set(k, k)
+	}
+	if !c.Delete(3) {
+		t.Fatal("delete failed")
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Push the whole ring through: tombstone must be skipped silently.
+	for k := uint64(10); k < 30; k++ {
+		c.Set(k, k)
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("tombstoned key resurrected")
+	}
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len %d > Capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+func TestEvictionCountAndHook(t *testing.T) {
+	for _, c := range caches(t, 64, 1) {
+		t.Run(c.Name(), func(t *testing.T) {
+			var hooked []uint64
+			c.SetEvictHook(func(key uint64) { hooked = append(hooked, key) })
+			for k := uint64(0); k < 200; k++ {
+				c.Set(k, k)
+			}
+			ev := c.Evictions()
+			if ev == 0 {
+				t.Fatal("no evictions counted after overfilling")
+			}
+			if int64(len(hooked)) != ev {
+				t.Fatalf("hook fired %d times, counter says %d", len(hooked), ev)
+			}
+			// Every hooked key must actually be gone.
+			for _, k := range hooked {
+				if _, ok := c.Get(k); ok {
+					t.Fatalf("hooked key %d still cached", k)
+				}
+			}
+			// Conservation: inserts == live + evicted.
+			if int64(c.Len())+ev != 200 {
+				t.Fatalf("len %d + evictions %d != 200 inserts", c.Len(), ev)
+			}
+		})
 	}
 }

@@ -1,0 +1,190 @@
+package concurrent
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// KV is a byte-value, size-aware adapter over a sharded Cache: the inner
+// cache decides admission and eviction over 64-bit key digests (storing the
+// object size as its value), while KV owns the data plane — a sharded map
+// from digest to the full key and value bytes. The inner cache's eviction
+// hook removes the bytes synchronously, so data-plane residency tracks the
+// policy exactly.
+//
+// The hit path preserves the inner cache's locking discipline: a shared
+// lock on the data shard to fetch the bytes, released before the inner
+// Get bumps the policy metadata, so no lock is ever held across the two
+// structures (which would deadlock against the eviction hook, which runs
+// under the inner shard's exclusive lock).
+//
+// Three benign races follow from the two-structure design and are
+// acceptable for a cache: a Get may serve a value that is concurrently
+// evicted (one stale hit), a racing Set/eviction pair may drop a
+// just-written value (one extra miss), and a racing Set/Delete pair may
+// leave a policy ghost — an admitted id with no bytes — which is evicted
+// normally and answers as a miss meanwhile. Distinct keys colliding on the
+// 64-bit digest are detected by full-key comparison and served as misses.
+type KV struct {
+	inner  Cache
+	shards []kvShard
+	mask   uint64
+	bytes  atomic.Int64
+	items  atomic.Int64
+	casSeq atomic.Uint64
+}
+
+type kvShard struct {
+	mu sync.RWMutex
+	m  map[uint64]kvEntry
+	_  [24]byte
+}
+
+type kvEntry struct {
+	key   []byte
+	value []byte
+	flags uint32
+	cas   uint64
+}
+
+// NewKV wraps inner, spreading the data plane over a power-of-two number of
+// shards (at least dataShards). It registers inner's eviction hook, so the
+// inner cache must not be shared with another KV or hook user.
+func NewKV(inner Cache, dataShards int) *KV {
+	n := shardCount(dataShards)
+	kv := &KV{inner: inner, shards: make([]kvShard, n), mask: uint64(n - 1)}
+	for i := range kv.shards {
+		kv.shards[i].m = make(map[uint64]kvEntry)
+	}
+	inner.SetEvictHook(kv.dropEvicted)
+	return kv
+}
+
+// digest hashes a full key to the 64-bit id the inner cache operates on.
+// FNV-1a: allocation-free and good avalanche for short cache keys.
+func digest(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (kv *KV) shard(id uint64) *kvShard {
+	return &kv.shards[hash(id)&kv.mask]
+}
+
+// dropEvicted is the inner cache's eviction hook: it runs under the inner
+// shard's exclusive lock and only touches KV's own shard, never the inner
+// cache.
+func (kv *KV) dropEvicted(id uint64) {
+	s := kv.shard(id)
+	s.mu.Lock()
+	e, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		kv.bytes.Add(-int64(len(e.value)))
+		kv.items.Add(-1)
+	}
+}
+
+// Get returns the cached value, flags, and cas token for key. The returned
+// slice is owned by the cache and must not be modified; it stays valid
+// because Set always stores a fresh copy rather than mutating in place.
+func (kv *KV) Get(key []byte) (value []byte, flags uint32, cas uint64, ok bool) {
+	id := digest(key)
+	s := kv.shard(id)
+	s.mu.RLock()
+	e, ok := s.m[id]
+	s.mu.RUnlock()
+	if !ok || !bytes.Equal(e.key, key) {
+		return nil, 0, 0, false
+	}
+	kv.inner.Get(id) // lazy promotion: bump the policy metadata only
+	return e.value, e.flags, e.cas, true
+}
+
+// Set stores a private copy of key and value and returns the cas token
+// stamped on this version.
+func (kv *KV) Set(key, value []byte, flags uint32) uint64 {
+	id := digest(key)
+	buf := make([]byte, len(key)+len(value))
+	copy(buf, key)
+	copy(buf[len(key):], value)
+	e := kvEntry{
+		key:   buf[:len(key):len(key)],
+		value: buf[len(key):],
+		flags: flags,
+		cas:   kv.casSeq.Add(1),
+	}
+	s := kv.shard(id)
+	s.mu.Lock()
+	old, existed := s.m[id]
+	s.m[id] = e
+	s.mu.Unlock()
+	delta := int64(len(value))
+	if existed {
+		delta -= int64(len(old.value))
+	} else {
+		kv.items.Add(1)
+	}
+	kv.bytes.Add(delta)
+	// Admit after the data is in place so the eviction hook (fired under
+	// the inner lock if this insert displaces victims) always finds bytes
+	// to drop.
+	kv.inner.Set(id, uint64(len(value)))
+	return e.cas
+}
+
+// Delete removes key, reporting whether it was present.
+//
+// The policy entry goes first, data second — the opposite of Set. With this
+// ordering a Delete racing a Set of the same key can at worst leave a policy
+// ghost (an admitted id whose bytes are gone), which the inner cache evicts
+// normally. The reverse order could strand bytes with no policy entry: the
+// eviction hook would never fire for them and the data plane would leak.
+func (kv *KV) Delete(key []byte) bool {
+	id := digest(key)
+	s := kv.shard(id)
+	s.mu.RLock()
+	e, ok := s.m[id]
+	s.mu.RUnlock()
+	if !ok || !bytes.Equal(e.key, key) {
+		return false
+	}
+	kv.inner.Delete(id)
+	s.mu.Lock()
+	e, ok = s.m[id]
+	if ok && bytes.Equal(e.key, key) {
+		delete(s.m, id)
+	} else {
+		ok = false
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	kv.bytes.Add(-int64(len(e.value)))
+	kv.items.Add(-1)
+	return true
+}
+
+// Items returns the number of cached objects.
+func (kv *KV) Items() int64 { return kv.items.Load() }
+
+// Bytes returns the total value bytes currently cached.
+func (kv *KV) Bytes() int64 { return kv.bytes.Load() }
+
+// Evictions returns the inner cache's capacity-eviction count.
+func (kv *KV) Evictions() int64 { return kv.inner.Evictions() }
+
+// Capacity returns the inner cache's object capacity.
+func (kv *KV) Capacity() int { return kv.inner.Capacity() }
+
+// Name identifies the inner eviction policy.
+func (kv *KV) Name() string { return kv.inner.Name() }

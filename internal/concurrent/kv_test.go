@@ -1,0 +1,116 @@
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func kvCaches(t *testing.T, capacity, shards int) []*KV {
+	t.Helper()
+	out := make([]*KV, 0, 4)
+	for _, c := range caches(t, capacity, shards) {
+		out = append(out, NewKV(c, shards))
+	}
+	return out
+}
+
+func TestKVBasic(t *testing.T) {
+	for _, kv := range kvCaches(t, 1024, 4) {
+		t.Run(kv.Name(), func(t *testing.T) {
+			if _, _, _, ok := kv.Get([]byte("a")); ok {
+				t.Fatal("hit on empty KV")
+			}
+			cas1 := kv.Set([]byte("a"), []byte("hello"), 7)
+			v, flags, cas, ok := kv.Get([]byte("a"))
+			if !ok || string(v) != "hello" || flags != 7 || cas != cas1 {
+				t.Fatalf("Get = %q flags=%d cas=%d ok=%v", v, flags, cas, ok)
+			}
+			cas2 := kv.Set([]byte("a"), []byte("world!"), 8)
+			if cas2 == cas1 {
+				t.Fatal("cas did not advance on overwrite")
+			}
+			v, flags, _, ok = kv.Get([]byte("a"))
+			if !ok || string(v) != "world!" || flags != 8 {
+				t.Fatalf("after overwrite: %q flags=%d ok=%v", v, flags, ok)
+			}
+			if kv.Items() != 1 {
+				t.Fatalf("Items = %d", kv.Items())
+			}
+			if kv.Bytes() != int64(len("world!")) {
+				t.Fatalf("Bytes = %d", kv.Bytes())
+			}
+			if !kv.Delete([]byte("a")) {
+				t.Fatal("delete failed")
+			}
+			if kv.Delete([]byte("a")) {
+				t.Fatal("double delete reported true")
+			}
+			if kv.Items() != 0 || kv.Bytes() != 0 {
+				t.Fatalf("after delete: items=%d bytes=%d", kv.Items(), kv.Bytes())
+			}
+		})
+	}
+}
+
+// Capacity evictions in the inner cache must drop the bytes synchronously:
+// the data plane can never outgrow the policy plane.
+func TestKVEvictionDropsBytes(t *testing.T) {
+	for _, kv := range kvCaches(t, 64, 1) {
+		t.Run(kv.Name(), func(t *testing.T) {
+			const valLen = 10
+			for i := 0; i < 500; i++ {
+				kv.Set([]byte(fmt.Sprintf("key-%04d", i)), make([]byte, valLen), 0)
+			}
+			if kv.Evictions() == 0 {
+				t.Fatal("no evictions after overfilling")
+			}
+			if kv.Items() > int64(kv.Capacity()) {
+				t.Fatalf("Items %d > Capacity %d", kv.Items(), kv.Capacity())
+			}
+			if kv.Bytes() != kv.Items()*valLen {
+				t.Fatalf("Bytes %d != Items %d * %d", kv.Bytes(), kv.Items(), valLen)
+			}
+		})
+	}
+}
+
+// Values always encode their key, so any cross-key corruption (data-plane
+// mixups under concurrency) is detected. Run with -race in CI.
+func TestKVConcurrentIntegrity(t *testing.T) {
+	for _, kv := range kvCaches(t, 2048, 8) {
+		kv := kv
+		t.Run(kv.Name(), func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 10000; i++ {
+						n := (g*7 + i*13) % 4096
+						key := []byte(fmt.Sprintf("k%d", n))
+						want := fmt.Sprintf("v%d", n)
+						if v, _, _, ok := kv.Get(key); ok {
+							if string(v) != want {
+								t.Errorf("corruption: Get(%s) = %q", key, v)
+								return
+							}
+						} else {
+							kv.Set(key, []byte(want), 0)
+						}
+						if i%97 == 0 {
+							kv.Delete(key)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if kv.Items() > int64(kv.Capacity()) {
+				t.Fatalf("Items %d > Capacity %d", kv.Items(), kv.Capacity())
+			}
+			if kv.Bytes() < 0 {
+				t.Fatalf("negative byte accounting: %d", kv.Bytes())
+			}
+		})
+	}
+}

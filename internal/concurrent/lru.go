@@ -2,6 +2,7 @@ package concurrent
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dlist"
 )
@@ -10,9 +11,11 @@ import (
 // exclusive lock to splice the entry to the head of the recency list — the
 // six-pointer update the paper identifies as LRU's scalability bottleneck.
 type LRU struct {
-	shards []lruShard
-	mask   uint64
-	cap    int
+	shards    []lruShard
+	mask      uint64
+	cap       int
+	evictions atomic.Int64
+	onEvict   func(uint64)
 }
 
 type lruShard struct {
@@ -35,10 +38,10 @@ func NewLRU(capacity, shards int) (*LRU, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &LRU{shards: make([]lruShard, n), mask: uint64(n - 1), cap: per * n}
+	c := &LRU{shards: make([]lruShard, n), mask: uint64(n - 1), cap: capacity}
 	for i := range c.shards {
-		c.shards[i].cap = per
-		c.shards[i].byKey = make(map[uint64]*dlist.Node[lruEntry], per)
+		c.shards[i].cap = per[i]
+		c.shards[i].byKey = make(map[uint64]*dlist.Node[lruEntry], per[i])
 	}
 	return c, nil
 }
@@ -94,7 +97,31 @@ func (c *LRU) Set(key, value uint64) {
 		victim := s.list.Back()
 		delete(s.byKey, victim.Value.key)
 		s.list.Remove(victim)
+		c.evictions.Add(1)
+		if c.onEvict != nil {
+			c.onEvict(victim.Value.key)
+		}
 	}
 	s.byKey[key] = s.list.PushFront(lruEntry{key: key, value: value})
 	s.mu.Unlock()
 }
+
+// Delete implements Cache.
+func (c *LRU) Delete(key uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(s.byKey, key)
+	s.list.Remove(n)
+	return true
+}
+
+// Evictions implements Cache.
+func (c *LRU) Evictions() int64 { return c.evictions.Load() }
+
+// SetEvictHook implements Cache.
+func (c *LRU) SetEvictHook(fn func(uint64)) { c.onEvict = fn }

@@ -1,6 +1,7 @@
 package concurrent
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -11,10 +12,12 @@ import (
 // lock — "at most one metadata update on a cache hit and no locking for
 // any cache operation" (§4) — while misses take the exclusive lock.
 type QDLP struct {
-	shards  []qdShard
-	mask    uint64
-	cap     int
-	maxFreq uint32
+	shards    []qdShard
+	mask      uint64
+	cap       int
+	maxFreq   uint32
+	evictions atomic.Int64
+	onEvict   func(uint64)
 }
 
 const (
@@ -40,7 +43,8 @@ type qdShard struct {
 
 	small      []qdSlot // circular FIFO: head = oldest
 	smallHead  int
-	smallCount int
+	smallCount int // occupied ring slots, including Delete tombstones
+	smallLive  int // live (cached) objects among the occupied slots
 
 	main     []qdSlot // CLOCK ring
 	mainHand int
@@ -55,34 +59,32 @@ type qdShard struct {
 
 // NewQDLP returns a sharded QD-LP-FIFO cache with the paper's sizing: the
 // probationary FIFO gets 10% of each shard, the CLOCK main cache the rest,
-// and the ghost remembers as many keys as the main ring holds objects.
+// and the ghost remembers as many keys as the main ring holds objects. The
+// per-shard capacities sum exactly to capacity, which must be at least two
+// objects per shard (each shard needs a probationary and a main slot).
 func NewQDLP(capacity, shards int) (*QDLP, error) {
 	n := shardCount(shards)
 	per, err := splitCapacity(capacity, n)
 	if err != nil {
 		return nil, err
 	}
-	smallCap := per / 10
-	if smallCap < 1 {
-		smallCap = 1
-	}
-	mainCap := per - smallCap
-	if mainCap < 1 {
-		mainCap = 1
-		smallCap = per - 1
-		if smallCap < 1 {
-			smallCap = 1
-		}
+	if capacity < 2*n {
+		return nil, fmt.Errorf("concurrent: qdlp needs >= 2 objects per shard, got capacity %d over %d shards", capacity, n)
 	}
 	c := &QDLP{
 		shards:  make([]qdShard, n),
 		mask:    uint64(n - 1),
-		cap:     (smallCap + mainCap) * n,
+		cap:     capacity,
 		maxFreq: 3, // 2-bit lazy promotion
 	}
 	for i := range c.shards {
+		smallCap := per[i] / 10
+		if smallCap < 1 {
+			smallCap = 1
+		}
+		mainCap := per[i] - smallCap
 		s := &c.shards[i]
-		s.byKey = make(map[uint64]qdLoc, per)
+		s.byKey = make(map[uint64]qdLoc, per[i])
 		s.small = make([]qdSlot, smallCap)
 		s.main = make([]qdSlot, mainCap)
 		s.ghost = make(map[uint64]struct{}, mainCap)
@@ -103,7 +105,7 @@ func (c *QDLP) Len() int {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.RLock()
-		total += s.smallCount + s.mainUsed
+		total += s.smallLive + s.mainUsed
 		s.mu.RUnlock()
 	}
 	return total
@@ -154,45 +156,59 @@ func (c *QDLP) Set(key, value uint64) {
 	if _, ok := s.ghost[key]; ok {
 		// Quick-demotion mistake: admit straight into the main ring.
 		delete(s.ghost, key)
-		s.insertMain(key, value)
+		s.insertMain(c, key, value)
 		return
 	}
 	// New object: probationary FIFO.
 	if s.smallCount >= len(s.small) {
-		s.evictSmall()
+		s.evictSmall(c)
 	}
 	idx := (s.smallHead + s.smallCount) % len(s.small)
 	slot := &s.small[idx]
 	slot.key, slot.value, slot.live = key, value, true
 	slot.freq.Store(0)
 	s.smallCount++
+	s.smallLive++
 	s.byKey[key] = qdLoc{where: locSmall, idx: int32(idx)}
 }
 
 // evictSmall pops the probationary head: accessed objects move to the main
-// ring, untouched objects fall into the ghost.
-func (s *qdShard) evictSmall() {
+// ring, untouched objects fall into the ghost (quick demotion — that is the
+// eviction). Tombstones left by Delete are simply reclaimed.
+func (s *qdShard) evictSmall(c *QDLP) {
 	idx := s.smallHead
 	slot := &s.small[idx]
+	s.smallHead = (s.smallHead + 1) % len(s.small)
+	s.smallCount--
+	if !slot.live {
+		return
+	}
 	key := slot.key
 	delete(s.byKey, key)
 	slot.live = false
-	s.smallHead = (s.smallHead + 1) % len(s.small)
-	s.smallCount--
+	s.smallLive--
 	if slot.freq.Load() > 0 {
-		s.insertMain(key, slot.value)
+		s.insertMain(c, key, slot.value)
 		return
 	}
 	s.ghostAdd(key)
+	c.evictions.Add(1)
+	if c.onEvict != nil {
+		c.onEvict(key)
+	}
 }
 
 // insertMain places key into the main CLOCK ring, reclaiming a slot via
 // the hand if needed. Caller holds the exclusive lock.
-func (s *qdShard) insertMain(key, value uint64) {
+func (s *qdShard) insertMain(c *QDLP, key, value uint64) {
 	idx := s.mainReclaim()
 	slot := &s.main[idx]
 	if slot.live {
 		delete(s.byKey, slot.key)
+		c.evictions.Add(1)
+		if c.onEvict != nil {
+			c.onEvict(slot.key)
+		}
 	} else {
 		slot.live = true
 		s.mainUsed++
@@ -201,6 +217,34 @@ func (s *qdShard) insertMain(key, value uint64) {
 	slot.freq.Store(0)
 	s.byKey[key] = qdLoc{where: locMain, idx: int32(idx)}
 }
+
+// Delete implements Cache. A probationary victim leaves a tombstone that
+// keeps the FIFO ring contiguous until it reaches the head; a main-ring
+// victim becomes a hole the reclaim scan reuses.
+func (c *QDLP) Delete(key uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(s.byKey, key)
+	slot := s.slot(l)
+	slot.live = false
+	if l.where == locSmall {
+		s.smallLive--
+	} else {
+		s.mainUsed--
+	}
+	return true
+}
+
+// Evictions implements Cache.
+func (c *QDLP) Evictions() int64 { return c.evictions.Load() }
+
+// SetEvictHook implements Cache.
+func (c *QDLP) SetEvictHook(fn func(uint64)) { c.onEvict = fn }
 
 func (s *qdShard) mainReclaim() int {
 	if s.mainUsed < len(s.main) {

@@ -12,9 +12,11 @@ import (
 // QDLP in the throughput comparison because SIEVE is the follow-up
 // algorithm built on this paper's lazy-promotion insight.
 type Sieve struct {
-	shards []sieveShard
-	mask   uint64
-	cap    int
+	shards    []sieveShard
+	mask      uint64
+	cap       int
+	evictions atomic.Int64
+	onEvict   func(uint64)
 }
 
 type sieveNode struct {
@@ -43,10 +45,10 @@ func NewSieve(capacity, shards int) (*Sieve, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Sieve{shards: make([]sieveShard, n), mask: uint64(n - 1), cap: per * n}
+	c := &Sieve{shards: make([]sieveShard, n), mask: uint64(n - 1), cap: capacity}
 	for i := range c.shards {
-		c.shards[i].cap = per
-		c.shards[i].byKey = make(map[uint64]*sieveNode, per)
+		c.shards[i].cap = per[i]
+		c.shards[i].byKey = make(map[uint64]*sieveNode, per[i])
 	}
 	return c, nil
 }
@@ -99,7 +101,11 @@ func (c *Sieve) Set(key, value uint64) {
 		return
 	}
 	if s.size >= s.cap {
-		s.evict()
+		victim := s.evict()
+		c.evictions.Add(1)
+		if c.onEvict != nil {
+			c.onEvict(victim)
+		}
 	}
 	n := &sieveNode{key: key, value: value}
 	n.prev = s.head
@@ -115,9 +121,9 @@ func (c *Sieve) Set(key, value uint64) {
 	s.mu.Unlock()
 }
 
-// evict runs the SIEVE sweep from the retained hand. Caller holds the
-// exclusive lock.
-func (s *sieveShard) evict() {
+// evict runs the SIEVE sweep from the retained hand and returns the evicted
+// key. Caller holds the exclusive lock.
+func (s *sieveShard) evict() uint64 {
 	n := s.hand
 	if n == nil {
 		n = s.tail
@@ -134,7 +140,33 @@ func (s *sieveShard) evict() {
 	s.unlink(n)
 	delete(s.byKey, n.key)
 	s.size--
+	return n.key
 }
+
+// Delete implements Cache. Mirrors evict's hand retention so a sweep in
+// progress is not disturbed.
+func (c *Sieve) Delete(key uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.byKey[key]
+	if !ok {
+		return false
+	}
+	if s.hand == n {
+		s.hand = n.next
+	}
+	s.unlink(n)
+	delete(s.byKey, key)
+	s.size--
+	return true
+}
+
+// Evictions implements Cache.
+func (c *Sieve) Evictions() int64 { return c.evictions.Load() }
+
+// SetEvictHook implements Cache.
+func (c *Sieve) SetEvictHook(fn func(uint64)) { c.onEvict = fn }
 
 func (s *sieveShard) unlink(n *sieveNode) {
 	if n.prev != nil {

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+)
+
+// Client is a minimal text-protocol client for the subset this server
+// speaks. It is synchronous and not safe for concurrent use; open one per
+// goroutine (the closed-loop shape RunLoad uses).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+}
+
+// Dial connects to a cache server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 32<<10),
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+	}, nil
+}
+
+// Close sends quit and closes the connection.
+func (c *Client) Close() error {
+	c.bw.WriteString("quit\r\n")
+	c.bw.Flush()
+	return c.conn.Close()
+}
+
+// Get fetches one key, returning (value, found). The returned slice is
+// owned by the caller.
+func (c *Client) Get(key []byte) ([]byte, bool, error) {
+	c.buf = append(c.buf[:0], "get "...)
+	c.buf = append(c.buf, key...)
+	c.buf = append(c.buf, "\r\n"...)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return nil, false, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, false, err
+	}
+	var value []byte
+	found := false
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, false, err
+		}
+		switch {
+		case bytes.Equal(line, []byte("END")):
+			return value, found, nil
+		case bytes.HasPrefix(line, []byte("VALUE ")):
+			_, _, n, _, err := parseValueHeader(line)
+			if err != nil {
+				return nil, false, err
+			}
+			value = make([]byte, n+2)
+			if _, err := io.ReadFull(c.br, value); err != nil {
+				return nil, false, err
+			}
+			value = value[:n]
+			found = true
+		default:
+			return nil, false, fmt.Errorf("server: unexpected get response %q", line)
+		}
+	}
+}
+
+// Set stores value under key.
+func (c *Client) Set(key []byte, flags uint32, value []byte) error {
+	c.buf = append(c.buf[:0], "set "...)
+	c.buf = append(c.buf, key...)
+	c.buf = append(c.buf, ' ')
+	c.buf = strconv.AppendUint(c.buf, uint64(flags), 10)
+	c.buf = append(c.buf, " 0 "...)
+	c.buf = strconv.AppendInt(c.buf, int64(len(value)), 10)
+	c.buf = append(c.buf, "\r\n"...)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(value); err != nil {
+		return err
+	}
+	if _, err := c.bw.WriteString("\r\n"); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(line, []byte("STORED")) {
+		return fmt.Errorf("server: set: %q", line)
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether the server had it.
+func (c *Client) Delete(key []byte) (bool, error) {
+	c.buf = append(c.buf[:0], "delete "...)
+	c.buf = append(c.buf, key...)
+	c.buf = append(c.buf, "\r\n"...)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return false, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case bytes.Equal(line, []byte("DELETED")):
+		return true, nil
+	case bytes.Equal(line, []byte("NOT_FOUND")):
+		return false, nil
+	}
+	return false, fmt.Errorf("server: delete: %q", line)
+}
+
+// Stats fetches the server's stats as a name→value map.
+func (c *Client) Stats() (map[string]string, error) {
+	if _, err := c.bw.WriteString("stats\r\n"); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(line, []byte("END")) {
+			return out, nil
+		}
+		fields := bytes.SplitN(line, []byte(" "), 3)
+		if len(fields) != 3 || !bytes.Equal(fields[0], []byte("STAT")) {
+			return nil, fmt.Errorf("server: unexpected stats line %q", line)
+		}
+		out[string(fields[1])] = string(fields[2])
+	}
+}
+
+// StatInt reads one numeric stat from a Stats map.
+func StatInt(stats map[string]string, name string) (int64, error) {
+	v, ok := stats[name]
+	if !ok {
+		return 0, fmt.Errorf("server: stat %q missing", name)
+	}
+	return strconv.ParseInt(v, 10, 64)
+}
+
+func (c *Client) readLine() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, nil
+}
+
+// parseValueHeader parses "VALUE <key> <flags> <bytes> [<cas>]".
+func parseValueHeader(line []byte) (key []byte, flags uint32, n int, cas uint64, err error) {
+	rest := line[len("VALUE "):]
+	key, rest = nextToken(rest)
+	flagsTok, rest := nextToken(rest)
+	bytesTok, rest := nextToken(rest)
+	casTok, _ := nextToken(rest)
+	f, ok1 := parseUint(flagsTok, 1<<32-1)
+	b, ok2 := parseUint(bytesTok, 1<<31)
+	if key == nil || !ok1 || !ok2 {
+		return nil, 0, 0, 0, fmt.Errorf("server: bad VALUE header %q", line)
+	}
+	if casTok != nil {
+		c, ok := parseUint(casTok, 1<<63)
+		if !ok {
+			return nil, 0, 0, 0, fmt.Errorf("server: bad cas in %q", line)
+		}
+		cas = c
+	}
+	return key, uint32(f), int(b), cas, nil
+}

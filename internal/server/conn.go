@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"time"
+)
+
+const (
+	readBufSize  = 64 << 10
+	writeBufSize = 64 << 10
+
+	// drainGrace bounds how long a draining connection waits for bytes the
+	// client sent before shutdown that are still in flight or in the kernel
+	// receive buffer. One quiet grace window means the pipeline is empty.
+	drainGrace = 100 * time.Millisecond
+)
+
+// waitData parks until at least one request byte is buffered, without
+// consuming anything. Parking in Peek rather than in the parser means
+// Shutdown's SetReadDeadline(now) wake-up can never corrupt a half-read
+// request: on a wake we re-peek once with a short grace deadline to pick
+// up any bytes the client had already sent, and return an error only once
+// a full grace window passes with nothing arriving.
+func (s *Server) waitData(nc net.Conn, br *bufio.Reader) error {
+	for {
+		grace := s.draining.Load()
+		d := s.cfg.IdleTimeout
+		if grace {
+			d = drainGrace
+		}
+		nc.SetReadDeadline(time.Now().Add(d))
+		// Re-check after storing the deadline: Shutdown sets draining and
+		// then overwrites deadlines with "now", so if it ran in between,
+		// go around and install the grace deadline instead.
+		if !grace && s.draining.Load() {
+			continue
+		}
+		_, err := br.Peek(1)
+		if err == nil {
+			return nil
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() && !grace && s.draining.Load() {
+			continue // woken for drain, not idle: one grace re-peek
+		}
+		return err // EOF, idle timeout, or drained dry
+	}
+}
+
+// handleConn runs one connection's request loop. Responses accumulate in
+// the write buffer and are flushed only when no further pipelined request
+// is already buffered — the flush-batching that makes request bursts cost
+// one syscall each way instead of one per request.
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.removeConn(nc)
+		nc.Close()
+		s.counters.CurrConns.Add(-1)
+	}()
+	br := bufio.NewReaderSize(nc, readBufSize)
+	bw := bufio.NewWriterSize(nc, writeBufSize)
+	var req Request
+	for {
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				s.cfg.Logf("server: %s: flush: %v", nc.RemoteAddr(), err)
+				return
+			}
+			if err := s.waitData(nc, br); err != nil {
+				return
+			}
+		}
+		// A request has started arriving; give the client one idle window
+		// to deliver the rest of it.
+		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		err := ParseRequest(br, &req, s.cfg.MaxValueLen)
+		var cerr ClientError
+		switch {
+		case err == nil:
+			if !s.dispatch(bw, &req) {
+				bw.Flush()
+				return
+			}
+		case errors.As(err, &cerr):
+			s.counters.BadCommands.Add(1)
+			writeClientError(bw, string(cerr))
+		case errors.Is(err, ErrUnknownCommand):
+			s.counters.BadCommands.Add(1)
+			bw.WriteString("ERROR\r\n")
+		case errors.Is(err, ErrValueTooLarge):
+			// The oversized body was not consumed: report and close.
+			s.counters.BadCommands.Add(1)
+			writeServerError(bw, "object too large for cache")
+			bw.Flush()
+			return
+		default:
+			// I/O error, a client that stalled mid-request, or client gone.
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// dispatch executes one parsed request, writing the response. It returns
+// false when the connection should close (quit).
+func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
+	switch req.Op {
+	case OpGet, OpGets:
+		withCAS := req.Op == OpGets
+		for _, key := range req.Keys {
+			s.counters.Gets.Add(1)
+			if v, flags, cas, ok := s.cfg.Store.Get(key); ok {
+				s.counters.GetHits.Add(1)
+				writeValue(bw, key, flags, v, cas, withCAS)
+			} else {
+				s.counters.GetMisses.Add(1)
+			}
+		}
+		writeEnd(bw)
+	case OpSet:
+		s.counters.Sets.Add(1)
+		s.cfg.Store.Set(req.Keys[0], req.Value, req.Flags)
+		if !req.NoReply {
+			writeStored(bw)
+		}
+	case OpDelete:
+		s.counters.Deletes.Add(1)
+		found := s.cfg.Store.Delete(req.Keys[0])
+		if found {
+			s.counters.DeleteHits.Add(1)
+		}
+		if !req.NoReply {
+			if found {
+				bw.WriteString("DELETED\r\n")
+			} else {
+				bw.WriteString("NOT_FOUND\r\n")
+			}
+		}
+	case OpStats:
+		s.writeStats(bw)
+	case OpQuit:
+		return false
+	}
+	return true
+}
+
+// writeStats renders the stats response: server counters plus the store's
+// gauges. The snapshot is not atomic across counters, but each counter is
+// itself exact.
+func (s *Server) writeStats(bw *bufio.Writer) {
+	writeStatString(bw, "cache", s.cfg.Store.Name())
+	writeStat(bw, "uptime_seconds", int64(time.Since(s.start).Seconds()))
+	writeStat(bw, "capacity_items", int64(s.cfg.Store.Capacity()))
+	writeStat(bw, "curr_items", s.cfg.Store.Items())
+	writeStat(bw, "curr_bytes", s.cfg.Store.Bytes())
+	writeStat(bw, "evictions", s.cfg.Store.Evictions())
+	writeStat(bw, "cmd_get", s.counters.Gets.Load())
+	writeStat(bw, "get_hits", s.counters.GetHits.Load())
+	writeStat(bw, "get_misses", s.counters.GetMisses.Load())
+	writeStat(bw, "cmd_set", s.counters.Sets.Load())
+	writeStat(bw, "cmd_delete", s.counters.Deletes.Load())
+	writeStat(bw, "delete_hits", s.counters.DeleteHits.Load())
+	writeStat(bw, "bad_commands", s.counters.BadCommands.Load())
+	writeStat(bw, "curr_connections", s.counters.CurrConns.Load())
+	writeStat(bw, "total_connections", s.counters.TotalConns.Load())
+	writeStat(bw, "rejected_connections", s.counters.RejectedConns.Load())
+	writeEnd(bw)
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// Counters are the server's operation counters. Everything is a plain
+// atomic so the hit path never takes a lock for accounting; stats and
+// expvar reads are snapshots, not transactions.
+type Counters struct {
+	Gets       atomic.Int64 // per key requested, so GetHits+GetMisses == Gets
+	GetHits    atomic.Int64
+	GetMisses  atomic.Int64
+	Sets       atomic.Int64
+	Deletes    atomic.Int64
+	DeleteHits atomic.Int64
+
+	BadCommands atomic.Int64
+
+	CurrConns     atomic.Int64
+	TotalConns    atomic.Int64
+	RejectedConns atomic.Int64
+}
+
+// ExpvarMap exposes the server's counters plus the store gauges as an
+// expvar.Map of live Funcs. The caller decides whether and under what name
+// to expvar.Publish it (publishing is global and can only happen once per
+// name per process, so the server never does it itself).
+func (s *Server) ExpvarMap() *expvar.Map {
+	m := new(expvar.Map)
+	gauge := func(name string, f func() int64) {
+		m.Set(name, expvar.Func(func() any { return f() }))
+	}
+	gauge("cmd_get", s.counters.Gets.Load)
+	gauge("get_hits", s.counters.GetHits.Load)
+	gauge("get_misses", s.counters.GetMisses.Load)
+	gauge("cmd_set", s.counters.Sets.Load)
+	gauge("cmd_delete", s.counters.Deletes.Load)
+	gauge("delete_hits", s.counters.DeleteHits.Load)
+	gauge("bad_commands", s.counters.BadCommands.Load)
+	gauge("curr_connections", s.counters.CurrConns.Load)
+	gauge("total_connections", s.counters.TotalConns.Load)
+	gauge("rejected_connections", s.counters.RejectedConns.Load)
+	gauge("curr_items", s.cfg.Store.Items)
+	gauge("curr_bytes", s.cfg.Store.Bytes)
+	gauge("evictions", s.cfg.Store.Evictions)
+	gauge("capacity_items", func() int64 { return int64(s.cfg.Store.Capacity()) })
+	m.Set("cache", expvar.Func(func() any { return s.cfg.Store.Name() }))
+	return m
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzParseRequest checks the parser never panics on arbitrary input and
+// that everything it accepts satisfies the protocol invariants the server
+// relies on (bounded keys, bounded values, valid op).
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte("get foo\r\n"))
+	f.Add([]byte("gets a b c\r\n"))
+	f.Add([]byte("set k 7 0 5\r\nhello\r\n"))
+	f.Add([]byte("set k 0 0 2 noreply\r\nhi\r\n"))
+	f.Add([]byte("delete k noreply\r\n"))
+	f.Add([]byte("stats\r\nquit\r\n"))
+	f.Add([]byte("set k 0 0 99999999999\r\n"))
+	f.Add([]byte("get " + string(bytes.Repeat([]byte("k"), 300)) + "\r\n"))
+	f.Add([]byte("\r\n\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxValue = 1 << 12
+		br := bufio.NewReaderSize(bytes.NewReader(data), 4096)
+		var req Request
+		for i := 0; i < 200; i++ {
+			err := ParseRequest(br, &req, maxValue)
+			if err != nil {
+				var ce ClientError
+				switch {
+				case errors.As(err, &ce),
+					errors.Is(err, ErrUnknownCommand):
+					continue // recoverable: parser must stay in sync
+				case errors.Is(err, ErrValueTooLarge),
+					errors.Is(err, io.EOF),
+					errors.Is(err, io.ErrUnexpectedEOF):
+					return // terminal for this connection
+				default:
+					t.Fatalf("unexpected error class: %v", err)
+				}
+			}
+			switch req.Op {
+			case OpGet, OpGets:
+				if len(req.Keys) == 0 || len(req.Keys) > MaxKeysPerGet {
+					t.Fatalf("accepted get with %d keys", len(req.Keys))
+				}
+				for _, k := range req.Keys {
+					if len(k) == 0 || len(k) > MaxKeyLen {
+						t.Fatalf("accepted key of length %d", len(k))
+					}
+				}
+			case OpSet:
+				if len(req.Keys) != 1 || len(req.Keys[0]) == 0 || len(req.Keys[0]) > MaxKeyLen {
+					t.Fatalf("accepted set with bad key")
+				}
+				if len(req.Value) > maxValue {
+					t.Fatalf("accepted value of %d bytes over limit %d", len(req.Value), maxValue)
+				}
+			case OpDelete:
+				if len(req.Keys) != 1 {
+					t.Fatalf("accepted delete with %d keys", len(req.Keys))
+				}
+			case OpStats, OpQuit:
+			default:
+				t.Fatalf("accepted request with invalid op %d", req.Op)
+			}
+		}
+	})
+}

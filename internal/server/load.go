@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LoadConfig parameterizes a closed-loop load run: Conns connections each
+// replay a pre-generated key stream, issuing a get per key and a set on
+// every miss (the standard cache-aside shape).
+type LoadConfig struct {
+	// Addr is the server to drive.
+	Addr string
+	// Conns is the number of concurrent connections. <=0 means 1.
+	Conns int
+	// TotalOps is the aggregate number of get operations across all
+	// connections (distributed exactly, like MeasureThroughput).
+	TotalOps int
+	// KeySpace is the distinct-key count (Zipf) or catalog size (family).
+	KeySpace int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Family selects an internal/workload family stream by name; empty
+	// selects the plain Zipf stream shared with MeasureThroughput, so an
+	// over-the-wire run replays byte-identical load to an in-process one.
+	Family string
+	// ValueLen is the value payload size in bytes. <=0 means 64.
+	ValueLen int
+	// LatencySamples bounds retained get-latency samples per connection.
+	// <=0 means 1<<16.
+	LatencySamples int
+}
+
+// LoadResult aggregates one load run.
+type LoadResult struct {
+	Ops     int64
+	Hits    int64
+	Sets    int64
+	Elapsed time.Duration
+	// Latency holds get round-trip samples across all connections.
+	Latency *stats.LatencyRecorder
+}
+
+// HitRatio returns hits/ops.
+func (r *LoadResult) HitRatio() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Ops)
+}
+
+// OpsPerSecond returns the aggregate closed-loop get rate.
+func (r *LoadResult) OpsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// loadStreams builds the per-connection key streams.
+func loadStreams(cfg LoadConfig) ([][]uint64, error) {
+	if cfg.Family == "" {
+		return concurrent.ZipfStreams(cfg.Conns, cfg.TotalOps, cfg.KeySpace, cfg.Seed), nil
+	}
+	fam, ok := workload.FamilyByName(cfg.Family)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown workload family %q", cfg.Family)
+	}
+	tr := fam.Generate(cfg.Seed, cfg.KeySpace, cfg.TotalOps)
+	streams := make([][]uint64, cfg.Conns)
+	for i := range streams {
+		lo := len(tr.Requests) * i / cfg.Conns
+		hi := len(tr.Requests) * (i + 1) / cfg.Conns
+		keys := make([]uint64, 0, hi-lo)
+		for _, r := range tr.Requests[lo:hi] {
+			keys = append(keys, r.Key)
+		}
+		streams[i] = keys
+	}
+	return streams, nil
+}
+
+// RunLoad drives a cache server with closed-loop load and returns the
+// aggregate result. Values embed the key (prefix "key:") and are verified
+// on every hit, so any cross-key corruption in the serving stack fails the
+// run.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.ValueLen <= 0 {
+		cfg.ValueLen = 64
+	}
+	if cfg.LatencySamples <= 0 {
+		cfg.LatencySamples = 1 << 16
+	}
+	streams, err := loadStreams(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		hits      int64
+		sets      int64
+		ops       int64
+		recorders = make([]*stats.LatencyRecorder, len(streams))
+	)
+	start := time.Now()
+	for i, stream := range streams {
+		wg.Add(1)
+		go func(i int, keys []uint64) {
+			defer wg.Done()
+			rec := stats.NewLatencyRecorder(cfg.LatencySamples, cfg.Seed+int64(i))
+			recorders[i] = rec
+			localHits, localSets, localOps, err := driveConn(cfg, keys, rec)
+			mu.Lock()
+			hits += localHits
+			sets += localSets
+			ops += localOps
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(i, stream)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &LoadResult{
+		Ops:     ops,
+		Hits:    hits,
+		Sets:    sets,
+		Elapsed: time.Since(start),
+		Latency: stats.NewLatencyRecorder(cfg.LatencySamples*len(streams), cfg.Seed),
+	}
+	for _, rec := range recorders {
+		res.Latency.Merge(rec)
+	}
+	return res, nil
+}
+
+// driveConn runs one connection's closed loop.
+func driveConn(cfg LoadConfig, keys []uint64, rec *stats.LatencyRecorder) (hits, sets, ops int64, err error) {
+	c, err := Dial(cfg.Addr)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer c.Close()
+	keyBuf := make([]byte, 0, 32)
+	value := make([]byte, cfg.ValueLen)
+	for _, k := range keys {
+		keyBuf = strconv.AppendUint(keyBuf[:0], k, 10)
+		t0 := time.Now()
+		v, found, err := c.Get(keyBuf)
+		rec.Record(time.Since(t0))
+		if err != nil {
+			return hits, sets, ops, err
+		}
+		ops++
+		if found {
+			hits++
+			if !bytes.HasPrefix(v, keyBuf) || len(v) > len(keyBuf) && v[len(keyBuf)] != ':' {
+				return hits, sets, ops, fmt.Errorf("server: corrupt value for key %s: %q", keyBuf, v)
+			}
+			continue
+		}
+		// Cache-aside fill: value = "<key>:" padded to ValueLen.
+		fill := value[:0]
+		fill = append(fill, keyBuf...)
+		fill = append(fill, ':')
+		for len(fill) < cfg.ValueLen {
+			fill = append(fill, 'x')
+		}
+		if err := c.Set(keyBuf, 0, fill); err != nil {
+			return hits, sets, ops, err
+		}
+		sets++
+	}
+	return hits, sets, ops, nil
+}

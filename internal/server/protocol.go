@@ -1,0 +1,358 @@
+// Package server is a TCP cache server speaking a memcached-compatible
+// text-protocol subset (get/gets with multi-key, set, delete, stats, quit)
+// over the sharded thread-safe caches in internal/concurrent. It exists to
+// carry the paper's LRU-vs-lazy-promotion comparison from in-process
+// microbenchmarks to served network traffic: the hit path stays exactly the
+// inner cache's — a shared lock and at most one atomic metadata store — so
+// the serving stack inherits "no locking for any cache operation on a hit"
+// (§3–§4) end to end.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strconv"
+)
+
+// Protocol limits, matching memcached's defaults where it has them.
+const (
+	// MaxKeyLen is memcached's key length limit.
+	MaxKeyLen = 250
+	// MaxKeysPerGet bounds multi-key get fan-out per request.
+	MaxKeysPerGet = 64
+	// DefaultMaxValueLen is the default per-object value limit (memcached's
+	// classic 1 MiB).
+	DefaultMaxValueLen = 1 << 20
+)
+
+// Op is a parsed command kind.
+type Op uint8
+
+// The supported commands.
+const (
+	OpInvalid Op = iota
+	OpGet
+	OpGets
+	OpSet
+	OpDelete
+	OpStats
+	OpQuit
+)
+
+// ClientError is a recoverable protocol error: the connection stays in sync
+// and the server reports it as a CLIENT_ERROR line.
+type ClientError string
+
+// Error implements error.
+func (e ClientError) Error() string { return string(e) }
+
+// ErrUnknownCommand reports an unrecognized command line; the server
+// answers ERROR and keeps the connection.
+var ErrUnknownCommand = errors.New("server: unknown command")
+
+// ErrValueTooLarge reports a set whose data block exceeds the configured
+// limit. The body has not been consumed, so the connection is out of sync
+// and must be closed after reporting.
+var ErrValueTooLarge = errors.New("server: object too large for cache")
+
+// Request is one parsed client request. A Request is reused across
+// ParseRequest calls to keep the hit path allocation-free: for get/gets the
+// key slices point into the bufio.Reader's buffer and are valid only until
+// the next read from the connection (the server always writes the response
+// before reading again); for set/delete the key is copied into an internal
+// buffer that survives reading the data block.
+type Request struct {
+	Op      Op
+	Keys    [][]byte // get/gets: all keys; set/delete: Keys[0]
+	Flags   uint32
+	Exptime int64
+	NoReply bool
+	Value   []byte // set payload; internal buffer, valid until next parse
+
+	keyStore []byte
+	valBuf   []byte
+}
+
+var (
+	tokGet     = []byte("get")
+	tokGets    = []byte("gets")
+	tokSet     = []byte("set")
+	tokDelete  = []byte("delete")
+	tokStats   = []byte("stats")
+	tokQuit    = []byte("quit")
+	tokNoReply = []byte("noreply")
+)
+
+// ParseRequest reads and parses one request from br into req. maxValueLen
+// bounds set payloads (<=0 selects DefaultMaxValueLen). Errors are either
+// recoverable (ClientError, ErrUnknownCommand — report and continue),
+// desynchronizing (ErrValueTooLarge — report and close), or I/O errors
+// (close silently).
+func ParseRequest(br *bufio.Reader, req *Request, maxValueLen int) error {
+	if maxValueLen <= 0 {
+		maxValueLen = DefaultMaxValueLen
+	}
+	line, err := readLine(br)
+	if err != nil {
+		return err
+	}
+	req.Op = OpInvalid
+	req.Keys = req.Keys[:0]
+	req.Flags = 0
+	req.Exptime = 0
+	req.NoReply = false
+	req.Value = nil
+
+	cmd, rest := nextToken(line)
+	switch {
+	case bytes.Equal(cmd, tokGet), bytes.Equal(cmd, tokGets):
+		if bytes.Equal(cmd, tokGets) {
+			req.Op = OpGets
+		} else {
+			req.Op = OpGet
+		}
+		for {
+			var key []byte
+			key, rest = nextToken(rest)
+			if key == nil {
+				break
+			}
+			if !validKey(key) {
+				return ClientError("bad key")
+			}
+			if len(req.Keys) >= MaxKeysPerGet {
+				return ClientError("too many keys in one request")
+			}
+			req.Keys = append(req.Keys, key)
+		}
+		if len(req.Keys) == 0 {
+			return ClientError("no keys")
+		}
+		return nil
+
+	case bytes.Equal(cmd, tokSet):
+		req.Op = OpSet
+		return parseSet(br, req, rest, maxValueLen)
+
+	case bytes.Equal(cmd, tokDelete):
+		req.Op = OpDelete
+		key, rest := nextToken(rest)
+		if !validKey(key) {
+			return ClientError("bad key")
+		}
+		req.keyStore = append(req.keyStore[:0], key...)
+		req.Keys = append(req.Keys[:0], req.keyStore)
+		if tok, _ := nextToken(rest); tok != nil {
+			if !bytes.Equal(tok, tokNoReply) {
+				return ClientError("bad command line format")
+			}
+			req.NoReply = true
+		}
+		return nil
+
+	case bytes.Equal(cmd, tokStats):
+		req.Op = OpStats
+		return nil
+
+	case bytes.Equal(cmd, tokQuit):
+		req.Op = OpQuit
+		return nil
+	}
+	return ErrUnknownCommand
+}
+
+// parseSet finishes `set <key> <flags> <exptime> <bytes> [noreply]` and
+// reads the data block. The key is copied out of the line buffer because
+// reading the block invalidates it.
+func parseSet(br *bufio.Reader, req *Request, rest []byte, maxValueLen int) error {
+	key, rest := nextToken(rest)
+	if !validKey(key) {
+		return ClientError("bad key")
+	}
+	flagsTok, rest := nextToken(rest)
+	exptimeTok, rest := nextToken(rest)
+	bytesTok, rest := nextToken(rest)
+	flags, ok1 := parseUint(flagsTok, 1<<32-1)
+	exptime, ok2 := parseInt(exptimeTok)
+	n, ok3 := parseUint(bytesTok, 1<<62)
+	if !ok1 || !ok2 || !ok3 {
+		return ClientError("bad command line format")
+	}
+	if tok, _ := nextToken(rest); tok != nil {
+		if !bytes.Equal(tok, tokNoReply) {
+			return ClientError("bad command line format")
+		}
+		req.NoReply = true
+	}
+	if n > uint64(maxValueLen) {
+		return ErrValueTooLarge
+	}
+	req.keyStore = append(req.keyStore[:0], key...)
+	req.Keys = append(req.Keys[:0], req.keyStore)
+	req.Flags = uint32(flags)
+	req.Exptime = exptime
+
+	need := int(n) + 2
+	if cap(req.valBuf) < need {
+		req.valBuf = make([]byte, need)
+	}
+	buf := req.valBuf[:need]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return err
+	}
+	if buf[need-2] != '\r' || buf[need-1] != '\n' {
+		return ClientError("bad data chunk")
+	}
+	req.Value = buf[:need-2]
+	return nil
+}
+
+// readLine returns the next line without its CRLF. Lines longer than the
+// reader's buffer are drained and reported as a recoverable ClientError.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == nil {
+		line = line[:len(line)-1]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		return line, nil
+	}
+	if err == bufio.ErrBufferFull {
+		for err == bufio.ErrBufferFull {
+			_, err = br.ReadSlice('\n')
+		}
+		if err != nil {
+			return nil, err
+		}
+		return nil, ClientError("command line too long")
+	}
+	return nil, err
+}
+
+// nextToken splits off the next space-delimited token, skipping runs of
+// spaces. A nil token means the line is exhausted.
+func nextToken(line []byte) (tok, rest []byte) {
+	i := 0
+	for i < len(line) && line[i] == ' ' {
+		i++
+	}
+	if i == len(line) {
+		return nil, nil
+	}
+	j := i
+	for j < len(line) && line[j] != ' ' {
+		j++
+	}
+	return line[i:j], line[j:]
+}
+
+// validKey enforces memcached's key rules: 1..250 bytes, no whitespace or
+// control characters.
+func validKey(k []byte) bool {
+	if len(k) == 0 || len(k) > MaxKeyLen {
+		return false
+	}
+	for _, c := range k {
+		if c <= ' ' || c == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// parseUint parses a decimal integer bounded by limit.
+func parseUint(b []byte, limit uint64) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		nv := v*10 + uint64(c-'0')
+		if nv < v || nv > limit {
+			return 0, false
+		}
+		v = nv
+	}
+	return v, true
+}
+
+// Response writers. All write into the connection's bufio.Writer; numbers
+// are appended via the writer's AvailableBuffer so the hit path allocates
+// nothing.
+
+func writeUint(bw *bufio.Writer, v uint64) {
+	bw.Write(strconv.AppendUint(bw.AvailableBuffer(), v, 10))
+}
+
+// writeValue emits one VALUE stanza of a get/gets response.
+func writeValue(bw *bufio.Writer, key []byte, flags uint32, value []byte, cas uint64, withCAS bool) {
+	bw.WriteString("VALUE ")
+	bw.Write(key)
+	bw.WriteByte(' ')
+	writeUint(bw, uint64(flags))
+	bw.WriteByte(' ')
+	writeUint(bw, uint64(len(value)))
+	if withCAS {
+		bw.WriteByte(' ')
+		writeUint(bw, cas)
+	}
+	bw.WriteString("\r\n")
+	bw.Write(value)
+	bw.WriteString("\r\n")
+}
+
+func writeEnd(bw *bufio.Writer)    { bw.WriteString("END\r\n") }
+func writeStored(bw *bufio.Writer) { bw.WriteString("STORED\r\n") }
+
+func writeClientError(bw *bufio.Writer, msg string) {
+	bw.WriteString("CLIENT_ERROR ")
+	bw.WriteString(msg)
+	bw.WriteString("\r\n")
+}
+
+func writeServerError(bw *bufio.Writer, msg string) {
+	bw.WriteString("SERVER_ERROR ")
+	bw.WriteString(msg)
+	bw.WriteString("\r\n")
+}
+
+// writeStat emits one STAT line of a stats response.
+func writeStat(bw *bufio.Writer, name string, v int64) {
+	bw.WriteString("STAT ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.Write(strconv.AppendInt(bw.AvailableBuffer(), v, 10))
+	bw.WriteString("\r\n")
+}
+
+func writeStatString(bw *bufio.Writer, name, v string) {
+	bw.WriteString("STAT ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(v)
+	bw.WriteString("\r\n")
+}
+
+// parseInt parses a decimal integer with an optional leading minus
+// (memcached allows negative exptimes).
+func parseInt(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		b = b[1:]
+	}
+	v, ok := parseUint(b, 1<<62)
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		return -int64(v), true
+	}
+	return int64(v), true
+}

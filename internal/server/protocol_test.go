@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, input string) (*Request, error) {
+	t.Helper()
+	br := bufio.NewReader(strings.NewReader(input))
+	var req Request
+	err := ParseRequest(br, &req, 0)
+	return &req, err
+}
+
+func TestParseRequestTable(t *testing.T) {
+	longKey := strings.Repeat("k", MaxKeyLen)
+	tooLongKey := strings.Repeat("k", MaxKeyLen+1)
+	cases := []struct {
+		name  string
+		input string
+		check func(t *testing.T, req *Request, err error)
+	}{
+		{"get one key", "get foo\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpGet || len(req.Keys) != 1 || string(req.Keys[0]) != "foo" {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"get multi key", "get a b c\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpGet || len(req.Keys) != 3 || string(req.Keys[2]) != "c" {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"gets has cas", "gets a b\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpGets || len(req.Keys) != 2 {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"get max-length key", "get " + longKey + "\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || len(req.Keys[0]) != MaxKeyLen {
+				t.Fatalf("err=%v", err)
+			}
+		}},
+		{"get oversized key", "get " + tooLongKey + "\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"get no keys", "get\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"get too many keys", "get " + strings.Repeat("k ", MaxKeysPerGet+1) + "\r\n",
+			func(t *testing.T, req *Request, err error) {
+				var ce ClientError
+				if !errors.As(err, &ce) {
+					t.Fatalf("want ClientError, got %v", err)
+				}
+			}},
+		{"get key with control byte", "get a\x01b\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"bare LF line accepted", "get foo\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || string(req.Keys[0]) != "foo" {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"set", "set k 7 0 5\r\nhello\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpSet || string(req.Keys[0]) != "k" ||
+				req.Flags != 7 || string(req.Value) != "hello" || req.NoReply {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"set noreply", "set k 0 0 2 noreply\r\nhi\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || !req.NoReply || string(req.Value) != "hi" {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"set empty value", "set k 0 0 0\r\n\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || len(req.Value) != 0 {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"set negative exptime", "set k 0 -1 2\r\nhi\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Exptime != -1 {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"set value embedding CRLF", "set k 0 0 4\r\na\r\nb\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || string(req.Value) != "a\r\nb" {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"set bad flags", "set k x 0 2\r\nhi\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"set missing bytes", "set k 0 0\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"set bad data chunk terminator", "set k 0 0 2\r\nhixx", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"set oversized value", "set k 0 0 99999999999\r\n", func(t *testing.T, req *Request, err error) {
+			if !errors.Is(err, ErrValueTooLarge) {
+				t.Fatalf("want ErrValueTooLarge, got %v", err)
+			}
+		}},
+		{"set trailing junk", "set k 0 0 2 nope\r\nhi\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"delete", "delete k\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpDelete || string(req.Keys[0]) != "k" {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"delete noreply", "delete k noreply\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || !req.NoReply {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"stats", "stats\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpStats {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"quit", "quit\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpQuit {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"unknown command", "incr k 1\r\n", func(t *testing.T, req *Request, err error) {
+			if !errors.Is(err, ErrUnknownCommand) {
+				t.Fatalf("want ErrUnknownCommand, got %v", err)
+			}
+		}},
+		{"empty line", "\r\n", func(t *testing.T, req *Request, err error) {
+			if !errors.Is(err, ErrUnknownCommand) {
+				t.Fatalf("want ErrUnknownCommand, got %v", err)
+			}
+		}},
+		{"eof", "", func(t *testing.T, req *Request, err error) {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("want EOF, got %v", err)
+			}
+		}},
+		{"truncated set body", "set k 0 0 10\r\nhi", func(t *testing.T, req *Request, err error) {
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := parseOne(t, tc.input)
+			tc.check(t, req, err)
+		})
+	}
+}
+
+// A line longer than the reader's buffer is drained as one recoverable
+// client error, leaving the following request parseable.
+func TestParseRequestOverlongLine(t *testing.T) {
+	input := "get " + strings.Repeat("x", 9000) + "\r\nget ok\r\n"
+	br := bufio.NewReaderSize(strings.NewReader(input), 4096)
+	var req Request
+	err := ParseRequest(br, &req, 0)
+	var ce ClientError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want ClientError for overlong line, got %v", err)
+	}
+	if err := ParseRequest(br, &req, 0); err != nil {
+		t.Fatalf("stream out of sync after overlong line: %v", err)
+	}
+	if string(req.Keys[0]) != "ok" {
+		t.Fatalf("next request misparsed: %q", req.Keys[0])
+	}
+}
+
+// A pipelined burst parses back-to-back from one buffer, and one Request
+// struct is safely reused across all of them.
+func TestParseRequestPipelinedBurst(t *testing.T) {
+	var input bytes.Buffer
+	for i := 0; i < 100; i++ {
+		input.WriteString("set k 0 0 3\r\nabc\r\nget k a b\r\ndelete k\r\n")
+	}
+	br := bufio.NewReader(&input)
+	var req Request
+	for i := 0; i < 100; i++ {
+		for _, want := range []Op{OpSet, OpGet, OpDelete} {
+			if err := ParseRequest(br, &req, 0); err != nil {
+				t.Fatalf("burst %d: %v", i, err)
+			}
+			if req.Op != want {
+				t.Fatalf("burst %d: op %v, want %v", i, req.Op, want)
+			}
+		}
+		if string(req.Keys[0]) != "k" {
+			t.Fatalf("key reuse corrupted: %q", req.Keys[0])
+		}
+	}
+	if err := ParseRequest(br, &req, 0); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF after burst, got %v", err)
+	}
+}
+
+// Requests arriving one byte at a time (worst-case partial reads) must
+// parse identically to a single write.
+func TestParseRequestPartialReads(t *testing.T) {
+	input := "set key1 3 0 5\r\nhello\r\nget key1 key2\r\n"
+	br := bufio.NewReader(iotest(input))
+	var req Request
+	if err := ParseRequest(br, &req, 0); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpSet || string(req.Value) != "hello" || req.Flags != 3 {
+		t.Fatalf("set misparsed: %+v", req)
+	}
+	if err := ParseRequest(br, &req, 0); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpGet || len(req.Keys) != 2 || string(req.Keys[1]) != "key2" {
+		t.Fatalf("get misparsed: %+v", req)
+	}
+}
+
+// iotest returns a reader yielding one byte per Read call.
+func iotest(s string) io.Reader { return &oneByteReader{data: []byte(s)} }
+
+type oneByteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	p[0] = r.data[r.pos]
+	r.pos++
+	return 1, nil
+}

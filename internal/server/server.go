@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/concurrent"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe (e.g. ":11211").
+	Addr string
+	// Store is the byte-value cache being served. Required.
+	Store *concurrent.KV
+	// MaxConns bounds concurrent client connections; excess connections
+	// are answered with SERVER_ERROR and closed. <=0 means 1024.
+	MaxConns int
+	// IdleTimeout closes connections with no complete request for this
+	// long. <=0 means 5 minutes.
+	IdleTimeout time.Duration
+	// MaxValueLen bounds set payloads. <=0 means DefaultMaxValueLen.
+	MaxValueLen int
+	// Logf, if set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the memcached text protocol over a KV store. Each
+// connection gets one goroutine with buffered reads and writes; responses
+// are flushed only when the read buffer is drained, so pipelined request
+// bursts are answered in batched writes.
+type Server struct {
+	cfg      Config
+	counters Counters
+	start    time.Time
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New validates cfg, applies defaults, and returns an unstarted Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 1024
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.MaxValueLen <= 0 {
+		cfg.MaxValueLen = DefaultMaxValueLen
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Counters exposes the server's live counters (for tests and callers that
+// embed them elsewhere).
+func (s *Server) Counters() *Counters { return &s.counters }
+
+// Addr returns the bound listen address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown (which returns nil here)
+// or a listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.counters.TotalConns.Add(1)
+		s.mu.Lock()
+		over := len(s.conns) >= s.cfg.MaxConns
+		if !over {
+			s.conns[nc] = struct{}{}
+		}
+		s.mu.Unlock()
+		if over {
+			s.counters.RejectedConns.Add(1)
+			nc.Write([]byte("SERVER_ERROR too many connections\r\n"))
+			nc.Close()
+			continue
+		}
+		s.counters.CurrConns.Add(1)
+		s.wg.Add(1)
+		go s.handleConn(nc)
+	}
+}
+
+// Shutdown drains the server: it stops accepting, wakes idle connections,
+// lets every in-flight and pipelined request finish with its response
+// flushed, and waits. If ctx expires first, remaining connections are
+// force-closed and ctx's error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Wake connections parked in a blocking read; their handlers observe
+	// draining and exit cleanly after serving anything already buffered.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+func (s *Server) removeConn(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}

@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/concurrent"
+)
+
+// startServer launches a qdlp-backed server on a loopback listener and
+// returns it with its address. Cleanup shuts it down.
+func startServer(t *testing.T, mutate func(*Config)) (*Server, string) {
+	t.Helper()
+	inner, err := concurrent.NewQDLP(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Store:       concurrent.NewKV(inner, 8),
+		MaxConns:    32,
+		IdleTimeout: time.Minute,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// rawConn is a line-level test client over a plain socket.
+type rawConn struct {
+	t  *testing.T
+	c  net.Conn
+	br *bufio.Reader
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &rawConn{t: t, c: c, br: bufio.NewReader(c)}
+}
+
+func (r *rawConn) send(s string) {
+	r.t.Helper()
+	if _, err := io.WriteString(r.c, s); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rawConn) line() string {
+	r.t.Helper()
+	r.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := r.br.ReadString('\n')
+	if err != nil {
+		r.t.Fatalf("read line: %v", err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+func (r *rawConn) expect(want string) {
+	r.t.Helper()
+	if got := r.line(); got != want {
+		r.t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestServerBasicSession(t *testing.T) {
+	_, addr := startServer(t, nil)
+	rc := dialRaw(t, addr)
+
+	rc.send("set foo 7 0 3\r\nbar\r\n")
+	rc.expect("STORED")
+	rc.send("get foo\r\n")
+	rc.expect("VALUE foo 7 3")
+	rc.expect("bar")
+	rc.expect("END")
+	rc.send("get missing\r\n")
+	rc.expect("END")
+
+	// Multi-key get with a miss in the middle.
+	rc.send("set baz 0 0 1\r\nz\r\n")
+	rc.expect("STORED")
+	rc.send("get foo nope baz\r\n")
+	rc.expect("VALUE foo 7 3")
+	rc.expect("bar")
+	rc.expect("VALUE baz 0 1")
+	rc.expect("z")
+	rc.expect("END")
+
+	// gets carries a cas token.
+	rc.send("gets foo\r\n")
+	if got := rc.line(); !strings.HasPrefix(got, "VALUE foo 7 3 ") {
+		t.Fatalf("gets header %q lacks cas", got)
+	}
+	rc.expect("bar")
+	rc.expect("END")
+
+	rc.send("delete foo\r\n")
+	rc.expect("DELETED")
+	rc.send("delete foo\r\n")
+	rc.expect("NOT_FOUND")
+	rc.send("get foo\r\n")
+	rc.expect("END")
+
+	// noreply set produces no response; the next get sees the value.
+	rc.send("set quiet 0 0 2 noreply\r\nok\r\nget quiet\r\n")
+	rc.expect("VALUE quiet 0 2")
+	rc.expect("ok")
+	rc.expect("END")
+
+	// Protocol errors are recoverable.
+	rc.send("bogus\r\n")
+	rc.expect("ERROR")
+	rc.send("get " + strings.Repeat("x", 300) + "\r\n")
+	if got := rc.line(); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("got %q, want CLIENT_ERROR", got)
+	}
+	rc.send("get quiet\r\n")
+	rc.expect("VALUE quiet 0 2")
+	rc.expect("ok")
+	rc.expect("END")
+}
+
+func TestServerStatsConsistency(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("k%d", i%10))
+		if v, found, err := c.Get(key); err != nil {
+			t.Fatal(err)
+		} else if found && len(v) == 0 {
+			t.Fatal("empty hit")
+		} else if !found {
+			if err := c.Set(key, 0, []byte("value")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gets, _ := StatInt(st, "cmd_get")
+	hits, _ := StatInt(st, "get_hits")
+	misses, _ := StatInt(st, "get_misses")
+	if gets != 50 {
+		t.Fatalf("cmd_get = %d, want 50", gets)
+	}
+	if hits+misses != gets {
+		t.Fatalf("hits %d + misses %d != gets %d", hits, misses, gets)
+	}
+	if misses != 10 || hits != 40 {
+		t.Fatalf("hits=%d misses=%d, want 40/10", hits, misses)
+	}
+	items, _ := StatInt(st, "curr_items")
+	if items != 10 {
+		t.Fatalf("curr_items = %d", items)
+	}
+	bytes, _ := StatInt(st, "curr_bytes")
+	if bytes != 50 { // 10 items × len("value")
+		t.Fatalf("curr_bytes = %d", bytes)
+	}
+	if got := srv.Counters().Sets.Load(); got != 10 {
+		t.Fatalf("cmd_set = %d", got)
+	}
+}
+
+// A pipelined burst is answered completely and in order.
+func TestServerPipelining(t *testing.T) {
+	_, addr := startServer(t, nil)
+	rc := dialRaw(t, addr)
+	var b strings.Builder
+	const n = 200
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "set k%d 0 0 2 noreply\r\nv%d\r\n", i%100, i%10)
+		fmt.Fprintf(&b, "get k%d\r\n", i%100)
+	}
+	rc.send(b.String())
+	for i := 0; i < n; i++ {
+		rc.expect(fmt.Sprintf("VALUE k%d 0 2", i%100))
+		rc.expect(fmt.Sprintf("v%d", i%10))
+		rc.expect("END")
+	}
+}
+
+func TestServerMaxConns(t *testing.T) {
+	_, addr := startServer(t, func(cfg *Config) { cfg.MaxConns = 1 })
+	rc1 := dialRaw(t, addr)
+	rc1.send("stats\r\n")
+	if got := rc1.line(); !strings.HasPrefix(got, "STAT ") {
+		t.Fatalf("first conn broken: %q", got)
+	}
+	for rc1.line() != "END" {
+	}
+	rc2 := dialRaw(t, addr)
+	rc2.expect("SERVER_ERROR too many connections")
+	if _, err := rc2.br.ReadByte(); err != io.EOF {
+		t.Fatalf("rejected conn not closed: %v", err)
+	}
+	// First connection still works.
+	rc1.send("set a 0 0 1\r\nx\r\n")
+	rc1.expect("STORED")
+}
+
+func TestServerIdleTimeout(t *testing.T) {
+	_, addr := startServer(t, func(cfg *Config) { cfg.IdleTimeout = 100 * time.Millisecond })
+	rc := dialRaw(t, addr)
+	rc.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := rc.br.ReadByte(); err != io.EOF {
+		t.Fatalf("idle conn: got %v, want EOF", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("closed suspiciously fast: %v", elapsed)
+	}
+}
+
+// An oversized set reports SERVER_ERROR and closes (the body was never
+// consumed, so the stream cannot stay in sync).
+func TestServerValueTooLarge(t *testing.T) {
+	_, addr := startServer(t, func(cfg *Config) { cfg.MaxValueLen = 1024 })
+	rc := dialRaw(t, addr)
+	rc.send("set big 0 0 2048\r\n")
+	rc.expect("SERVER_ERROR object too large for cache")
+	if _, err := rc.br.ReadByte(); err != io.EOF {
+		t.Fatalf("conn not closed after oversized set: %v", err)
+	}
+}
+
+// Shutdown during a pipelined burst: every request already sent must get
+// its complete response before the connection closes — drain, not drop.
+func TestServerGracefulShutdownDrains(t *testing.T) {
+	inner, err := concurrent.NewQDLP(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: concurrent.NewKV(inner, 8), IdleTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 500
+	var b strings.Builder
+	b.WriteString("set k 0 0 3\r\nval\r\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("get k\r\n")
+	}
+	if _, err := io.WriteString(c, b.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shut down while the burst is (very likely) mid-flight.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	expect := func(want string) {
+		t.Helper()
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("response dropped mid-drain: %v", err)
+		}
+		if got := strings.TrimRight(line, "\r\n"); got != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+	expect("STORED")
+	for i := 0; i < n; i++ {
+		expect("VALUE k 0 3")
+		expect("val")
+		expect("END")
+	}
+	// After the drain the server closes the connection.
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("after drain: got %v, want EOF", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LatencyRecorder collects duration samples with bounded memory: the first
+// capacity samples are kept exactly; beyond that it switches to reservoir
+// sampling (Algorithm R) so percentiles stay representative of the whole
+// run. Deterministic given its seed. Not safe for concurrent use — record
+// per worker and Merge afterwards.
+type LatencyRecorder struct {
+	samples []float64 // nanoseconds
+	seen    int64
+	rng     *rand.Rand
+}
+
+// NewLatencyRecorder returns a recorder keeping at most capacity samples
+// (minimum 1).
+func NewLatencyRecorder(capacity int, seed int64) *LatencyRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LatencyRecorder{
+		samples: make([]float64, 0, capacity),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.seen++
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, float64(d))
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(cap(r.samples)) {
+		r.samples[j] = float64(d)
+	}
+}
+
+// Merge folds o's samples into r. Exact while both recorders are below
+// capacity; an approximation (per-sample re-insertion) once either has
+// overflowed into reservoir mode.
+func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	if o == nil {
+		return
+	}
+	extra := o.seen - int64(len(o.samples))
+	for _, s := range o.samples {
+		r.Record(time.Duration(s))
+	}
+	r.seen += extra
+}
+
+// Count returns the number of samples recorded (not the number retained).
+func (r *LatencyRecorder) Count() int64 { return r.seen }
+
+// Percentile returns the p-th percentile (0..100) of the retained samples,
+// or 0 if none were recorded.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return time.Duration(Percentile(r.samples, p))
+}
+
+// Mean returns the mean retained sample, or 0 if none were recorded.
+func (r *LatencyRecorder) Mean() time.Duration {
+	return time.Duration(Summarize(r.samples).Mean)
+}

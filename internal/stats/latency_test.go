@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderExactBelowCapacity(t *testing.T) {
+	r := NewLatencyRecorder(1024, 1)
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	// stats.Percentile interpolates: p50 of 1..100ms is 50.5ms.
+	if got := r.Percentile(50); got != 50500*time.Microsecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := r.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := r.Percentile(0); got != 1*time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := r.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	r := NewLatencyRecorder(16, 1)
+	if r.Count() != 0 || r.Percentile(50) != 0 || r.Mean() != 0 {
+		t.Fatalf("empty recorder: count=%d p50=%v mean=%v",
+			r.Count(), r.Percentile(50), r.Mean())
+	}
+}
+
+func TestLatencyRecorderMergeExact(t *testing.T) {
+	a := NewLatencyRecorder(1024, 1)
+	b := NewLatencyRecorder(1024, 2)
+	for i := 1; i <= 50; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+		b.Record(time.Duration(i+50) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if got := a.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("merged max = %v", got)
+	}
+	if got := a.Percentile(50); got != 50500*time.Microsecond {
+		t.Fatalf("merged p50 = %v", got)
+	}
+}
+
+// Over capacity the reservoir keeps a uniform sample: the count stays exact
+// and the percentiles stay representative of the underlying distribution.
+func TestLatencyRecorderReservoir(t *testing.T) {
+	r := NewLatencyRecorder(256, 7)
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	if r.Count() != n {
+		t.Fatalf("Count = %d, want %d", r.Count(), n)
+	}
+	// A uniform 1..n stream sampled uniformly: the median estimate must land
+	// well inside the middle of the range. Loose bounds — this is a sanity
+	// check, not a statistical test.
+	p50 := r.Percentile(50)
+	if p50 < n/4*time.Microsecond || p50 > 3*n/4*time.Microsecond {
+		t.Fatalf("reservoir p50 = %v, implausible for uniform 1..%dµs", p50, n)
+	}
+	if max := r.Percentile(100); max > n*time.Microsecond {
+		t.Fatalf("max %v exceeds largest recorded value", max)
+	}
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 gate: everything here must pass before a change lands.
+set -eu
+cd "$(dirname "$0")"
+
+echo '== go vet ./...'
+go vet ./...
+echo '== go build ./...'
+go build ./...
+echo '== go test ./...'
+go test ./...
+echo '== go test -race (concurrent + server)'
+go test -race ./internal/concurrent/... ./internal/server/...
+echo 'tier1: all green'
