@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/stats"
 )
@@ -30,9 +32,14 @@ func main() {
 		seed     = flag.Int64("seed", 1, "load generator seed")
 		family   = flag.String("family", "", "workload family name (empty = Zipf)")
 		valueLen = flag.Int("valuesize", 64, "value payload bytes")
+		metricsF = flag.String("metrics", "", `write client-side Prometheus exposition here after the run ("-" = stdout); families match the server's, labeled side="client"`)
 	)
 	flag.Parse()
 
+	var reg *metrics.Registry
+	if *metricsF != "" {
+		reg = metrics.NewRegistry()
+	}
 	res, err := server.RunLoad(server.LoadConfig{
 		Addr:     *addr,
 		Conns:    *conns,
@@ -41,6 +48,7 @@ func main() {
 		Seed:     *seed,
 		Family:   *family,
 		ValueLen: *valueLen,
+		Metrics:  reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -63,4 +71,21 @@ func main() {
 	tb.AddRow("get p99", res.Latency.Percentile(99).String())
 	tb.AddRow("get max", res.Latency.Percentile(100).String())
 	fmt.Print(tb)
+
+	if reg != nil {
+		out := os.Stdout
+		if *metricsF != "-" {
+			f, err := os.Create(*metricsF)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		} else {
+			fmt.Println()
+		}
+		if err := reg.WriteText(out); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -5,7 +5,12 @@
 // LRU-vs-lazy-promotion comparison carries over to served traffic:
 //
 //	cacheserver -addr :11211 -cache qdlp -capacity 1048576 -shards 64
-//	cacheserver -cache lru -debug-addr :8080    # expvar at /debug/vars
+//	cacheserver -cache lru -admin-addr :8080
+//
+// The admin listener serves Prometheus metrics at /metrics (per-command
+// request counters and latency histograms, per-policy hit/miss/eviction
+// counters, per-shard occupancy), liveness at /healthz, expvar at
+// /debug/vars, and profiles at /debug/pprof.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight and pipelined requests finish
 // with their responses flushed before connections close.
@@ -15,15 +20,16 @@ import (
 	"context"
 	"expvar"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/concurrent"
+	"repro/internal/metrics"
 	"repro/internal/server"
 )
 
@@ -32,22 +38,28 @@ func main() {
 	log.SetPrefix("cacheserver: ")
 	var (
 		addr        = flag.String("addr", ":11211", "TCP listen address")
-		cache       = flag.String("cache", "qdlp", "eviction policy: lru|clock|qdlp|sieve")
+		cache       = flag.String("cache", "qdlp", "eviction policy: "+strings.Join(concurrent.Names(), "|"))
 		capacity    = flag.Int("capacity", 1<<20, "cache capacity in objects")
 		shards      = flag.Int("shards", 64, "shard count (rounded up to a power of two)")
+		clockBits   = flag.Int("clock-bits", 0, "CLOCK counter bits for clock/qdlp (0 = policy default)")
 		maxConns    = flag.Int("max-conns", 1024, "max concurrent client connections")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this long")
 		maxItemSize = flag.Int("max-item-size", server.DefaultMaxValueLen, "max value size in bytes")
-		debugAddr   = flag.String("debug-addr", "", "optional HTTP address exposing expvar at /debug/vars")
+		adminAddr   = flag.String("admin-addr", "", "optional HTTP admin address (/metrics, /healthz, /debug/vars, /debug/pprof)")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 	)
 	flag.Parse()
 
-	inner, err := newCache(*cache, *capacity, *shards)
+	opts := []concurrent.Option{concurrent.WithShards(*shards)}
+	if *clockBits != 0 {
+		opts = append(opts, concurrent.WithClockBits(*clockBits))
+	}
+	inner, err := concurrent.New(*cache, *capacity, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	store := concurrent.NewKV(inner, *shards)
+	reg := metrics.NewRegistry()
 	srv, err := server.New(server.Config{
 		Addr:        *addr,
 		Store:       store,
@@ -55,21 +67,20 @@ func main() {
 		IdleTimeout: *idleTimeout,
 		MaxValueLen: *maxItemSize,
 		Logf:        log.Printf,
+		Metrics:     reg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if *debugAddr != "" {
+	if *adminAddr != "" {
 		expvar.Publish("cacheserver", srv.ExpvarMap())
-		mux := http.NewServeMux()
-		mux.Handle("/debug/vars", expvar.Handler())
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
-				log.Printf("debug server: %v", err)
+			if err := http.ListenAndServe(*adminAddr, srv.AdminMux(reg)); err != nil {
+				log.Printf("admin server: %v", err)
 			}
 		}()
-		log.Printf("expvar at http://%s/debug/vars", *debugAddr)
+		log.Printf("admin endpoint at http://%s/metrics", *adminAddr)
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -93,18 +104,4 @@ func main() {
 		}
 		log.Print("drained cleanly")
 	}
-}
-
-func newCache(kind string, capacity, shards int) (concurrent.Cache, error) {
-	switch kind {
-	case "lru":
-		return concurrent.NewLRU(capacity, shards)
-	case "clock":
-		return concurrent.NewClock(capacity, shards, 2)
-	case "qdlp":
-		return concurrent.NewQDLP(capacity, shards)
-	case "sieve":
-		return concurrent.NewSieve(capacity, shards)
-	}
-	return nil, fmt.Errorf("unknown cache kind %q (want lru|clock|qdlp|sieve)", kind)
 }

@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("throughput: ")
 	var (
-		caches     = flag.String("caches", "lru,clock,qdlp,sieve", "comma-separated cache kinds")
+		caches     = flag.String("caches", "lru,clock,qdlp,sieve", "comma-separated cache kinds ("+strings.Join(concurrent.Names(), "|")+")")
 		goroutines = flag.String("goroutines", "1,2,4,8", "comma-separated goroutine counts")
 		capacity   = flag.Int("capacity", 1<<16, "total cache capacity in objects")
 		shards     = flag.Int("shards", 16, "shard count (rounded up to a power of two)")
@@ -38,18 +38,7 @@ func main() {
 		runtime.GOMAXPROCS(0), *capacity, *shards, *keySpace)
 
 	mk := func(kind string) (concurrent.Cache, error) {
-		switch kind {
-		case "lru":
-			return concurrent.NewLRU(*capacity, *shards)
-		case "clock":
-			return concurrent.NewClock(*capacity, *shards, 2)
-		case "qdlp":
-			return concurrent.NewQDLP(*capacity, *shards)
-		case "sieve":
-			return concurrent.NewSieve(*capacity, *shards)
-		default:
-			return nil, fmt.Errorf("unknown cache kind %q (want lru|clock|qdlp|sieve)", kind)
-		}
+		return concurrent.New(kind, *capacity, concurrent.WithShards(*shards))
 	}
 
 	var gs []int

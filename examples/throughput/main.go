@@ -28,15 +28,13 @@ func main() {
 	fmt.Printf("GOMAXPROCS=%d (scalability gaps grow with real core counts)\n\n", runtime.GOMAXPROCS(0))
 
 	mkCaches := func() []concurrent.Cache {
-		lru, err := concurrent.NewLRU(capacity, shards)
-		check(err)
-		clock, err := concurrent.NewClock(capacity, shards, 2)
-		check(err)
-		qdlp, err := concurrent.NewQDLP(capacity, shards)
-		check(err)
-		sieve, err := concurrent.NewSieve(capacity, shards)
-		check(err)
-		return []concurrent.Cache{lru, clock, qdlp, sieve}
+		out := make([]concurrent.Cache, 0, len(concurrent.Names()))
+		for _, name := range concurrent.Names() {
+			c, err := concurrent.New(name, capacity, concurrent.WithShards(shards))
+			check(err)
+			out = append(out, c)
+		}
+		return out
 	}
 
 	tb := stats.NewTable("cache", "goroutines", "Mops/s", "hit ratio")

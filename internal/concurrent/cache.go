@@ -35,9 +35,13 @@ type Cache interface {
 	Len() int
 	// Capacity returns the configured capacity in objects.
 	Capacity() int
-	// Evictions returns the number of objects evicted to make room (not
-	// counting overwrites or Deletes).
-	Evictions() int64
+	// Stats returns a point-in-time snapshot of the cache-wide operation
+	// counters and occupancy. It never takes the hit path's locks.
+	Stats() Snapshot
+	// ShardStats returns one snapshot per shard, in shard order — the
+	// per-shard view the metrics layer exports for balance/occupancy
+	// dashboards.
+	ShardStats() []Snapshot
 	// SetEvictHook registers fn to be called with the key of every object
 	// evicted for capacity. It must be called before the cache is shared
 	// between goroutines. fn runs while the victim's shard lock is held

@@ -1,6 +1,7 @@
 package concurrent
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -12,12 +13,11 @@ import (
 // request to a cached object without locking" (§3). Misses take the
 // exclusive lock and advance the clock hand.
 type Clock struct {
-	shards    []clockShard
-	mask      uint64
-	cap       int
-	maxFreq   uint32
-	evictions atomic.Int64
-	onEvict   func(uint64)
+	shards  []clockShard
+	mask    uint64
+	cap     int
+	maxFreq uint32
+	onEvict func(uint64)
 }
 
 type clockShard struct {
@@ -26,6 +26,7 @@ type clockShard struct {
 	slots []clockSlot
 	hand  int
 	used  int
+	stats opStats
 	_     [24]byte
 }
 
@@ -46,7 +47,7 @@ func NewClock(capacity, shards, bits int) (*Clock, error) {
 		return nil, err
 	}
 	if bits < 1 || bits > 6 {
-		bits = 1
+		return nil, fmt.Errorf("concurrent: clock bits %d outside [1, 6]", bits)
 	}
 	c := &Clock{
 		shards:  make([]clockShard, n),
@@ -91,6 +92,7 @@ func (c *Clock) Get(key uint64) (uint64, bool) {
 	idx, ok := s.byKey[key]
 	if !ok {
 		s.mu.RUnlock()
+		s.stats.misses.Add(1)
 		return 0, false
 	}
 	slot := &s.slots[idx]
@@ -99,6 +101,7 @@ func (c *Clock) Get(key uint64) (uint64, bool) {
 		slot.freq.Store(f + 1) // benign race: counter is a hint
 	}
 	s.mu.RUnlock()
+	s.stats.hits.Add(1)
 	return v, true
 }
 
@@ -107,6 +110,7 @@ func (c *Clock) Get(key uint64) (uint64, bool) {
 // zero-counter slot.
 func (c *Clock) Set(key, value uint64) {
 	s := c.shard(key)
+	s.stats.sets.Add(1)
 	s.mu.Lock()
 	if idx, ok := s.byKey[key]; ok {
 		slot := &s.slots[idx]
@@ -121,7 +125,7 @@ func (c *Clock) Set(key, value uint64) {
 	slot := &s.slots[idx]
 	if slot.live {
 		delete(s.byKey, slot.key)
-		c.evictions.Add(1)
+		s.stats.evictions.Add(1)
 		if c.onEvict != nil {
 			c.onEvict(slot.key)
 		}
@@ -148,11 +152,25 @@ func (c *Clock) Delete(key uint64) bool {
 	delete(s.byKey, key)
 	s.slots[idx].live = false
 	s.used--
+	s.stats.deletes.Add(1)
 	return true
 }
 
-// Evictions implements Cache.
-func (c *Clock) Evictions() int64 { return c.evictions.Load() }
+// Stats implements Cache.
+func (c *Clock) Stats() Snapshot { return sumSnapshots(c.ShardStats()) }
+
+// ShardStats implements Cache.
+func (c *Clock) ShardStats() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n := s.used
+		s.mu.RUnlock()
+		out[i] = s.stats.snapshot(n, len(s.slots))
+	}
+	return out
+}
 
 // SetEvictHook implements Cache.
 func (c *Clock) SetEvictHook(fn func(uint64)) { c.onEvict = fn }

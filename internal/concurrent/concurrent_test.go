@@ -281,8 +281,8 @@ func TestDelete(t *testing.T) {
 			if v, ok := c.Get(1); !ok || v != 11 {
 				t.Fatalf("reinsert after delete: %d,%v", v, ok)
 			}
-			if c.Evictions() != 0 {
-				t.Fatalf("deletes counted as evictions: %d", c.Evictions())
+			if c.Stats().Evictions != 0 {
+				t.Fatalf("deletes counted as evictions: %d", c.Stats().Evictions)
 			}
 		})
 	}
@@ -324,7 +324,7 @@ func TestEvictionCountAndHook(t *testing.T) {
 			for k := uint64(0); k < 200; k++ {
 				c.Set(k, k)
 			}
-			ev := c.Evictions()
+			ev := c.Stats().Evictions
 			if ev == 0 {
 				t.Fatal("no evictions counted after overfilling")
 			}

@@ -36,9 +36,10 @@ type KV struct {
 }
 
 type kvShard struct {
-	mu sync.RWMutex
-	m  map[uint64]kvEntry
-	_  [24]byte
+	mu    sync.RWMutex
+	m     map[uint64]kvEntry
+	stats opStats
+	_     [24]byte
 }
 
 type kvEntry struct {
@@ -103,9 +104,11 @@ func (kv *KV) Get(key []byte) (value []byte, flags uint32, cas uint64, ok bool) 
 	e, ok := s.m[id]
 	s.mu.RUnlock()
 	if !ok || !bytes.Equal(e.key, key) {
+		s.stats.misses.Add(1)
 		return nil, 0, 0, false
 	}
 	kv.inner.Get(id) // lazy promotion: bump the policy metadata only
+	s.stats.hits.Add(1)
 	return e.value, e.flags, e.cas, true
 }
 
@@ -113,6 +116,7 @@ func (kv *KV) Get(key []byte) (value []byte, flags uint32, cas uint64, ok bool) 
 // stamped on this version.
 func (kv *KV) Set(key, value []byte, flags uint32) uint64 {
 	id := digest(key)
+	kv.shard(id).stats.sets.Add(1)
 	buf := make([]byte, len(key)+len(value))
 	copy(buf, key)
 	copy(buf[len(key):], value)
@@ -169,6 +173,7 @@ func (kv *KV) Delete(key []byte) bool {
 	if !ok {
 		return false
 	}
+	s.stats.deletes.Add(1)
 	kv.bytes.Add(-int64(len(e.value)))
 	kv.items.Add(-1)
 	return true
@@ -180,8 +185,30 @@ func (kv *KV) Items() int64 { return kv.items.Load() }
 // Bytes returns the total value bytes currently cached.
 func (kv *KV) Bytes() int64 { return kv.bytes.Load() }
 
-// Evictions returns the inner cache's capacity-eviction count.
-func (kv *KV) Evictions() int64 { return kv.inner.Evictions() }
+// Stats returns a point-in-time snapshot of the KV-level operation
+// counters (hits and misses as observed at the byte-value API, including
+// digest-collision misses the inner cache never sees) combined with the
+// inner cache's eviction count and capacity. Len is the data-plane item
+// count.
+func (kv *KV) Stats() Snapshot {
+	var out Snapshot
+	for i := range kv.shards {
+		s := &kv.shards[i].stats
+		out.Hits += s.hits.Load()
+		out.Misses += s.misses.Load()
+		out.Sets += s.sets.Load()
+		out.Deletes += s.deletes.Load()
+	}
+	out.Evictions = kv.inner.Stats().Evictions
+	out.Len = int(kv.items.Load())
+	out.Capacity = kv.inner.Capacity()
+	return out
+}
+
+// ShardStats returns the inner cache's per-shard snapshots — the policy
+// plane's occupancy and eviction balance, which is the per-shard view worth
+// charting (the data plane's sharding is an implementation detail).
+func (kv *KV) ShardStats() []Snapshot { return kv.inner.ShardStats() }
 
 // Capacity returns the inner cache's object capacity.
 func (kv *KV) Capacity() int { return kv.inner.Capacity() }

@@ -62,7 +62,7 @@ func TestKVEvictionDropsBytes(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				kv.Set([]byte(fmt.Sprintf("key-%04d", i)), make([]byte, valLen), 0)
 			}
-			if kv.Evictions() == 0 {
+			if kv.Stats().Evictions == 0 {
 				t.Fatal("no evictions after overfilling")
 			}
 			if kv.Items() > int64(kv.Capacity()) {

@@ -2,7 +2,6 @@ package concurrent
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/dlist"
 )
@@ -11,11 +10,10 @@ import (
 // exclusive lock to splice the entry to the head of the recency list — the
 // six-pointer update the paper identifies as LRU's scalability bottleneck.
 type LRU struct {
-	shards    []lruShard
-	mask      uint64
-	cap       int
-	evictions atomic.Int64
-	onEvict   func(uint64)
+	shards  []lruShard
+	mask    uint64
+	cap     int
+	onEvict func(uint64)
 }
 
 type lruShard struct {
@@ -23,7 +21,8 @@ type lruShard struct {
 	cap   int
 	byKey map[uint64]*dlist.Node[lruEntry]
 	list  dlist.List[lruEntry] // front = MRU
-	_     [24]byte             // pad to limit false sharing between shards
+	stats opStats
+	_     [24]byte // pad to limit false sharing between shards
 }
 
 type lruEntry struct {
@@ -75,17 +74,20 @@ func (c *LRU) Get(key uint64) (uint64, bool) {
 	n, ok := s.byKey[key]
 	if !ok {
 		s.mu.Unlock()
+		s.stats.misses.Add(1)
 		return 0, false
 	}
 	s.list.MoveToFront(n) // eager promotion: pointer surgery under lock
 	v := n.Value.value
 	s.mu.Unlock()
+	s.stats.hits.Add(1)
 	return v, true
 }
 
 // Set implements Cache.
 func (c *LRU) Set(key, value uint64) {
 	s := c.shard(key)
+	s.stats.sets.Add(1)
 	s.mu.Lock()
 	if n, ok := s.byKey[key]; ok {
 		n.Value.value = value
@@ -97,7 +99,7 @@ func (c *LRU) Set(key, value uint64) {
 		victim := s.list.Back()
 		delete(s.byKey, victim.Value.key)
 		s.list.Remove(victim)
-		c.evictions.Add(1)
+		s.stats.evictions.Add(1)
 		if c.onEvict != nil {
 			c.onEvict(victim.Value.key)
 		}
@@ -117,11 +119,25 @@ func (c *LRU) Delete(key uint64) bool {
 	}
 	delete(s.byKey, key)
 	s.list.Remove(n)
+	s.stats.deletes.Add(1)
 	return true
 }
 
-// Evictions implements Cache.
-func (c *LRU) Evictions() int64 { return c.evictions.Load() }
+// Stats implements Cache.
+func (c *LRU) Stats() Snapshot { return sumSnapshots(c.ShardStats()) }
+
+// ShardStats implements Cache.
+func (c *LRU) ShardStats() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n := s.list.Len()
+		s.mu.Unlock()
+		out[i] = s.stats.snapshot(n, s.cap)
+	}
+	return out
+}
 
 // SetEvictHook implements Cache.
 func (c *LRU) SetEvictHook(fn func(uint64)) { c.onEvict = fn }

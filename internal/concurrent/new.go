@@ -1,0 +1,161 @@
+package concurrent
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// config collects the functional options New applies before dispatching to
+// a policy factory. Option relevance is tracked explicitly so a factory can
+// reject options that do not apply to its policy instead of silently
+// ignoring them — a misconfigured benchmark is worse than a loud error.
+type config struct {
+	shards       int
+	clockBits    int
+	clockBitsSet bool
+	qdlp         QDLPOptions
+	qdlpSet      bool
+}
+
+const defaultShards = 16
+
+func defaultConfig() config {
+	return config{shards: defaultShards, clockBits: 2}
+}
+
+// Option configures New. Options validate eagerly: a bad value fails the
+// New call rather than being clamped.
+type Option func(*config) error
+
+// WithShards sets the shard count (rounded up to a power of two). It
+// applies to every policy.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("concurrent: shard count %d must be positive", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithClockBits sets the CLOCK counter width in bits, 1–6 (1 =
+// FIFO-Reinsertion, 2 = the paper's choice). It applies to the clock policy
+// (the ring's counters) and to qdlp (the main ring's counters).
+func WithClockBits(bits int) Option {
+	return func(c *config) error {
+		if bits < 1 || bits > 6 {
+			return fmt.Errorf("concurrent: clock bits %d outside [1, 6]", bits)
+		}
+		c.clockBits = bits
+		c.clockBitsSet = true
+		c.qdlp.ClockBits = bits
+		return nil
+	}
+}
+
+// WithQDLPOptions sets the QD-LP-FIFO parameters (probation share, ghost
+// factor, main-ring CLOCK bits). It applies only to the qdlp policy.
+func WithQDLPOptions(opts QDLPOptions) Option {
+	return func(c *config) error {
+		if c.clockBitsSet && opts.ClockBits == 0 {
+			opts.ClockBits = c.clockBits // compose with an earlier WithClockBits
+		}
+		c.qdlp = opts
+		c.qdlpSet = true
+		return nil
+	}
+}
+
+// Factory constructs one policy's cache from the validated option set.
+type Factory func(capacity int, cfg config) (Cache, error)
+
+var (
+	regMu     sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register adds a named cache factory to the registry. Like core.Register
+// it panics on a duplicate name: registration happens in init functions
+// where a duplicate is a programming error.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("concurrent: duplicate cache registration %q", name))
+	}
+	factories[name] = f
+}
+
+// Names returns the registered cache policy names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New constructs the named thread-safe cache — the concurrent counterpart
+// of core.New. Policy-specific knobs are functional options; an option that
+// does not apply to the chosen policy is an error, as is an unknown policy
+// name:
+//
+//	c, err := concurrent.New("qdlp", 1<<20, concurrent.WithShards(64))
+func New(policy string, capacity int, opts ...Option) (Cache, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	regMu.RLock()
+	f, ok := factories[policy]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("concurrent: unknown cache policy %q (known: %v)", policy, Names())
+	}
+	return f(capacity, cfg)
+}
+
+// rejectOptions errors when an option irrelevant to the policy was set.
+func rejectOptions(policy string, cfg config, clockBits, qdlp bool) error {
+	if cfg.clockBitsSet && !clockBits {
+		return fmt.Errorf("concurrent: policy %q does not take WithClockBits", policy)
+	}
+	if cfg.qdlpSet && !qdlp {
+		return fmt.Errorf("concurrent: policy %q does not take WithQDLPOptions", policy)
+	}
+	return nil
+}
+
+func init() {
+	Register("lru", func(capacity int, cfg config) (Cache, error) {
+		if err := rejectOptions("lru", cfg, false, false); err != nil {
+			return nil, err
+		}
+		return NewLRU(capacity, cfg.shards)
+	})
+	Register("clock", func(capacity int, cfg config) (Cache, error) {
+		if err := rejectOptions("clock", cfg, true, false); err != nil {
+			return nil, err
+		}
+		return NewClock(capacity, cfg.shards, cfg.clockBits)
+	})
+	Register("sieve", func(capacity int, cfg config) (Cache, error) {
+		if err := rejectOptions("sieve", cfg, false, false); err != nil {
+			return nil, err
+		}
+		return NewSieve(capacity, cfg.shards)
+	})
+	Register("qdlp", func(capacity int, cfg config) (Cache, error) {
+		if err := rejectOptions("qdlp", cfg, true, true); err != nil {
+			return nil, err
+		}
+		return NewQDLPWithOptions(capacity, cfg.shards, cfg.qdlp)
+	})
+}

@@ -12,12 +12,11 @@ import (
 // lock — "at most one metadata update on a cache hit and no locking for
 // any cache operation" (§4) — while misses take the exclusive lock.
 type QDLP struct {
-	shards    []qdShard
-	mask      uint64
-	cap       int
-	maxFreq   uint32
-	evictions atomic.Int64
-	onEvict   func(uint64)
+	shards  []qdShard
+	mask    uint64
+	cap     int
+	maxFreq uint32
+	onEvict func(uint64)
 }
 
 const (
@@ -54,7 +53,22 @@ type qdShard struct {
 	ghostRing []uint64
 	ghostHead int
 	ghostLen  int
+	stats     opStats
 	_         [24]byte
+}
+
+// QDLPOptions tunes the thread-safe QD-LP-FIFO. Zero values select the
+// paper's parameters, mirroring the single-threaded qdlp.Options.
+type QDLPOptions struct {
+	// ProbationFrac is the probationary FIFO's share of each shard,
+	// in (0, 1). 0 selects the paper's 10%.
+	ProbationFrac float64
+	// GhostFactor scales ghost entries relative to the main ring size.
+	// 0 selects the paper's 1.0 (ghost remembers one main ring's worth).
+	GhostFactor float64
+	// ClockBits is the main ring's counter width in bits, 1–6
+	// (1 = FIFO-Reinsertion). 0 selects the paper's 2.
+	ClockBits int
 }
 
 // NewQDLP returns a sharded QD-LP-FIFO cache with the paper's sizing: the
@@ -63,6 +77,33 @@ type qdShard struct {
 // per-shard capacities sum exactly to capacity, which must be at least two
 // objects per shard (each shard needs a probationary and a main slot).
 func NewQDLP(capacity, shards int) (*QDLP, error) {
+	return NewQDLPWithOptions(capacity, shards, QDLPOptions{})
+}
+
+// NewQDLPWithOptions is NewQDLP with explicit probation, ghost, and CLOCK
+// parameters (the ablation knobs of §4).
+func NewQDLPWithOptions(capacity, shards int, opts QDLPOptions) (*QDLP, error) {
+	frac := opts.ProbationFrac
+	if frac == 0 {
+		frac = 0.1
+	}
+	if frac < 0 || frac >= 1 {
+		return nil, fmt.Errorf("concurrent: qdlp probation fraction %v outside (0, 1)", frac)
+	}
+	ghostFactor := opts.GhostFactor
+	if ghostFactor == 0 {
+		ghostFactor = 1
+	}
+	if ghostFactor < 0 {
+		return nil, fmt.Errorf("concurrent: qdlp ghost factor %v is negative", ghostFactor)
+	}
+	bits := opts.ClockBits
+	if bits == 0 {
+		bits = 2
+	}
+	if bits < 1 || bits > 6 {
+		return nil, fmt.Errorf("concurrent: qdlp clock bits %d outside [1, 6]", bits)
+	}
 	n := shardCount(shards)
 	per, err := splitCapacity(capacity, n)
 	if err != nil {
@@ -75,20 +116,24 @@ func NewQDLP(capacity, shards int) (*QDLP, error) {
 		shards:  make([]qdShard, n),
 		mask:    uint64(n - 1),
 		cap:     capacity,
-		maxFreq: 3, // 2-bit lazy promotion
+		maxFreq: uint32(1<<bits - 1),
 	}
 	for i := range c.shards {
-		smallCap := per[i] / 10
+		smallCap := int(float64(per[i]) * frac)
 		if smallCap < 1 {
 			smallCap = 1
 		}
+		if smallCap > per[i]-1 {
+			smallCap = per[i] - 1
+		}
 		mainCap := per[i] - smallCap
+		ghostCap := int(float64(mainCap) * ghostFactor)
 		s := &c.shards[i]
 		s.byKey = make(map[uint64]qdLoc, per[i])
 		s.small = make([]qdSlot, smallCap)
 		s.main = make([]qdSlot, mainCap)
-		s.ghost = make(map[uint64]struct{}, mainCap)
-		s.ghostRing = make([]uint64, mainCap)
+		s.ghost = make(map[uint64]struct{}, ghostCap)
+		s.ghostRing = make([]uint64, ghostCap)
 	}
 	return c, nil
 }
@@ -129,6 +174,7 @@ func (c *QDLP) Get(key uint64) (uint64, bool) {
 	l, ok := s.byKey[key]
 	if !ok {
 		s.mu.RUnlock()
+		s.stats.misses.Add(1)
 		return 0, false
 	}
 	slot := s.slot(l)
@@ -137,12 +183,14 @@ func (c *QDLP) Get(key uint64) (uint64, bool) {
 		slot.freq.Store(f + 1) // benign race: counter is a hint
 	}
 	s.mu.RUnlock()
+	s.stats.hits.Add(1)
 	return v, true
 }
 
 // Set implements Cache.
 func (c *QDLP) Set(key, value uint64) {
 	s := c.shard(key)
+	s.stats.sets.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if l, ok := s.byKey[key]; ok {
@@ -192,7 +240,7 @@ func (s *qdShard) evictSmall(c *QDLP) {
 		return
 	}
 	s.ghostAdd(key)
-	c.evictions.Add(1)
+	s.stats.evictions.Add(1)
 	if c.onEvict != nil {
 		c.onEvict(key)
 	}
@@ -205,7 +253,7 @@ func (s *qdShard) insertMain(c *QDLP, key, value uint64) {
 	slot := &s.main[idx]
 	if slot.live {
 		delete(s.byKey, slot.key)
-		c.evictions.Add(1)
+		s.stats.evictions.Add(1)
 		if c.onEvict != nil {
 			c.onEvict(slot.key)
 		}
@@ -237,11 +285,25 @@ func (c *QDLP) Delete(key uint64) bool {
 	} else {
 		s.mainUsed--
 	}
+	s.stats.deletes.Add(1)
 	return true
 }
 
-// Evictions implements Cache.
-func (c *QDLP) Evictions() int64 { return c.evictions.Load() }
+// Stats implements Cache.
+func (c *QDLP) Stats() Snapshot { return sumSnapshots(c.ShardStats()) }
+
+// ShardStats implements Cache.
+func (c *QDLP) ShardStats() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n := s.smallLive + s.mainUsed
+		s.mu.RUnlock()
+		out[i] = s.stats.snapshot(n, len(s.small)+len(s.main))
+	}
+	return out
+}
 
 // SetEvictHook implements Cache.
 func (c *QDLP) SetEvictHook(fn func(uint64)) { c.onEvict = fn }
@@ -270,6 +332,9 @@ func (s *qdShard) mainReclaim() int {
 }
 
 func (s *qdShard) ghostAdd(key uint64) {
+	if len(s.ghostRing) == 0 {
+		return // ghost disabled (GhostFactor rounded to zero entries)
+	}
 	if _, ok := s.ghost[key]; ok {
 		return
 	}

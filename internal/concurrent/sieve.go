@@ -12,11 +12,10 @@ import (
 // QDLP in the throughput comparison because SIEVE is the follow-up
 // algorithm built on this paper's lazy-promotion insight.
 type Sieve struct {
-	shards    []sieveShard
-	mask      uint64
-	cap       int
-	evictions atomic.Int64
-	onEvict   func(uint64)
+	shards  []sieveShard
+	mask    uint64
+	cap     int
+	onEvict func(uint64)
 }
 
 type sieveNode struct {
@@ -35,6 +34,7 @@ type sieveShard struct {
 	tail  *sieveNode // oldest
 	hand  *sieveNode
 	size  int
+	stats opStats
 	_     [24]byte
 }
 
@@ -82,17 +82,20 @@ func (c *Sieve) Get(key uint64) (uint64, bool) {
 	n, ok := s.byKey[key]
 	if !ok {
 		s.mu.RUnlock()
+		s.stats.misses.Add(1)
 		return 0, false
 	}
 	v := n.value
 	n.visited.Store(true)
 	s.mu.RUnlock()
+	s.stats.hits.Add(1)
 	return v, true
 }
 
 // Set implements Cache.
 func (c *Sieve) Set(key, value uint64) {
 	s := c.shard(key)
+	s.stats.sets.Add(1)
 	s.mu.Lock()
 	if n, ok := s.byKey[key]; ok {
 		n.value = value
@@ -102,7 +105,7 @@ func (c *Sieve) Set(key, value uint64) {
 	}
 	if s.size >= s.cap {
 		victim := s.evict()
-		c.evictions.Add(1)
+		s.stats.evictions.Add(1)
 		if c.onEvict != nil {
 			c.onEvict(victim)
 		}
@@ -159,11 +162,25 @@ func (c *Sieve) Delete(key uint64) bool {
 	s.unlink(n)
 	delete(s.byKey, key)
 	s.size--
+	s.stats.deletes.Add(1)
 	return true
 }
 
-// Evictions implements Cache.
-func (c *Sieve) Evictions() int64 { return c.evictions.Load() }
+// Stats implements Cache.
+func (c *Sieve) Stats() Snapshot { return sumSnapshots(c.ShardStats()) }
+
+// ShardStats implements Cache.
+func (c *Sieve) ShardStats() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n := s.size
+		s.mu.RUnlock()
+		out[i] = s.stats.snapshot(n, s.cap)
+	}
+	return out
+}
 
 // SetEvictHook implements Cache.
 func (c *Sieve) SetEvictHook(fn func(uint64)) { c.onEvict = fn }

@@ -1,0 +1,73 @@
+package concurrent
+
+import "sync/atomic"
+
+// Snapshot is a point-in-time view of a cache's operation counters and
+// occupancy. Counters are monotonic over the cache's lifetime; the snapshot
+// is not atomic across fields (each field is individually exact), which is
+// the right trade for a scrape path that must never touch the hit path's
+// locks.
+type Snapshot struct {
+	// Hits and Misses partition Get calls.
+	Hits   int64
+	Misses int64
+	// Sets counts Set calls (inserts and overwrites).
+	Sets int64
+	// Deletes counts Delete calls that found and removed the key.
+	Deletes int64
+	// Evictions counts objects evicted to make room (not overwrites or
+	// Deletes).
+	Evictions int64
+	// Len is the number of cached objects; Capacity the configured bound.
+	Len      int
+	Capacity int
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any Get.
+func (s Snapshot) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// opStats is the per-shard counter block embedded in every shard. Counters
+// are plain atomics so the Get path (which may hold only a shared lock)
+// can bump them without upgrading; sharding keeps the cacheline traffic
+// confined to the same shard the operation already touched.
+type opStats struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	sets      atomic.Int64
+	deletes   atomic.Int64
+	evictions atomic.Int64
+}
+
+// snapshot renders the counter block plus the caller-supplied occupancy.
+func (o *opStats) snapshot(length, capacity int) Snapshot {
+	return Snapshot{
+		Hits:      o.hits.Load(),
+		Misses:    o.misses.Load(),
+		Sets:      o.sets.Load(),
+		Deletes:   o.deletes.Load(),
+		Evictions: o.evictions.Load(),
+		Len:       length,
+		Capacity:  capacity,
+	}
+}
+
+// sumSnapshots aggregates per-shard snapshots into a cache-wide one.
+func sumSnapshots(shards []Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range shards {
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Sets += s.Sets
+		out.Deletes += s.Deletes
+		out.Evictions += s.Evictions
+		out.Len += s.Len
+		out.Capacity += s.Capacity
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+)
+
+// Single-threaded counter accounting: every operation lands in exactly one
+// Snapshot field and the aggregate matches what was issued.
+func TestStatsAccounting(t *testing.T) {
+	for _, c := range caches(t, 64, 4) {
+		t.Run(c.Name(), func(t *testing.T) {
+			for k := uint64(0); k < 100; k++ {
+				c.Set(k, k) // overfills: some evict
+			}
+			hits, misses := 0, 0
+			for k := uint64(0); k < 100; k++ {
+				if _, ok := c.Get(k); ok {
+					hits++
+				} else {
+					misses++
+				}
+			}
+			deleted := 0
+			for k := uint64(0); k < 10; k++ {
+				if c.Delete(k) {
+					deleted++
+				}
+			}
+			st := c.Stats()
+			if st.Sets != 100 {
+				t.Errorf("Sets = %d, want 100", st.Sets)
+			}
+			if st.Hits != int64(hits) || st.Misses != int64(misses) {
+				t.Errorf("Hits/Misses = %d/%d, want %d/%d", st.Hits, st.Misses, hits, misses)
+			}
+			if st.Deletes != int64(deleted) {
+				t.Errorf("Deletes = %d, want %d", st.Deletes, deleted)
+			}
+			if st.Evictions == 0 {
+				t.Error("no evictions counted after overfilling")
+			}
+			if st.Len != c.Len() || st.Capacity != c.Capacity() {
+				t.Errorf("Len/Capacity = %d/%d, want %d/%d", st.Len, st.Capacity, c.Len(), c.Capacity())
+			}
+			if got := st.HitRatio(); got != float64(hits)/float64(hits+misses) {
+				t.Errorf("HitRatio = %v", got)
+			}
+
+			shards := c.ShardStats()
+			if sum := sumSnapshots(shards); sum != st {
+				t.Errorf("ShardStats sum %+v != Stats %+v", sum, st)
+			}
+		})
+	}
+}
+
+// Per-shard capacities must partition the configured total, for every
+// policy (QDLP rounds small/main split per shard but never changes the
+// shard's total).
+func TestShardStatsCapacityPartition(t *testing.T) {
+	for _, c := range caches(t, 1000, 8) {
+		t.Run(c.Name(), func(t *testing.T) {
+			total := 0
+			for _, s := range c.ShardStats() {
+				total += s.Capacity
+			}
+			if total != c.Capacity() {
+				t.Errorf("per-shard capacities sum to %d, want %d", total, c.Capacity())
+			}
+		})
+	}
+}
+
+// KV-level stats: hits/misses are observed at the byte-value API (full-key
+// comparison), sets and deletes at the KV entry points, evictions from the
+// policy plane.
+func TestKVStats(t *testing.T) {
+	for _, kv := range kvCaches(t, 64, 2) {
+		t.Run(kv.Name(), func(t *testing.T) {
+			kv.Set([]byte("a"), []byte("va"), 0)
+			kv.Set([]byte("b"), []byte("vb"), 0)
+			if _, _, _, ok := kv.Get([]byte("a")); !ok {
+				t.Fatal("get a missed")
+			}
+			if _, _, _, ok := kv.Get([]byte("nope")); ok {
+				t.Fatal("get nope hit")
+			}
+			if !kv.Delete([]byte("b")) {
+				t.Fatal("delete b missed")
+			}
+			kv.Delete([]byte("b")) // second delete: not counted
+
+			st := kv.Stats()
+			want := Snapshot{Hits: 1, Misses: 1, Sets: 2, Deletes: 1,
+				Len: int(kv.Items()), Capacity: kv.Capacity()}
+			if st != want {
+				t.Errorf("Stats = %+v, want %+v", st, want)
+			}
+			if len(kv.ShardStats()) == 0 {
+				t.Error("no shard stats")
+			}
+		})
+	}
+}
+
+// Scraping Stats and ShardStats while the cache is hammered must be
+// race-free (tier1 runs this package under -race) and the final counters
+// must balance exactly once the writers stop.
+func TestStatsConcurrentScrape(t *testing.T) {
+	const (
+		workers   = 4
+		perWorker = 20000
+		capacity  = 1 << 10
+		keySpace  = 1 << 12
+	)
+	for _, c := range caches(t, capacity, 4) {
+		t.Run(c.Name(), func(t *testing.T) {
+			stop := make(chan struct{})
+			var scrapeWG sync.WaitGroup
+			scrapeWG.Add(1)
+			go func() {
+				defer scrapeWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					st := c.Stats()
+					if st.Hits < 0 || st.Len < 0 || st.Len > st.Capacity {
+						t.Errorf("implausible snapshot %+v", st)
+						return
+					}
+					c.ShardStats()
+				}
+			}()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						k := uint64((i*7 + w*13) % keySpace)
+						if _, ok := c.Get(k); !ok {
+							c.Set(k, k)
+						}
+						if i%64 == 0 {
+							c.Delete(uint64((i + w) % keySpace))
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(stop)
+			scrapeWG.Wait()
+
+			st := c.Stats()
+			if st.Hits+st.Misses != workers*perWorker {
+				t.Errorf("Hits+Misses = %d, want %d", st.Hits+st.Misses, workers*perWorker)
+			}
+			if st.Sets != st.Misses {
+				t.Errorf("Sets = %d, want one per miss (%d)", st.Sets, st.Misses)
+			}
+		})
+	}
+}

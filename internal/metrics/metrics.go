@@ -1,0 +1,297 @@
+// Package metrics is a dependency-free metrics registry with Prometheus
+// text-format exposition. It exists so the serving stack can keep making the
+// paper's measured-cost arguments (§3, Figure 3) in production: hit ratio
+// and throughput have to be watched together, and per-operation overhead
+// only shows up under instrumentation.
+//
+// The hot-path instruments are allocation-free: a Counter is one atomic
+// add, a Gauge one atomic store, and a Histogram one bounds scan plus three
+// atomics. All label rendering happens once, at registration; scrape-time
+// work (formatting, func-backed collectors) happens only on the admin
+// endpoint, never on the serving path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is a metric family's exposition type.
+type Kind uint8
+
+// The exposition types.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family groups all series registered under one metric name; the text
+// format allows one HELP/TYPE header per name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	series []*series
+}
+
+// series is one labelled instrument within a family. Exactly one of the
+// value fields is set, matching the family kind.
+type series struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+
+	counter     *Counter
+	counterFunc func() int64
+	gauge       *Gauge
+	gaugeFunc   func() float64
+	hist        *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds one series, creating or extending the named family.
+// Registration panics on misuse (duplicate series, name reuse across kinds,
+// malformed labels): instruments are created at startup in code paths where
+// an error return would be dead weight, exactly like expvar.Publish.
+func (r *Registry) register(name, help string, kind Kind, labels []string, s *series) {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	s.labels = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind, kind))
+	}
+	for _, prev := range f.series {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("metrics: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+}
+
+// renderLabels validates name/value pairs and renders them sorted by label
+// name, so series identity and exposition order are independent of call
+// order.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("metrics: odd label pairs %q", pairs))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		if !validLabelName(pairs[i]) {
+			panic(fmt.Sprintf("metrics: bad label name %q", pairs[i]))
+		}
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	out := "{"
+	for i, p := range kvs {
+		if i > 0 {
+			out += ","
+		}
+		out += p.k + `="` + escapeLabelValue(p.v) + `"`
+	}
+	return out + "}"
+}
+
+func validLabelName(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func escapeLabelValue(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// Counter is a monotonically increasing counter. Labels are fixed at
+// registration; the hot path is one atomic add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Counter registers and returns a counter. labels are name/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.register(name, help, KindCounter, labels, &series{counter: c})
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta, which must not be negative.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotonic sources that already exist elsewhere (cache
+// snapshots, connection totals) so the hot path is not double-counted.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...string) {
+	r.register(name, help, KindCounter, labels, &series{counterFunc: fn})
+}
+
+// Gauge is a value that can go up and down. The hot path is one atomic
+// store (Set) or add (Add).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, KindGauge, labels, &series{gauge: g})
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, KindGauge, labels, &series{gaugeFunc: fn})
+}
+
+// Histogram is a fixed-bucket histogram. Observe scans the (small, sorted)
+// bound slice and performs three atomic adds; exposition renders the
+// standard cumulative _bucket/_sum/_count series.
+type Histogram struct {
+	bounds  []float64      // sorted upper bounds; +Inf is implicit
+	buckets []atomic.Int64 // len(bounds)+1, last is the +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Histogram registers and returns a histogram over the given bucket upper
+// bounds, which must be sorted and strictly increasing. The slice is not
+// retained.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not increasing at %v", bounds[i]))
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.register(name, help, KindHistogram, labels, &series{hist: h})
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds, the Prometheus base unit.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefLatencyBuckets are the request-latency bucket bounds, in seconds,
+// shared by the server and the load client so the two sides' histograms
+// line up bucket for bucket: 25µs to 2.5s, roughly doubling.
+var DefLatencyBuckets = []float64{
+	25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+	250e-3, 500e-3, 1, 2.5,
+}
+
+// DefSizeBuckets are object-size bucket bounds in bytes: 64 B to 1 MiB in
+// powers of four (memcached's classic value-size range).
+var DefSizeBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+}

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixture populates a registry with one instrument of every kind,
+// deterministic values only, covering label sorting, multi-series families,
+// and histogram rendering.
+func buildFixture() *Registry {
+	r := NewRegistry()
+
+	get := r.Counter("cache_requests_total", "Requests served, by command.", "cmd", "get", "side", "server")
+	set := r.Counter("cache_requests_total", "Requests served, by command.", "side", "server", "cmd", "set")
+	get.Add(41)
+	get.Inc()
+	set.Add(7)
+
+	r.CounterFunc("cache_evictions_total", "Objects evicted for capacity.",
+		func() int64 { return 13 }, "policy", "concurrent-qdlp")
+
+	items := r.Gauge("cache_items", "Objects currently cached.")
+	items.Set(1024)
+	items.Add(-24)
+
+	r.GaugeFunc("cache_hit_ratio", "Lifetime hit ratio.", func() float64 { return 0.875 })
+
+	h := r.Histogram("cache_request_duration_seconds", "Request latency.",
+		[]float64{0.001, 0.01, 0.1}, "cmd", "get")
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 3} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixture().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file (re-run with -update after intentional changes)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	r := buildFixture()
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two scrapes of an idle registry differ")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("Sum = %v, want 106", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`, // 0.5 and the boundary value 1
+		`h_bucket{le="2"} 3`, // + 1.5
+		`h_bucket{le="4"} 4`, // + 3
+		`h_bucket{le="+Inf"} 5`,
+		`h_count 5`,
+	} {
+		if !strings.Contains(buf.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", "", DefLatencyBuckets)
+	h.ObserveDuration(30 * time.Microsecond)
+	h.ObserveDuration(2 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-0.00203) > 1e-9 {
+		t.Fatalf("Sum = %v", got)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := map[string]func(r *Registry){
+		"duplicate series": func(r *Registry) {
+			r.Counter("c", "", "a", "1")
+			r.Counter("c", "", "a", "1")
+		},
+		"duplicate after sorting": func(r *Registry) {
+			r.Counter("c", "", "a", "1", "b", "2")
+			r.Counter("c", "", "b", "2", "a", "1")
+		},
+		"kind mismatch": func(r *Registry) {
+			r.Counter("c", "")
+			r.Gauge("c", "")
+		},
+		"odd labels":      func(r *Registry) { r.Counter("c", "", "a") },
+		"bad label name":  func(r *Registry) { r.Counter("c", "", "0a", "x") },
+		"empty name":      func(r *Registry) { r.Counter("", "") },
+		"empty buckets":   func(r *Registry) { r.Histogram("h", "", nil) },
+		"bucket ordering": func(r *Registry) { r.Histogram("h", "", []float64{2, 1}) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn(NewRegistry())
+		})
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", "k", "a\"b\\c\nd")
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `c{k="a\"b\\c\nd"} 0`
+	if !strings.Contains(buf.String(), want+"\n") {
+		t.Errorf("got %q, want line %q", buf.String(), want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := buildFixture()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE cache_requests_total counter") {
+		t.Errorf("handler output missing TYPE header:\n%s", buf.String())
+	}
+}
+
+// Concurrent instrument updates during scrapes must be race-free (run under
+// -race via tier1) and keep counters coherent afterwards.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 10})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 20))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := r.WriteText(&bytes.Buffer{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}

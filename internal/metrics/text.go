@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in Prometheus text format
+// (version 0.0.4): families sorted by name, series within a family sorted
+// by label string, histograms as cumulative _bucket/_sum/_count. Func-backed
+// collectors are evaluated during the call; the output is deterministic for
+// fixed instrument values, which is what the golden-file test pins down.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.hist != nil:
+		writeHistogram(bw, f.name, s)
+	case s.counter != nil:
+		writeSample(bw, f.name, "", s.labels, "", float64(s.counter.Value()))
+	case s.counterFunc != nil:
+		writeSample(bw, f.name, "", s.labels, "", float64(s.counterFunc()))
+	case s.gauge != nil:
+		writeSample(bw, f.name, "", s.labels, "", s.gauge.Value())
+	case s.gaugeFunc != nil:
+		writeSample(bw, f.name, "", s.labels, "", s.gaugeFunc())
+	}
+}
+
+// writeHistogram renders the cumulative bucket series plus _sum and _count.
+// The bucket counts are snapshotted before summing so a concurrent Observe
+// cannot make the cumulative counts non-monotonic within one exposition.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.hist
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeSample(bw, name, "_bucket", s.labels, formatFloat(b), float64(cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeSample(bw, name, "_bucket", s.labels, "+Inf", float64(cum))
+	writeSample(bw, name, "_sum", s.labels, "", h.Sum())
+	writeSample(bw, name, "_count", s.labels, "", float64(h.count.Load()))
+}
+
+// writeSample emits one `name[{labels}] value` line, splicing an `le` label
+// into the pre-rendered label string when le is non-empty.
+func writeSample(bw *bufio.Writer, name, suffix, labels, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	switch {
+	case le == "":
+		bw.WriteString(labels)
+	case labels == "":
+		bw.WriteString(`{le="`)
+		bw.WriteString(le)
+		bw.WriteString(`"}`)
+	default:
+		bw.WriteString(labels[:len(labels)-1])
+		bw.WriteString(`,le="`)
+		bw.WriteString(le)
+		bw.WriteString(`"}`)
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders integral values without an exponent or decimal point
+// (counters read naturally) and everything else in Go's shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the exposition, for mounting at
+// /metrics on an admin mux.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

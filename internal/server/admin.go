@@ -1,0 +1,43 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/metrics"
+)
+
+// AdminMux returns the server's HTTP admin surface, served on a separate
+// listener from the cache protocol so operations traffic never competes
+// with the hot path:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      200 while serving, 503 once draining
+//	/debug/vars   expvar (process-global)
+//	/debug/pprof  CPU/heap/etc profiles — the instrumentation §3's
+//	              measured-cost arguments depend on
+//
+// reg is typically the same registry passed in Config.Metrics; a nil reg
+// omits /metrics.
+func (s *Server) AdminMux(reg *metrics.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

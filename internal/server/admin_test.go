@@ -1,0 +1,155 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestAdminMetricsEndToEnd is the acceptance test for the observability
+// layer: a real server on a real socket, real protocol traffic, then an
+// HTTP scrape of /metrics asserting the per-command latency histograms and
+// per-policy hit/miss/eviction counters appear with the expected values.
+func TestAdminMetricsEndToEnd(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv, addr := startServer(t, func(cfg *Config) { cfg.Metrics = reg })
+	admin := httptest.NewServer(srv.AdminMux(reg))
+	defer admin.Close()
+
+	rc := dialRaw(t, addr)
+	rc.send("set foo 0 0 3\r\nbar\r\n")
+	rc.expect("STORED")
+	rc.send("get foo\r\n") // hit
+	rc.expect("VALUE foo 0 3")
+	rc.expect("bar")
+	rc.expect("END")
+	rc.send("get nope\r\n") // miss
+	rc.expect("END")
+	rc.send("delete foo\r\n")
+	rc.expect("DELETED")
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := admin.Client().Get(admin.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("/metrics Content-Type = %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	body := scrape()
+
+	for _, want := range []string{
+		// Per-command request counters.
+		`cache_requests_total{cmd="get",side="server"} 2`,
+		`cache_requests_total{cmd="set",side="server"} 1`,
+		`cache_requests_total{cmd="delete",side="server"} 1`,
+		// Per-command latency histograms: cumulative buckets, sum, count.
+		`cache_request_duration_seconds_bucket{cmd="get",side="server",le="+Inf"} 2`,
+		`cache_request_duration_seconds_count{cmd="get",side="server"} 2`,
+		`cache_request_duration_seconds_count{cmd="set",side="server"} 1`,
+		// Per-policy hit/miss/eviction counters from the store snapshot.
+		`cache_hits_total{policy="concurrent-qdlp",side="server"} 1`,
+		`cache_misses_total{policy="concurrent-qdlp",side="server"} 1`,
+		`cache_sets_total{policy="concurrent-qdlp",side="server"} 1`,
+		`cache_deletes_total{policy="concurrent-qdlp",side="server"} 1`,
+		`cache_evictions_total{policy="concurrent-qdlp",side="server"} 0`,
+		// Occupancy gauges (foo was deleted, so the store is empty again).
+		`cache_items{policy="concurrent-qdlp"} 0`,
+		`cache_capacity_items{policy="concurrent-qdlp"} 4096`,
+		// Transport counters.
+		`cache_server_connections_total 1`,
+		`cache_server_value_bytes_read_total 3`,
+		`cache_server_value_bytes_written_total 3`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	for _, header := range []string{
+		"# TYPE cache_request_duration_seconds histogram",
+		"# TYPE cache_hits_total counter",
+		"# TYPE cache_items gauge",
+	} {
+		if !strings.Contains(body, header+"\n") {
+			t.Errorf("/metrics missing header %q", header)
+		}
+	}
+	// Per-shard series exist for every policy shard.
+	if !strings.Contains(body, `cache_shard_items{policy="concurrent-qdlp",shard="0"}`) ||
+		!strings.Contains(body, `cache_shard_evictions_total{policy="concurrent-qdlp",shard="7"}`) {
+		t.Error("/metrics missing per-shard series")
+	}
+
+	// A second scrape after more traffic reflects the new counts — the
+	// collectors are live views, not registration-time copies.
+	rc.send("get nope\r\n")
+	rc.expect("END")
+	if body := scrape(); !strings.Contains(body, `cache_requests_total{cmd="get",side="server"} 3`+"\n") {
+		t.Error("second scrape did not advance the get counter")
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	admin := httptest.NewServer(srv.AdminMux(nil))
+	defer admin.Close()
+
+	resp, err := admin.Client().Get(admin.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz while serving: %d %q", resp.StatusCode, body)
+	}
+	// With a nil registry /metrics is absent, not a panic.
+	resp, err = admin.Client().Get(admin.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/metrics with nil registry: status %d, want 404", resp.StatusCode)
+	}
+
+	srv.draining.Store(true)
+	defer srv.draining.Store(false) // let Cleanup's Shutdown run normally
+	resp, err = admin.Client().Get(admin.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestAdminPprofIndex(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	admin := httptest.NewServer(srv.AdminMux(nil))
+	defer admin.Close()
+	resp, err := admin.Client().Get(admin.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+}

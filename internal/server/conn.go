@@ -80,7 +80,19 @@ func (s *Server) handleConn(nc net.Conn) {
 		var cerr ClientError
 		switch {
 		case err == nil:
-			if !s.dispatch(bw, &req) {
+			// Latency is measured around dispatch only: the parse above
+			// blocks on client bytes, so including it would measure the
+			// client's think time, not the server's service time.
+			var start time.Time
+			if s.metrics != nil {
+				start = time.Now()
+			}
+			alive := s.dispatch(bw, &req)
+			if m := s.metrics; m != nil && req.Op != OpInvalid {
+				m.requests[req.Op].Inc()
+				m.duration[req.Op].ObserveDuration(time.Since(start))
+			}
+			if !alive {
 				bw.Flush()
 				return
 			}
@@ -114,6 +126,7 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 			s.counters.Gets.Add(1)
 			if v, flags, cas, ok := s.cfg.Store.Get(key); ok {
 				s.counters.GetHits.Add(1)
+				s.counters.BytesWritten.Add(int64(len(v)))
 				writeValue(bw, key, flags, v, cas, withCAS)
 			} else {
 				s.counters.GetMisses.Add(1)
@@ -122,9 +135,28 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 		writeEnd(bw)
 	case OpSet:
 		s.counters.Sets.Add(1)
-		s.cfg.Store.Set(req.Keys[0], req.Value, req.Flags)
-		if !req.NoReply {
-			writeStored(bw)
+		s.counters.BytesRead.Add(int64(len(req.Value)))
+		switch {
+		case req.Exptime < 0:
+			// Memcached semantics: a negative exptime stores an
+			// already-expired item. The store is acknowledged but the value
+			// is never visible — and any previous version was logically
+			// overwritten, so it is dropped too.
+			s.cfg.Store.Delete(req.Keys[0])
+			if !req.NoReply {
+				writeStored(bw)
+			}
+		case req.Exptime > 0:
+			// TTL expiry is not implemented; storing the value forever
+			// would silently violate the client's contract. Errors are
+			// reported even to noreply clients, matching memcached.
+			s.counters.BadCommands.Add(1)
+			writeClientError(bw, "exptime must be 0 (TTL expiry not supported)")
+		default:
+			s.cfg.Store.Set(req.Keys[0], req.Value, req.Flags)
+			if !req.NoReply {
+				writeStored(bw)
+			}
 		}
 	case OpDelete:
 		s.counters.Deletes.Add(1)
@@ -156,7 +188,7 @@ func (s *Server) writeStats(bw *bufio.Writer) {
 	writeStat(bw, "capacity_items", int64(s.cfg.Store.Capacity()))
 	writeStat(bw, "curr_items", s.cfg.Store.Items())
 	writeStat(bw, "curr_bytes", s.cfg.Store.Bytes())
-	writeStat(bw, "evictions", s.cfg.Store.Evictions())
+	writeStat(bw, "evictions", s.cfg.Store.Stats().Evictions)
 	writeStat(bw, "cmd_get", s.counters.Gets.Load())
 	writeStat(bw, "get_hits", s.counters.GetHits.Load())
 	writeStat(bw, "get_misses", s.counters.GetMisses.Load())
@@ -164,6 +196,8 @@ func (s *Server) writeStats(bw *bufio.Writer) {
 	writeStat(bw, "cmd_delete", s.counters.Deletes.Load())
 	writeStat(bw, "delete_hits", s.counters.DeleteHits.Load())
 	writeStat(bw, "bad_commands", s.counters.BadCommands.Load())
+	writeStat(bw, "bytes_read", s.counters.BytesRead.Load())
+	writeStat(bw, "bytes_written", s.counters.BytesWritten.Load())
 	writeStat(bw, "curr_connections", s.counters.CurrConns.Load())
 	writeStat(bw, "total_connections", s.counters.TotalConns.Load())
 	writeStat(bw, "rejected_connections", s.counters.RejectedConns.Load())

@@ -18,6 +18,12 @@ type Counters struct {
 
 	BadCommands atomic.Int64
 
+	// BytesRead counts value payload bytes received in set commands;
+	// BytesWritten counts value payload bytes sent in get responses.
+	// Protocol framing is excluded on both sides.
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+
 	CurrConns     atomic.Int64
 	TotalConns    atomic.Int64
 	RejectedConns atomic.Int64
@@ -39,12 +45,14 @@ func (s *Server) ExpvarMap() *expvar.Map {
 	gauge("cmd_delete", s.counters.Deletes.Load)
 	gauge("delete_hits", s.counters.DeleteHits.Load)
 	gauge("bad_commands", s.counters.BadCommands.Load)
+	gauge("bytes_read", s.counters.BytesRead.Load)
+	gauge("bytes_written", s.counters.BytesWritten.Load)
 	gauge("curr_connections", s.counters.CurrConns.Load)
 	gauge("total_connections", s.counters.TotalConns.Load)
 	gauge("rejected_connections", s.counters.RejectedConns.Load)
 	gauge("curr_items", s.cfg.Store.Items)
 	gauge("curr_bytes", s.cfg.Store.Bytes)
-	gauge("evictions", s.cfg.Store.Evictions)
+	gauge("evictions", func() int64 { return s.cfg.Store.Stats().Evictions })
 	gauge("capacity_items", func() int64 { return int64(s.cfg.Store.Capacity()) })
 	m.Set("cache", expvar.Func(func() any { return s.cfg.Store.Name() }))
 	return m

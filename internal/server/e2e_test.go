@@ -1,12 +1,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/concurrent"
+	"repro/internal/metrics"
 )
 
 // TestEndToEndHitRatioAgreement is the subsystem smoke test: a server on a
@@ -38,7 +42,8 @@ func TestEndToEndHitRatioAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(Config{Store: concurrent.NewKV(inner, shards)})
+	serverReg := metrics.NewRegistry()
+	srv, err := New(Config{Store: concurrent.NewKV(inner, shards), Metrics: serverReg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,6 +54,7 @@ func TestEndToEndHitRatioAgreement(t *testing.T) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	clientReg := metrics.NewRegistry()
 	loadRes, err := RunLoad(LoadConfig{
 		Addr:     ln.Addr().String(),
 		Conns:    conns,
@@ -56,6 +62,7 @@ func TestEndToEndHitRatioAgreement(t *testing.T) {
 		KeySpace: keySpace,
 		Seed:     seed,
 		ValueLen: 32,
+		Metrics:  clientReg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -98,6 +105,35 @@ func TestEndToEndHitRatioAgreement(t *testing.T) {
 	}
 	if c.Sets.Load() != int64(loadRes.Sets) {
 		t.Fatalf("server cmd_set %d != client sets %d", c.Sets.Load(), loadRes.Sets)
+	}
+
+	// The two registries report the same families from opposite sides of the
+	// wire, distinguished only by the side label, and must agree with the
+	// run's own accounting.
+	var serverExp, clientExp bytes.Buffer
+	if err := serverReg.WriteText(&serverExp); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientReg.WriteText(&clientExp); err != nil {
+		t.Fatal(err)
+	}
+	for exp, want := range map[*bytes.Buffer][]string{
+		&serverExp: {
+			fmt.Sprintf(`cache_requests_total{cmd="get",side="server"} %d`, totalOps),
+			fmt.Sprintf(`cache_hits_total{policy="concurrent-qdlp",side="server"} %d`, loadRes.Hits),
+		},
+		&clientExp: {
+			fmt.Sprintf(`cache_requests_total{cmd="get",side="client"} %d`, totalOps),
+			fmt.Sprintf(`cache_hits_total{side="client"} %d`, loadRes.Hits),
+			fmt.Sprintf(`cache_sets_total{side="client"} %d`, loadRes.Sets),
+			fmt.Sprintf(`cache_request_duration_seconds_count{cmd="get",side="client"} %d`, totalOps),
+		},
+	} {
+		for _, line := range want {
+			if !strings.Contains(exp.String(), line+"\n") {
+				t.Errorf("exposition missing %q", line)
+			}
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

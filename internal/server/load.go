@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/concurrent"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -36,6 +37,37 @@ type LoadConfig struct {
 	// LatencySamples bounds retained get-latency samples per connection.
 	// <=0 means 1<<16.
 	LatencySamples int
+	// Metrics, if set, receives client-side instruments under the same
+	// family names the server reports (side="client"), so one scrape of
+	// each end lines up: requests and latency per command, hits/misses.
+	Metrics *metrics.Registry
+}
+
+// loadMetrics are the client-side instruments, shared by all connections.
+type loadMetrics struct {
+	getReqs, setReqs *metrics.Counter
+	getLat, setLat   *metrics.Histogram
+	hits, misses     *metrics.Counter
+	sets             *metrics.Counter
+}
+
+func newLoadMetrics(reg *metrics.Registry) *loadMetrics {
+	return &loadMetrics{
+		getReqs: reg.Counter(MetricRequestsTotal, "Requests issued, by command.",
+			"side", "client", "cmd", "get"),
+		setReqs: reg.Counter(MetricRequestsTotal, "Requests issued, by command.",
+			"side", "client", "cmd", "set"),
+		getLat: reg.Histogram(MetricRequestDuration, "Request round-trip latency in seconds, by command.",
+			metrics.DefLatencyBuckets, "side", "client", "cmd", "get"),
+		setLat: reg.Histogram(MetricRequestDuration, "Request round-trip latency in seconds, by command.",
+			metrics.DefLatencyBuckets, "side", "client", "cmd", "set"),
+		hits: reg.Counter(MetricHits, "Gets that found the key.",
+			"side", "client"),
+		misses: reg.Counter(MetricMisses, "Gets that missed.",
+			"side", "client"),
+		sets: reg.Counter(MetricSets, "Cache-aside fills issued on misses.",
+			"side", "client"),
+	}
 }
 
 // LoadResult aggregates one load run.
@@ -105,6 +137,10 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var lm *loadMetrics
+	if cfg.Metrics != nil {
+		lm = newLoadMetrics(cfg.Metrics)
+	}
 
 	var (
 		wg        sync.WaitGroup
@@ -122,7 +158,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			defer wg.Done()
 			rec := stats.NewLatencyRecorder(cfg.LatencySamples, cfg.Seed+int64(i))
 			recorders[i] = rec
-			localHits, localSets, localOps, err := driveConn(cfg, keys, rec)
+			localHits, localSets, localOps, err := driveConn(cfg, keys, rec, lm)
 			mu.Lock()
 			hits += localHits
 			sets += localSets
@@ -150,8 +186,8 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	return res, nil
 }
 
-// driveConn runs one connection's closed loop.
-func driveConn(cfg LoadConfig, keys []uint64, rec *stats.LatencyRecorder) (hits, sets, ops int64, err error) {
+// driveConn runs one connection's closed loop. lm may be nil (metrics off).
+func driveConn(cfg LoadConfig, keys []uint64, rec *stats.LatencyRecorder, lm *loadMetrics) (hits, sets, ops int64, err error) {
 	c, err := Dial(cfg.Addr)
 	if err != nil {
 		return 0, 0, 0, err
@@ -163,9 +199,21 @@ func driveConn(cfg LoadConfig, keys []uint64, rec *stats.LatencyRecorder) (hits,
 		keyBuf = strconv.AppendUint(keyBuf[:0], k, 10)
 		t0 := time.Now()
 		v, found, err := c.Get(keyBuf)
-		rec.Record(time.Since(t0))
+		rtt := time.Since(t0)
+		rec.Record(rtt)
+		if lm != nil {
+			lm.getReqs.Inc()
+			lm.getLat.ObserveDuration(rtt)
+		}
 		if err != nil {
 			return hits, sets, ops, err
+		}
+		if lm != nil {
+			if found {
+				lm.hits.Inc()
+			} else {
+				lm.misses.Inc()
+			}
 		}
 		ops++
 		if found {
@@ -182,7 +230,14 @@ func driveConn(cfg LoadConfig, keys []uint64, rec *stats.LatencyRecorder) (hits,
 		for len(fill) < cfg.ValueLen {
 			fill = append(fill, 'x')
 		}
-		if err := c.Set(keyBuf, 0, fill); err != nil {
+		t0 = time.Now()
+		err = c.Set(keyBuf, 0, fill)
+		if lm != nil {
+			lm.setReqs.Inc()
+			lm.setLat.ObserveDuration(time.Since(t0))
+			lm.sets.Inc()
+		}
+		if err != nil {
 			return hits, sets, ops, err
 		}
 		sets++

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"strconv"
+
+	"repro/internal/concurrent"
+	"repro/internal/metrics"
+)
+
+// Metric family names shared by the server and the load client. Families
+// that both sides report carry a `side` label ("server" or "client") so the
+// two ends of one run line up series for series and bucket for bucket —
+// the hit-ratio-and-throughput-together discipline the serving-stack
+// literature calls for.
+const (
+	// MetricRequestsTotal counts requests by command (labels: side, cmd).
+	MetricRequestsTotal = "cache_requests_total"
+	// MetricRequestDuration is the per-command request-latency histogram in
+	// seconds (labels: side, cmd), bucketed by metrics.DefLatencyBuckets on
+	// both sides.
+	MetricRequestDuration = "cache_request_duration_seconds"
+	// MetricHits / MetricMisses partition lookups (labels: side, and
+	// policy on the server side).
+	MetricHits   = "cache_hits_total"
+	MetricMisses = "cache_misses_total"
+	// MetricSets and MetricDeletes count store mutations.
+	MetricSets    = "cache_sets_total"
+	MetricDeletes = "cache_deletes_total"
+	// MetricEvictions counts capacity evictions (server only).
+	MetricEvictions = "cache_evictions_total"
+
+	// Server-only occupancy gauges.
+	MetricItems         = "cache_items"
+	MetricValueBytes    = "cache_value_bytes"
+	MetricCapacityItems = "cache_capacity_items"
+
+	// Per-shard policy-plane balance (labels: policy, shard).
+	MetricShardItems     = "cache_shard_items"
+	MetricShardEvictions = "cache_shard_evictions_total"
+
+	// Transport-level server counters.
+	MetricConnsCurrent  = "cache_server_connections_current"
+	MetricConnsTotal    = "cache_server_connections_total"
+	MetricConnsRejected = "cache_server_connections_rejected_total"
+	MetricBadCommands   = "cache_server_bad_commands_total"
+	MetricBytesRead     = "cache_server_value_bytes_read_total"
+	MetricBytesWritten  = "cache_server_value_bytes_written_total"
+)
+
+// opNames maps Op to its cmd label value.
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpGet:     "get",
+	OpGets:    "gets",
+	OpSet:     "set",
+	OpDelete:  "delete",
+	OpStats:   "stats",
+	OpQuit:    "quit",
+}
+
+// serverMetrics holds the direct (non-func-backed) instruments the request
+// loop records into. Per-command arrays are indexed by Op so the hot path
+// does no map lookups; OpInvalid slots stay nil because dispatch never sees
+// an invalid op.
+type serverMetrics struct {
+	requests [len(opNames)]*metrics.Counter
+	duration [len(opNames)]*metrics.Histogram
+}
+
+// initMetrics registers every server instrument and collector into reg.
+// Called once from New when Config.Metrics is set; with no registry the
+// serving path records only the always-on atomic Counters.
+func (s *Server) initMetrics(reg *metrics.Registry) {
+	m := &serverMetrics{}
+	for op := OpGet; int(op) < len(opNames); op++ {
+		m.requests[op] = reg.Counter(MetricRequestsTotal,
+			"Requests served, by command.",
+			"side", "server", "cmd", opNames[op])
+		m.duration[op] = reg.Histogram(MetricRequestDuration,
+			"Request service latency in seconds (parse excluded), by command.",
+			metrics.DefLatencyBuckets,
+			"side", "server", "cmd", opNames[op])
+	}
+
+	reg.GaugeFunc(MetricConnsCurrent, "Open client connections.",
+		func() float64 { return float64(s.counters.CurrConns.Load()) })
+	reg.CounterFunc(MetricConnsTotal, "Connections accepted since start.",
+		s.counters.TotalConns.Load)
+	reg.CounterFunc(MetricConnsRejected, "Connections rejected over MaxConns.",
+		s.counters.RejectedConns.Load)
+	reg.CounterFunc(MetricBadCommands, "Protocol errors answered on kept connections.",
+		s.counters.BadCommands.Load)
+	reg.CounterFunc(MetricBytesRead, "Value payload bytes received in set commands.",
+		s.counters.BytesRead.Load)
+	reg.CounterFunc(MetricBytesWritten, "Value payload bytes sent in get responses.",
+		s.counters.BytesWritten.Load)
+
+	RegisterStoreMetrics(reg, s.cfg.Store)
+	s.metrics = m
+}
+
+// RegisterStoreMetrics exposes a KV store's hit/miss/eviction/occupancy
+// snapshots as scrape-time collectors, aggregated under the policy label
+// and per shard. It is exported so non-Server embedders of concurrent.KV
+// can publish the same families.
+func RegisterStoreMetrics(reg *metrics.Registry, store *concurrent.KV) {
+	policy := store.Name()
+	stat := func(field func(concurrent.Snapshot) int64) func() int64 {
+		return func() int64 { return field(store.Stats()) }
+	}
+	reg.CounterFunc(MetricHits, "Store lookups that found the key.",
+		stat(func(s concurrent.Snapshot) int64 { return s.Hits }),
+		"side", "server", "policy", policy)
+	reg.CounterFunc(MetricMisses, "Store lookups that missed.",
+		stat(func(s concurrent.Snapshot) int64 { return s.Misses }),
+		"side", "server", "policy", policy)
+	reg.CounterFunc(MetricSets, "Store writes (inserts and overwrites).",
+		stat(func(s concurrent.Snapshot) int64 { return s.Sets }),
+		"side", "server", "policy", policy)
+	reg.CounterFunc(MetricDeletes, "Store deletes that removed a key.",
+		stat(func(s concurrent.Snapshot) int64 { return s.Deletes }),
+		"side", "server", "policy", policy)
+	reg.CounterFunc(MetricEvictions, "Objects evicted to make room.",
+		stat(func(s concurrent.Snapshot) int64 { return s.Evictions }),
+		"side", "server", "policy", policy)
+
+	reg.GaugeFunc(MetricItems, "Objects currently cached.",
+		func() float64 { return float64(store.Items()) }, "policy", policy)
+	reg.GaugeFunc(MetricValueBytes, "Value bytes currently cached.",
+		func() float64 { return float64(store.Bytes()) }, "policy", policy)
+	reg.GaugeFunc(MetricCapacityItems, "Configured capacity in objects.",
+		func() float64 { return float64(store.Capacity()) }, "policy", policy)
+
+	for i := range store.ShardStats() {
+		shard := strconv.Itoa(i)
+		reg.GaugeFunc(MetricShardItems, "Objects cached in one policy shard.",
+			func() float64 { return float64(store.ShardStats()[i].Len) },
+			"policy", policy, "shard", shard)
+		reg.CounterFunc(MetricShardEvictions, "Evictions from one policy shard.",
+			func() int64 { return store.ShardStats()[i].Evictions },
+			"policy", policy, "shard", shard)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/concurrent"
+	"repro/internal/metrics"
 )
 
 // Config parameterizes a Server.
@@ -28,6 +29,11 @@ type Config struct {
 	MaxValueLen int
 	// Logf, if set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics, if set, receives the server's instruments (per-command
+	// request counters and latency histograms, transport counters, and the
+	// store's hit/miss/eviction/occupancy collectors). The registry must be
+	// private to this server: families are registered once in New.
+	Metrics *metrics.Registry
 }
 
 // Server serves the memcached text protocol over a KV store. Each
@@ -37,6 +43,7 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	counters Counters
+	metrics  *serverMetrics // nil unless Config.Metrics was set
 	start    time.Time
 
 	mu    sync.Mutex
@@ -64,11 +71,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		start: time.Now(),
 		conns: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		s.initMetrics(cfg.Metrics)
+	}
+	return s, nil
 }
 
 // Counters exposes the server's live counters (for tests and callers that

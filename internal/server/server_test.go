@@ -328,3 +328,44 @@ func TestServerGracefulShutdownDrains(t *testing.T) {
 		t.Fatalf("serve: %v", err)
 	}
 }
+
+// TestServerExptimeSemantics pins the memcached exptime contract: negative
+// exptime means "store already expired" (acknowledged, value never visible,
+// any prior version dropped), and positive exptimes are rejected loudly
+// because TTL expiry is not implemented — silently storing forever would
+// violate the client's contract.
+func TestServerExptimeSemantics(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	rc := dialRaw(t, addr)
+
+	// Negative exptime on a fresh key: STORED, but the value is absent.
+	rc.send("set gone 0 -1 3\r\nxyz\r\n")
+	rc.expect("STORED")
+	rc.send("get gone\r\n")
+	rc.expect("END")
+
+	// Negative exptime over a live key drops the previous version too.
+	rc.send("set k 0 0 3\r\nold\r\n")
+	rc.expect("STORED")
+	rc.send("set k 0 -30 3\r\nnew\r\n")
+	rc.expect("STORED")
+	rc.send("get k\r\n")
+	rc.expect("END")
+
+	// Positive exptime: CLIENT_ERROR, value not stored, connection stays up.
+	rc.send("set ttl 0 60 3\r\nabc\r\n")
+	rc.expect("CLIENT_ERROR exptime must be 0 (TTL expiry not supported)")
+	rc.send("get ttl\r\n")
+	rc.expect("END")
+
+	// noreply suppresses STORED acks but not errors (memcached behavior):
+	// the noreply negative-exptime set is silent, the noreply positive-
+	// exptime set still answers CLIENT_ERROR.
+	rc.send("set q1 0 -1 1 noreply\r\na\r\nset q2 0 9 1 noreply\r\nb\r\nget q1 q2\r\n")
+	rc.expect("CLIENT_ERROR exptime must be 0 (TTL expiry not supported)")
+	rc.expect("END")
+
+	if bad := srv.counters.BadCommands.Load(); bad != 2 {
+		t.Errorf("BadCommands = %d, want 2 (the two positive-exptime sets)", bad)
+	}
+}

@@ -85,6 +85,28 @@ func Run(p Policy, tr *Trace) Result { return sim.Run(p, tr) }
 // ConcurrentCache is a thread-safe fixed-capacity cache.
 type ConcurrentCache = concurrent.Cache
 
+// CacheStats is a point-in-time snapshot of a concurrent cache's operation
+// counters and occupancy.
+type CacheStats = concurrent.Snapshot
+
+// ConcurrentOption configures NewConcurrent; see WithShards, WithClockBits,
+// and WithQDLPOptions in internal/concurrent.
+type ConcurrentOption = concurrent.Option
+
+// NewConcurrent constructs a registered thread-safe cache by policy name —
+// the concurrent counterpart of NewPolicy:
+//
+//	c, err := repro.NewConcurrent("qdlp", 1<<20, repro.WithConcurrentShards(64))
+func NewConcurrent(policy string, capacity int, opts ...ConcurrentOption) (ConcurrentCache, error) {
+	return concurrent.New(policy, capacity, opts...)
+}
+
+// ConcurrentNames lists every registered thread-safe cache policy.
+func ConcurrentNames() []string { return concurrent.Names() }
+
+// WithConcurrentShards sets the shard count for NewConcurrent.
+func WithConcurrentShards(n int) ConcurrentOption { return concurrent.WithShards(n) }
+
 // NewConcurrentLRU returns a sharded thread-safe LRU cache (exclusive lock
 // per hit — the paper's scalability strawman).
 func NewConcurrentLRU(capacity, shards int) (ConcurrentCache, error) {

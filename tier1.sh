@@ -3,6 +3,13 @@
 set -eu
 cd "$(dirname "$0")"
 
+echo '== gofmt -l'
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$fmt_out" >&2
+    exit 1
+fi
 echo '== go vet ./...'
 go vet ./...
 echo '== go build ./...'
@@ -11,4 +18,6 @@ echo '== go test ./...'
 go test ./...
 echo '== go test -race (concurrent + server)'
 go test -race ./internal/concurrent/... ./internal/server/...
+echo '== bench smoke (one iteration per benchmark)'
+go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
 echo 'tier1: all green'
