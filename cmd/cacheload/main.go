@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/metrics"
@@ -33,6 +34,7 @@ func main() {
 		family   = flag.String("family", "", "workload family name (empty = Zipf)")
 		valueLen = flag.Int("valuesize", 64, "value payload bytes")
 		metricsF = flag.String("metrics", "", `write client-side Prometheus exposition here after the run ("-" = stdout); families match the server's, labeled side="client"`)
+		jsonOut  = flag.String("json", "", `write the run as a bench JSON artifact here ("-" = stdout); same shape as BENCH_throughput.json, with wire latency percentiles`)
 	)
 	flag.Parse()
 
@@ -69,8 +71,45 @@ func main() {
 	tb.AddRow("get p50", res.Latency.Percentile(50).String())
 	tb.AddRow("get p90", res.Latency.Percentile(90).String())
 	tb.AddRow("get p99", res.Latency.Percentile(99).String())
+	tb.AddRow("get p999", res.Latency.Percentile(99.9).String())
 	tb.AddRow("get max", res.Latency.Percentile(100).String())
 	fmt.Print(tb)
+
+	if *jsonOut != "" {
+		// The served cache's policy name comes from the server itself, so
+		// the artifact records what was actually measured (best-effort: a
+		// server without the stat leaves it empty).
+		cacheName := ""
+		if c, err := server.Dial(*addr); err == nil {
+			if st, err := c.Stats(); err == nil {
+				cacheName = st["cache"]
+			}
+			c.Close()
+		}
+		file := &stats.BenchFile{
+			Bench:      "cacheload",
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			KeySpace:   *keySpace,
+			ValueLen:   *valueLen,
+			Regenerate: fmt.Sprintf("go run ./cmd/cacheload -addr %s -conns %d -ops %d -json <path>", *addr, *conns, *ops),
+			Entries: []stats.BenchEntry{{
+				Cache:       cacheName,
+				Conns:       *conns,
+				Ops:         res.Ops,
+				OpsPerSec:   res.OpsPerSecond(),
+				NsPerOp:     float64(res.Elapsed.Nanoseconds()) / float64(max(res.Ops, 1)),
+				HitRatio:    res.HitRatio(),
+				P50Ns:       float64(res.Latency.Percentile(50).Nanoseconds()),
+				P99Ns:       float64(res.Latency.Percentile(99).Nanoseconds()),
+				P999Ns:      float64(res.Latency.Percentile(99.9).Nanoseconds()),
+				AllocsPerOp: 0, // not observable across the wire
+			}},
+		}
+		if err := stats.WriteBenchFile(*jsonOut, file); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if reg != nil {
 		out := os.Stdout

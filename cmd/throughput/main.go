@@ -1,11 +1,15 @@
 // Command throughput drives the thread-safe caches with parallel Zipf
 // load and reports aggregate operation rates — the paper's §1–§3
-// scalability argument as a measurement tool.
+// scalability argument as a measurement tool. By default it sweeps the
+// core count from 1 to NumCPU (pinning GOMAXPROCS per point) over every
+// cache kind, reporting ops/s, ns/op, allocs/op, and hit ratio, and can
+// write the sweep as a JSON artifact (see BENCH_throughput.json).
 //
 // Usage:
 //
-//	throughput -caches lru,clock,qdlp,sieve -goroutines 1,2,4,8
-//	throughput -capacity 1048576 -shards 64 -ops 2000000
+//	throughput                                   # full core sweep, text table
+//	throughput -cores 2 -caches sieve            # one point
+//	throughput -json BENCH_throughput.json       # regenerate the artifact
 package main
 
 import (
@@ -24,50 +28,98 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("throughput: ")
 	var (
-		caches     = flag.String("caches", "lru,clock,qdlp,sieve", "comma-separated cache kinds ("+strings.Join(concurrent.Names(), "|")+")")
-		goroutines = flag.String("goroutines", "1,2,4,8", "comma-separated goroutine counts")
-		capacity   = flag.Int("capacity", 1<<16, "total cache capacity in objects")
-		shards     = flag.Int("shards", 16, "shard count (rounded up to a power of two)")
-		keySpace   = flag.Int("keyspace", 1<<17, "distinct keys in the Zipf load")
-		ops        = flag.Int("ops", 1<<20, "total operations per measurement")
-		seed       = flag.Int64("seed", 1, "load generator seed")
+		caches   = flag.String("caches", "lru,clock,qdlp,sieve", "comma-separated cache kinds ("+strings.Join(concurrent.Names(), "|")+")")
+		coresF   = flag.String("cores", "", "comma-separated GOMAXPROCS values to sweep (empty = 1,2,4,... up to NumCPU)")
+		workers  = flag.Int("goroutines", 0, "workers per measurement (0 = same as the core count)")
+		capacity = flag.Int("capacity", 1<<16, "total cache capacity in objects")
+		shards   = flag.Int("shards", 16, "shard count (rounded up to a power of two)")
+		keySpace = flag.Int("keyspace", 1<<17, "distinct keys in the Zipf load")
+		ops      = flag.Int("ops", 1<<20, "total operations per measurement")
+		seed     = flag.Int64("seed", 1, "load generator seed")
+		jsonOut  = flag.String("json", "", `write the sweep as a bench JSON artifact here ("-" = stdout)`)
 	)
 	flag.Parse()
 
-	fmt.Printf("GOMAXPROCS=%d capacity=%d shards=%d keyspace=%d\n\n",
-		runtime.GOMAXPROCS(0), *capacity, *shards, *keySpace)
-
-	mk := func(kind string) (concurrent.Cache, error) {
-		return concurrent.New(kind, *capacity, concurrent.WithShards(*shards))
+	cores, err := parseCores(*coresF)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	var gs []int
-	for _, f := range strings.Split(*goroutines, ",") {
-		g, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || g < 1 {
-			log.Fatalf("bad goroutine count %q", f)
+	fmt.Printf("NumCPU=%d capacity=%d shards=%d keyspace=%d ops=%d\n\n",
+		runtime.NumCPU(), *capacity, *shards, *keySpace, *ops)
+
+	file := &stats.BenchFile{
+		Bench:      "throughput",
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Capacity:   *capacity,
+		Shards:     *shards,
+		KeySpace:   *keySpace,
+		Regenerate: "go run ./cmd/throughput -json BENCH_throughput.json",
+	}
+
+	tb := stats.NewTable("cache", "cores", "goroutines", "ops", "Mops/s", "ns/op", "allocs/op", "hit ratio")
+	for _, c := range cores {
+		g := *workers
+		if g <= 0 {
+			g = c
 		}
-		gs = append(gs, g)
-	}
-
-	tb := stats.NewTable("cache", "goroutines", "ops", "Mops/s", "hit ratio")
-	for _, g := range gs {
 		for _, kind := range strings.Split(*caches, ",") {
-			c, err := mk(strings.TrimSpace(kind))
+			cache, err := concurrent.New(strings.TrimSpace(kind), *capacity, concurrent.WithShards(*shards))
 			if err != nil {
 				log.Fatal(err)
 			}
-			// Warm up, then measure. MeasureThroughput distributes the
-			// total across workers with the remainder spread exactly, so
-			// res.Ops is the actual count issued (== -ops).
-			concurrent.MeasureThroughput(c, g, *keySpace, *keySpace, *seed+42)
-			res := concurrent.MeasureThroughput(c, g, *ops, *keySpace, *seed)
-			tb.AddRow(c.Name(), g, res.Ops,
+			// Warm up (fills the cache and the allocator's size classes),
+			// then measure. MeasureThroughput distributes the total across
+			// workers with the remainder spread exactly, so res.Ops is the
+			// actual count issued (== -ops).
+			concurrent.MeasureThroughputAtCores(cache, c, g, *keySpace, *keySpace, *seed+42)
+			res := concurrent.MeasureThroughputAtCores(cache, c, g, *ops, *keySpace, *seed)
+			tb.AddRow(res.Cache, res.Cores, res.Goroutines, res.Ops,
 				fmt.Sprintf("%.2f", res.OpsPerSecond()/1e6),
+				fmt.Sprintf("%.1f", res.NsPerOp()),
+				fmt.Sprintf("%.3f", res.AllocsPerOp),
 				fmt.Sprintf("%.3f", res.HitRatio()))
+			file.Entries = append(file.Entries, stats.BenchEntry{
+				Cache:       res.Cache,
+				Cores:       res.Cores,
+				Goroutines:  res.Goroutines,
+				Ops:         res.Ops,
+				OpsPerSec:   res.OpsPerSecond(),
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp,
+				HitRatio:    res.HitRatio(),
+			})
 		}
 	}
 	fmt.Print(tb)
 	fmt.Println("\nHit paths: concurrent-lru locks exclusively and splices list nodes on")
 	fmt.Println("every hit; clock/qdlp/sieve take a shared lock and do one atomic store.")
+
+	if *jsonOut != "" {
+		if err := stats.WriteBenchFile(*jsonOut, file); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// parseCores parses -cores; empty selects the power-of-two ladder
+// 1,2,4,... capped by (and always including) NumCPU.
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		var out []int
+		for c := 1; c < runtime.NumCPU(); c *= 2 {
+			out = append(out, c)
+		}
+		return append(out, runtime.NumCPU()), nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad core count %q", f)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }

@@ -13,8 +13,19 @@ import (
 // hook removes the bytes synchronously, so data-plane residency tracks the
 // policy exactly.
 //
+// The data plane is GC-light: every entry's key and value share one
+// size-classed pooled buffer (see pool.go), and the entry structs
+// themselves are pooled. Eviction, Delete, and overwrite recycle both
+// under the data shard's exclusive lock, after bumping the entry's seq
+// epoch. Readers copy value bytes out under the shard's shared lock and
+// re-check the seq before trusting the copy, so a reader can never observe
+// a recycled buffer's bytes for the wrong key: recycling requires the
+// exclusive lock (which excludes readers), and the epoch check
+// independently turns any future violation of that discipline into a safe
+// miss instead of cross-key corruption.
+//
 // The hit path preserves the inner cache's locking discipline: a shared
-// lock on the data shard to fetch the bytes, released before the inner
+// lock on the data shard to copy the bytes, released before the inner
 // Get bumps the policy metadata, so no lock is ever held across the two
 // structures (which would deadlock against the eviction hook, which runs
 // under the inner shard's exclusive lock).
@@ -37,16 +48,50 @@ type KV struct {
 
 type kvShard struct {
 	mu    sync.RWMutex
-	m     map[uint64]kvEntry
+	m     map[uint64]*kvEntry
 	stats opStats
 	_     [24]byte
 }
 
+// kvEntry is one cached object. key and value are subslices of *buf, a
+// pooled backing buffer. seq is the entry's recycle epoch: bumped (under
+// the shard's exclusive lock) every time the entry or its buffer is
+// returned to a pool, and monotonic across entry reuse. A reader snapshots
+// seq before copying value bytes and re-checks it after; a mismatch means
+// the bytes were (or are being) recycled and the copy is discarded as a
+// miss.
 type kvEntry struct {
+	seq   atomic.Uint64
+	buf   *[]byte
 	key   []byte
 	value []byte
 	flags uint32
 	cas   uint64
+}
+
+// newEntry builds a pooled entry holding private copies of key and value.
+func newEntry(key, value []byte, flags uint32, cas uint64) *kvEntry {
+	e := entryPool.Get().(*kvEntry)
+	e.buf = getBuf(len(key) + len(value))
+	b := *e.buf
+	copy(b, key)
+	copy(b[len(key):], value)
+	e.key = b[:len(key):len(key)]
+	e.value = b[len(key) : len(key)+len(value)]
+	e.flags = flags
+	e.cas = cas
+	return e
+}
+
+// recycleEntry returns e's buffer and then e itself to their pools. The
+// caller must hold the owning shard's exclusive lock and must have
+// unlinked e from the shard map; the seq bump is what readers validate
+// against.
+func recycleEntry(e *kvEntry) {
+	e.seq.Add(1)
+	putBuf(e.buf)
+	e.buf, e.key, e.value = nil, nil, nil
+	entryPool.Put(e)
 }
 
 // NewKV wraps inner, spreading the data plane over a power-of-two number of
@@ -56,21 +101,10 @@ func NewKV(inner Cache, dataShards int) *KV {
 	n := shardCount(dataShards)
 	kv := &KV{inner: inner, shards: make([]kvShard, n), mask: uint64(n - 1)}
 	for i := range kv.shards {
-		kv.shards[i].m = make(map[uint64]kvEntry)
+		kv.shards[i].m = make(map[uint64]*kvEntry)
 	}
 	inner.SetEvictHook(kv.dropEvicted)
 	return kv
-}
-
-// digest hashes a full key to the 64-bit id the inner cache operates on.
-// FNV-1a: allocation-free and good avalanche for short cache keys.
-func digest(key []byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range key {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	return h
 }
 
 func (kv *KV) shard(id uint64) *kvShard {
@@ -83,57 +117,195 @@ func (kv *KV) shard(id uint64) *kvShard {
 func (kv *KV) dropEvicted(id uint64) {
 	s := kv.shard(id)
 	s.mu.Lock()
-	e, ok := s.m[id]
-	if ok {
+	e := s.m[id]
+	var n int
+	if e != nil {
 		delete(s.m, id)
+		n = len(e.value)
+		recycleEntry(e)
 	}
 	s.mu.Unlock()
-	if ok {
-		kv.bytes.Add(-int64(len(e.value)))
+	if e != nil {
+		kv.bytes.Add(-int64(n))
 		kv.items.Add(-1)
 	}
 }
 
-// Get returns the cached value, flags, and cas token for key. The returned
-// slice is owned by the cache and must not be modified; it stays valid
-// because Set always stores a fresh copy rather than mutating in place.
-func (kv *KV) Get(key []byte) (value []byte, flags uint32, cas uint64, ok bool) {
-	id := digest(key)
-	s := kv.shard(id)
-	s.mu.RLock()
-	e, ok := s.m[id]
-	s.mu.RUnlock()
-	if !ok || !bytes.Equal(e.key, key) {
-		s.stats.misses.Add(1)
-		return nil, 0, 0, false
-	}
-	kv.inner.Get(id) // lazy promotion: bump the policy metadata only
-	s.stats.hits.Add(1)
-	return e.value, e.flags, e.cas, true
+// Get appends the cached value for key to dst and returns the extended
+// slice (so `kv.Get(buf[:0], key)` reuses buf allocation-free), with the
+// entry's flags and cas token. On a miss dst is returned unchanged.
+func (kv *KV) Get(dst, key []byte) (value []byte, flags uint32, cas uint64, ok bool) {
+	return kv.GetDigest(dst, key, Digest(key))
 }
 
-// Set stores a private copy of key and value and returns the cas token
-// stamped on this version.
-func (kv *KV) Set(key, value []byte, flags uint32) uint64 {
-	id := digest(key)
-	kv.shard(id).stats.sets.Add(1)
-	buf := make([]byte, len(key)+len(value))
-	copy(buf, key)
-	copy(buf[len(key):], value)
-	e := kvEntry{
-		key:   buf[:len(key):len(key)],
-		value: buf[len(key):],
-		flags: flags,
-		cas:   kv.casSeq.Add(1),
+// GetDigest is Get with the key's digest already computed (the server
+// hashes each key once at parse time and threads the digest down).
+func (kv *KV) GetDigest(dst, key []byte, id uint64) (value []byte, flags uint32, cas uint64, ok bool) {
+	s := kv.shard(id)
+	s.mu.RLock()
+	e := s.m[id]
+	if e == nil || !bytes.Equal(e.key, key) {
+		s.mu.RUnlock()
+		s.stats.misses.Add(1)
+		return dst, 0, 0, false
 	}
+	seq := e.seq.Load()
+	base := len(dst)
+	dst = append(dst, e.value...)
+	flags, cas = e.flags, e.cas
+	if e.seq.Load() != seq {
+		// Entry recycled mid-copy: impossible while recycling requires this
+		// shard's exclusive lock, but fail safe to a miss rather than serve
+		// another key's bytes.
+		s.mu.RUnlock()
+		s.stats.misses.Add(1)
+		return dst[:base], 0, 0, false
+	}
+	s.mu.RUnlock()
+	kv.inner.Get(id) // lazy promotion: bump the policy metadata only
+	s.stats.hits.Add(1)
+	return dst, flags, cas, true
+}
+
+// HitHeaderFunc appends a response header for a hit to dst and returns the
+// extended slice. It runs under the data shard's shared lock, so it must
+// only append — no blocking, locking, or I/O.
+type HitHeaderFunc func(dst, key []byte, valueLen int, flags uint32, cas uint64) []byte
+
+// AppendHit is the server's zero-copy hit path: on a hit it appends a
+// header (via hdr, which sees the value length before the bytes) followed
+// by the value to dst — typically the connection's bufio.Writer
+// AvailableBuffer, so the value bytes go straight into the socket buffer
+// with no intermediate copy. On a miss (or a failed epoch check) dst is
+// returned unchanged. valueLen reports the appended value's length.
+func (kv *KV) AppendHit(dst, key []byte, id uint64, hdr HitHeaderFunc) (out []byte, valueLen int, ok bool) {
+	s := kv.shard(id)
+	s.mu.RLock()
+	e := s.m[id]
+	if e == nil || !bytes.Equal(e.key, key) {
+		s.mu.RUnlock()
+		s.stats.misses.Add(1)
+		return dst, 0, false
+	}
+	seq := e.seq.Load()
+	base := len(dst)
+	n := len(e.value)
+	if hdr != nil {
+		dst = hdr(dst, key, n, e.flags, e.cas)
+	}
+	dst = append(dst, e.value...)
+	if e.seq.Load() != seq {
+		s.mu.RUnlock()
+		s.stats.misses.Add(1)
+		return dst[:base], 0, false
+	}
+	s.mu.RUnlock()
+	kv.inner.Get(id)
+	s.stats.hits.Add(1)
+	return dst, n, true
+}
+
+// MultiHit is one key's result in a GetMulti batch. On a hit the value is
+// buf[Start:End] of the buffer GetMulti returns.
+type MultiHit struct {
+	Start, End int
+	Flags      uint32
+	CAS        uint64
+	Hit        bool
+}
+
+// GetMulti looks up keys[i] (with digest ids[i]) as one shard-batched
+// operation: keys are grouped by data shard and each shard's shared lock
+// is taken once per batch instead of once per key, with one counter update
+// per shard. Values are appended back-to-back to dst (returned extended);
+// out[i] records each key's result in request order. All three slices must
+// have equal length; out is fully overwritten. The grouping scan is
+// quadratic in the batch size, which is fine at pipelined-request scale
+// (the server caps batches at MaxKeysPerGet).
+func (kv *KV) GetMulti(dst []byte, keys [][]byte, ids []uint64, out []MultiHit) []byte {
+	if len(keys) != len(ids) || len(keys) != len(out) {
+		panic("concurrent: GetMulti keys/ids/out lengths differ")
+	}
+	for i := range out {
+		// Start = -1 marks not yet visited; until then End caches the key's
+		// shard index so the pairwise grouping scan compares integers
+		// instead of re-mixing the digest.
+		out[i] = MultiHit{Start: -1, End: int(hash(ids[i]) & kv.mask)}
+	}
+	for i := range keys {
+		if out[i].Start != -1 {
+			continue
+		}
+		sIdx := out[i].End
+		s := &kv.shards[sIdx]
+		var hits, misses int64
+		s.mu.RLock()
+		for j := i; j < len(keys); j++ {
+			if out[j].Start != -1 || out[j].End != sIdx {
+				continue
+			}
+			e := s.m[ids[j]]
+			if e == nil || !bytes.Equal(e.key, keys[j]) {
+				out[j] = MultiHit{}
+				misses++
+				continue
+			}
+			seq := e.seq.Load()
+			start := len(dst)
+			dst = append(dst, e.value...)
+			if e.seq.Load() != seq {
+				dst = dst[:start]
+				out[j] = MultiHit{}
+				misses++
+				continue
+			}
+			out[j] = MultiHit{Start: start, End: len(dst), Flags: e.flags, CAS: e.cas, Hit: true}
+			hits++
+		}
+		s.mu.RUnlock()
+		if hits != 0 {
+			s.stats.hits.Add(hits)
+		}
+		if misses != 0 {
+			s.stats.misses.Add(misses)
+		}
+	}
+	// Lazy promotion after every data lock is released, preserving the
+	// no-lock-across-structures discipline.
+	for i := range out {
+		if out[i].Hit {
+			kv.inner.Get(ids[i])
+		}
+	}
+	return dst
+}
+
+// Set stores a private copy of key and value (in a pooled buffer) and
+// returns the cas token stamped on this version.
+func (kv *KV) Set(key, value []byte, flags uint32) uint64 {
+	return kv.SetDigest(key, value, flags, Digest(key))
+}
+
+// SetDigest is Set with the key's digest already computed.
+func (kv *KV) SetDigest(key, value []byte, flags uint32, id uint64) uint64 {
+	// The cas token lives in a local: once the shard lock is released a
+	// concurrent overwrite may recycle e, so e must not be read after that.
+	cas := kv.casSeq.Add(1)
+	e := newEntry(key, value, flags, cas)
 	s := kv.shard(id)
 	s.mu.Lock()
-	old, existed := s.m[id]
+	old := s.m[id]
 	s.m[id] = e
+	var oldLen int
+	if old != nil {
+		oldLen = len(old.value)
+		recycleEntry(old)
+	}
 	s.mu.Unlock()
+	s.stats.sets.Add(1)
 	delta := int64(len(value))
-	if existed {
-		delta -= int64(len(old.value))
+	if old != nil {
+		delta -= int64(oldLen)
 	} else {
 		kv.items.Add(1)
 	}
@@ -142,7 +314,7 @@ func (kv *KV) Set(key, value []byte, flags uint32) uint64 {
 	// the inner lock if this insert displaces victims) always finds bytes
 	// to drop.
 	kv.inner.Set(id, uint64(len(value)))
-	return e.cas
+	return cas
 }
 
 // Delete removes key, reporting whether it was present.
@@ -153,28 +325,35 @@ func (kv *KV) Set(key, value []byte, flags uint32) uint64 {
 // normally. The reverse order could strand bytes with no policy entry: the
 // eviction hook would never fire for them and the data plane would leak.
 func (kv *KV) Delete(key []byte) bool {
-	id := digest(key)
+	return kv.DeleteDigest(key, Digest(key))
+}
+
+// DeleteDigest is Delete with the key's digest already computed.
+func (kv *KV) DeleteDigest(key []byte, id uint64) bool {
 	s := kv.shard(id)
 	s.mu.RLock()
-	e, ok := s.m[id]
+	e := s.m[id]
+	found := e != nil && bytes.Equal(e.key, key)
 	s.mu.RUnlock()
-	if !ok || !bytes.Equal(e.key, key) {
+	if !found {
 		return false
 	}
 	kv.inner.Delete(id)
 	s.mu.Lock()
-	e, ok = s.m[id]
-	if ok && bytes.Equal(e.key, key) {
+	e = s.m[id]
+	found = e != nil && bytes.Equal(e.key, key)
+	var n int
+	if found {
 		delete(s.m, id)
-	} else {
-		ok = false
+		n = len(e.value)
+		recycleEntry(e)
 	}
 	s.mu.Unlock()
-	if !ok {
+	if !found {
 		return false
 	}
 	s.stats.deletes.Add(1)
-	kv.bytes.Add(-int64(len(e.value)))
+	kv.bytes.Add(-int64(n))
 	kv.items.Add(-1)
 	return true
 }

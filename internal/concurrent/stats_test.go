@@ -80,10 +80,10 @@ func TestKVStats(t *testing.T) {
 		t.Run(kv.Name(), func(t *testing.T) {
 			kv.Set([]byte("a"), []byte("va"), 0)
 			kv.Set([]byte("b"), []byte("vb"), 0)
-			if _, _, _, ok := kv.Get([]byte("a")); !ok {
+			if _, _, _, ok := kv.Get(nil, []byte("a")); !ok {
 				t.Fatal("get a missed")
 			}
-			if _, _, _, ok := kv.Get([]byte("nope")); ok {
+			if _, _, _, ok := kv.Get(nil, []byte("nope")); ok {
 				t.Fatal("get nope hit")
 			}
 			if !kv.Delete([]byte("b")) {

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/concurrent"
+)
+
+// Allocation guards for the served hit path: parse + dispatch + flush must
+// run without touching the heap once a connection's reusable buffers are
+// warm, or the GC-light data plane's benefit is lost one layer up.
+
+func allocServer(t testing.TB) *Server {
+	t.Helper()
+	inner, err := concurrent.NewClock(4096, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := concurrent.NewKV(inner, 4)
+	for i := 0; i < 64; i++ {
+		kv.Set([]byte(fmt.Sprintf("key-%02d", i)),
+			[]byte(fmt.Sprintf("value-%02d-xxxxxxxxxxxxxxxxxxxx", i)), uint32(i))
+	}
+	s, err := New(Config{Store: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runRequests replays one pipelined request payload through the real parse
+// and dispatch loop, flushing to io.Discard, and returns the allocations
+// per replay.
+func runRequests(t *testing.T, s *Server, payload []byte) float64 {
+	t.Helper()
+	src := bytes.NewReader(payload)
+	br := bufio.NewReaderSize(src, readBufSize)
+	bw := bufio.NewWriterSize(io.Discard, writeBufSize)
+	var req Request
+	return testing.AllocsPerRun(1000, func() {
+		src.Reset(payload)
+		br.Reset(src)
+		for src.Len() > 0 || br.Buffered() > 0 {
+			if err := ParseRequest(br, &req, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !s.dispatch(bw, &req) {
+				t.Fatal("connection closed")
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestServerGetHitPathZeroAllocs(t *testing.T) {
+	s := allocServer(t)
+	if avg := runRequests(t, s, []byte("get key-07\r\n")); avg != 0 {
+		t.Fatalf("single-key get hit path allocates %.1f/op, want 0", avg)
+	}
+	if avg := runRequests(t, s, []byte("gets key-11\r\n")); avg != 0 {
+		t.Fatalf("single-key gets hit path allocates %.1f/op, want 0", avg)
+	}
+	if n := s.counters.GetMisses.Load(); n != 0 {
+		t.Fatalf("unexpected misses: %d", n)
+	}
+}
+
+func TestServerMultiGetPathZeroAllocs(t *testing.T) {
+	s := allocServer(t)
+	line := []byte("get")
+	for i := 0; i < 16; i++ {
+		line = append(line, fmt.Sprintf(" key-%02d", i*3)...)
+	}
+	line = append(line, "\r\n"...)
+	if avg := runRequests(t, s, line); avg != 0 {
+		t.Fatalf("16-key multi-get path allocates %.1f/op, want 0", avg)
+	}
+	if n := s.counters.GetMisses.Load(); n != 0 {
+		t.Fatalf("unexpected misses: %d", n)
+	}
+}
+
+// Set is allowed its single pooled-buffer acquisition but nothing else per
+// request in steady state (overwrites recycle the previous buffer).
+func TestServerSetPathAllocs(t *testing.T) {
+	s := allocServer(t)
+	payload := []byte("set key-07 9 0 27 noreply\r\nvalue-07-overwritten-steady\r\n")
+	if avg := runRequests(t, s, payload); avg > 1 {
+		t.Fatalf("set path allocates %.2f/op, want <= 1", avg)
+	}
+}

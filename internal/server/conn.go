@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net"
 	"time"
+
+	"repro/internal/concurrent"
 )
 
 const (
@@ -122,15 +124,50 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 	switch req.Op {
 	case OpGet, OpGets:
 		withCAS := req.Op == OpGets
-		for _, key := range req.Keys {
+		if len(req.Keys) == 1 {
+			// Single-key hit path is zero-copy: header and value are
+			// appended straight into the write buffer's available space, so
+			// the value bytes move shard map → socket buffer in one copy.
 			s.counters.Gets.Add(1)
-			if v, flags, cas, ok := s.cfg.Store.Get(key); ok {
+			hdr := appendGetHeader
+			if withCAS {
+				hdr = appendGetsHeader
+			}
+			out, vlen, ok := s.cfg.Store.AppendHit(bw.AvailableBuffer(), req.Keys[0], req.Digests[0], hdr)
+			if ok {
 				s.counters.GetHits.Add(1)
-				s.counters.BytesWritten.Add(int64(len(v)))
-				writeValue(bw, key, flags, v, cas, withCAS)
+				s.counters.BytesWritten.Add(int64(vlen))
+				bw.Write(append(out, '\r', '\n'))
 			} else {
 				s.counters.GetMisses.Add(1)
 			}
+			writeEnd(bw)
+			return true
+		}
+		// Pipelined multi-key gets are shard-batched: one lock acquisition
+		// per data shard per batch instead of one per key. Values land in a
+		// per-connection scratch buffer and stanzas are written in request
+		// order.
+		n := len(req.Keys)
+		if cap(req.multi) < n {
+			req.multi = make([]concurrent.MultiHit, n)
+		}
+		hits := req.multi[:n]
+		req.mgetBuf = s.cfg.Store.GetMulti(req.mgetBuf[:0], req.Keys, req.Digests, hits)
+		s.counters.Gets.Add(int64(n))
+		for i, h := range hits {
+			if !h.Hit {
+				s.counters.GetMisses.Add(1)
+				continue
+			}
+			s.counters.GetHits.Add(1)
+			v := req.mgetBuf[h.Start:h.End]
+			s.counters.BytesWritten.Add(int64(len(v)))
+			writeValue(bw, req.Keys[i], h.Flags, v, h.CAS, withCAS)
+		}
+		if cap(req.mgetBuf) > DefaultMaxValueLen {
+			// Don't let one huge batch pin a connection-lifetime buffer.
+			req.mgetBuf = nil
 		}
 		writeEnd(bw)
 	case OpSet:
@@ -142,7 +179,7 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 			// already-expired item. The store is acknowledged but the value
 			// is never visible — and any previous version was logically
 			// overwritten, so it is dropped too.
-			s.cfg.Store.Delete(req.Keys[0])
+			s.cfg.Store.DeleteDigest(req.Keys[0], req.Digests[0])
 			if !req.NoReply {
 				writeStored(bw)
 			}
@@ -153,14 +190,14 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 			s.counters.BadCommands.Add(1)
 			writeClientError(bw, "exptime must be 0 (TTL expiry not supported)")
 		default:
-			s.cfg.Store.Set(req.Keys[0], req.Value, req.Flags)
+			s.cfg.Store.SetDigest(req.Keys[0], req.Value, req.Flags, req.Digests[0])
 			if !req.NoReply {
 				writeStored(bw)
 			}
 		}
 	case OpDelete:
 		s.counters.Deletes.Add(1)
-		found := s.cfg.Store.Delete(req.Keys[0])
+		found := s.cfg.Store.DeleteDigest(req.Keys[0], req.Digests[0])
 		if found {
 			s.counters.DeleteHits.Add(1)
 		}

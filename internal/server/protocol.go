@@ -14,6 +14,8 @@ import (
 	"errors"
 	"io"
 	"strconv"
+
+	"repro/internal/concurrent"
 )
 
 // Protocol limits, matching memcached's defaults where it has them.
@@ -63,9 +65,14 @@ var ErrValueTooLarge = errors.New("server: object too large for cache")
 // the next read from the connection (the server always writes the response
 // before reading again); for set/delete the key is copied into an internal
 // buffer that survives reading the data block.
+//
+// Each key is hashed exactly once, at parse time: Digests[i] is the wide
+// digest of Keys[i], threaded through dispatch into the KV store and its
+// inner cache so no later layer re-hashes the key.
 type Request struct {
 	Op      Op
 	Keys    [][]byte // get/gets: all keys; set/delete: Keys[0]
+	Digests []uint64 // Digests[i] = concurrent.Digest(Keys[i])
 	Flags   uint32
 	Exptime int64
 	NoReply bool
@@ -73,6 +80,10 @@ type Request struct {
 
 	keyStore []byte
 	valBuf   []byte
+
+	// Multi-get dispatch scratch, reused across requests on one connection.
+	multi   []concurrent.MultiHit
+	mgetBuf []byte
 }
 
 var (
@@ -100,6 +111,7 @@ func ParseRequest(br *bufio.Reader, req *Request, maxValueLen int) error {
 	}
 	req.Op = OpInvalid
 	req.Keys = req.Keys[:0]
+	req.Digests = req.Digests[:0]
 	req.Flags = 0
 	req.Exptime = 0
 	req.NoReply = false
@@ -126,6 +138,7 @@ func ParseRequest(br *bufio.Reader, req *Request, maxValueLen int) error {
 				return ClientError("too many keys in one request")
 			}
 			req.Keys = append(req.Keys, key)
+			req.Digests = append(req.Digests, concurrent.Digest(key))
 		}
 		if len(req.Keys) == 0 {
 			return ClientError("no keys")
@@ -144,6 +157,7 @@ func ParseRequest(br *bufio.Reader, req *Request, maxValueLen int) error {
 		}
 		req.keyStore = append(req.keyStore[:0], key...)
 		req.Keys = append(req.Keys[:0], req.keyStore)
+		req.Digests = append(req.Digests[:0], concurrent.Digest(key))
 		if tok, _ := nextToken(rest); tok != nil {
 			if !bytes.Equal(tok, tokNoReply) {
 				return ClientError("bad command line format")
@@ -191,6 +205,7 @@ func parseSet(br *bufio.Reader, req *Request, rest []byte, maxValueLen int) erro
 	}
 	req.keyStore = append(req.keyStore[:0], key...)
 	req.Keys = append(req.Keys[:0], req.keyStore)
+	req.Digests = append(req.Digests[:0], concurrent.Digest(key))
 	req.Flags = uint32(flags)
 	req.Exptime = exptime
 
@@ -305,6 +320,33 @@ func writeValue(bw *bufio.Writer, key []byte, flags uint32, value []byte, cas ui
 	bw.WriteString("\r\n")
 	bw.Write(value)
 	bw.WriteString("\r\n")
+}
+
+// appendValueHeader appends "VALUE <key> <flags> <len>[ <cas>]\r\n" to dst
+// and returns the extended slice.
+func appendValueHeader(dst, key []byte, flags uint32, vlen int, cas uint64, withCAS bool) []byte {
+	dst = append(dst, "VALUE "...)
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(flags), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(vlen), 10)
+	if withCAS {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, cas, 10)
+	}
+	return append(dst, '\r', '\n')
+}
+
+// appendGetHeader and appendGetsHeader adapt appendValueHeader to
+// concurrent.HitHeaderFunc. They are package-level functions, not closures,
+// so passing them into KV.AppendHit costs no allocation on the hit path.
+func appendGetHeader(dst, key []byte, vlen int, flags uint32, cas uint64) []byte {
+	return appendValueHeader(dst, key, flags, vlen, cas, false)
+}
+
+func appendGetsHeader(dst, key []byte, vlen int, flags uint32, cas uint64) []byte {
+	return appendValueHeader(dst, key, flags, vlen, cas, true)
 }
 
 func writeEnd(bw *bufio.Writer)    { bw.WriteString("END\r\n") }

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchEntry is one measured configuration in a checked-in benchmark
+// artifact. Both cmd/throughput (in-process core-scaling sweep) and
+// cmd/cacheload (over-the-wire closed loop) emit this shape, so downstream
+// plotting reads one format: ops/s and ns/op always, allocs/op where the
+// harness can observe the heap, latency percentiles where there is a wire
+// to measure across.
+type BenchEntry struct {
+	Cache      string `json:"cache"`
+	Cores      int    `json:"cores,omitempty"`
+	Goroutines int    `json:"goroutines,omitempty"`
+	Conns      int    `json:"conns,omitempty"`
+	Ops        int64  `json:"ops"`
+
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	HitRatio    float64 `json:"hit_ratio"`
+
+	// Latency percentiles in nanoseconds; zero (omitted) for in-process
+	// runs, where per-op latency is NsPerOp by construction.
+	P50Ns  float64 `json:"p50_ns,omitempty"`
+	P99Ns  float64 `json:"p99_ns,omitempty"`
+	P999Ns float64 `json:"p999_ns,omitempty"`
+}
+
+// BenchFile is a benchmark artifact: the environment the numbers were
+// measured in, the command that regenerates them, and the entries.
+type BenchFile struct {
+	Bench      string `json:"bench"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	Capacity   int    `json:"capacity,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	KeySpace   int    `json:"key_space,omitempty"`
+	ValueLen   int    `json:"value_len,omitempty"`
+	Regenerate string `json:"regenerate"`
+
+	Entries []BenchEntry `json:"entries"`
+}
+
+// WriteBenchFile writes f as indented JSON to path ("-" means stdout).
+func WriteBenchFile(path string, f *BenchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("stats: write bench file: %w", err)
+	}
+	return nil
+}

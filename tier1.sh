@@ -20,4 +20,6 @@ echo '== go test -race (concurrent + server)'
 go test -race ./internal/concurrent/... ./internal/server/...
 echo '== bench smoke (one iteration per benchmark)'
 go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
+echo '== throughput sweep smoke (one point)'
+go run ./cmd/throughput -cores 2 -caches sieve -ops 65536 -keyspace 16384 -json - > /dev/null
 echo 'tier1: all green'
