@@ -12,19 +12,17 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/stats"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cacheload: ")
 	var (
 		addr     = flag.String("addr", "localhost:11211", "cache server address")
 		conns    = flag.Int("conns", 4, "concurrent client connections")
@@ -35,14 +33,27 @@ func main() {
 		valueLen = flag.Int("valuesize", 64, "value payload bytes")
 		metricsF = flag.String("metrics", "", `write client-side Prometheus exposition here after the run ("-" = stdout); families match the server's, labeled side="client"`)
 		jsonOut  = flag.String("json", "", `write the run as a bench JSON artifact here ("-" = stdout); same shape as BENCH_throughput.json, with wire latency percentiles`)
+		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFmt   = flag.String("log-format", "text", "log encoding: text|json")
 	)
 	flag.Parse()
+
+	lg, err := obs.NewLogger(*logLevel, *logFmt, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cacheload: %v\n", err)
+		os.Exit(1)
+	}
+	lg = lg.With("prog", "cacheload")
+	fatal := func(msg string, err error) {
+		lg.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	var reg *metrics.Registry
 	if *metricsF != "" {
 		reg = metrics.NewRegistry()
 	}
-	res, err := server.RunLoad(server.LoadConfig{
+	res, runErr := server.RunLoad(server.LoadConfig{
 		Addr:     *addr,
 		Conns:    *conns,
 		TotalOps: *ops,
@@ -52,8 +63,8 @@ func main() {
 		ValueLen: *valueLen,
 		Metrics:  reg,
 	})
-	if err != nil {
-		log.Fatal(err)
+	if runErr != nil {
+		fatal("load run failed", runErr)
 	}
 
 	workloadName := *family
@@ -107,7 +118,7 @@ func main() {
 			}},
 		}
 		if err := stats.WriteBenchFile(*jsonOut, file); err != nil {
-			log.Fatal(err)
+			fatal("bench artifact write failed", err)
 		}
 	}
 
@@ -116,7 +127,7 @@ func main() {
 		if *metricsF != "-" {
 			f, err := os.Create(*metricsF)
 			if err != nil {
-				log.Fatal(err)
+				fatal("metrics file create failed", err)
 			}
 			defer f.Close()
 			out = f
@@ -124,7 +135,7 @@ func main() {
 			fmt.Println()
 		}
 		if err := reg.WriteText(out); err != nil {
-			log.Fatal(err)
+			fatal("metrics write failed", err)
 		}
 	}
 }

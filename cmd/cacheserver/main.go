@@ -10,7 +10,12 @@
 // The admin listener serves Prometheus metrics at /metrics (per-command
 // request counters and latency histograms, per-policy hit/miss/eviction
 // counters, per-shard occupancy), liveness at /healthz, expvar at
-// /debug/vars, and profiles at /debug/pprof.
+// /debug/vars, profiles at /debug/pprof, and — when -events/-trace-sample
+// are on — lifecycle events and request spans at /debug/events with a
+// per-key live watch at /debug/trace.
+//
+// Diagnostics are structured (log/slog): -log-level picks the floor,
+// -log-format text|json the encoding.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight and pipelined requests finish
 // with their responses flushed before connections close.
@@ -20,7 +25,8 @@ import (
 	"context"
 	"expvar"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,12 +36,11 @@ import (
 
 	"repro/internal/concurrent"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cacheserver: ")
 	var (
 		addr        = flag.String("addr", ":11211", "TCP listen address")
 		cache       = flag.String("cache", "qdlp", "eviction policy: "+strings.Join(concurrent.Names(), "|"))
@@ -45,63 +50,98 @@ func main() {
 		maxConns    = flag.Int("max-conns", 1024, "max concurrent client connections")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this long")
 		maxItemSize = flag.Int("max-item-size", server.DefaultMaxValueLen, "max value size in bytes")
-		adminAddr   = flag.String("admin-addr", "", "optional HTTP admin address (/metrics, /healthz, /debug/vars, /debug/pprof)")
+		adminAddr   = flag.String("admin-addr", "", "optional HTTP admin address (/metrics, /healthz, /debug/vars, /debug/events, /debug/trace, /debug/pprof)")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text|json")
+		events      = flag.Int("events", 0, "retain this many cache lifecycle events for /debug/events and /debug/trace (0 = off)")
+		traceSample = flag.Int("trace-sample", 0, "record every Nth request per connection as a span (0 = off)")
+		slowReq     = flag.Duration("slow-request", 100*time.Millisecond, "always record requests slower than this as spans (0 = off; only active with tracing or -events)")
 	)
 	flag.Parse()
+
+	lg, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
+		os.Exit(1)
+	}
+	lg = lg.With("prog", "cacheserver")
+	fatal := func(msg string, err error) {
+		lg.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	opts := []concurrent.Option{concurrent.WithShards(*shards)}
 	if *clockBits != 0 {
 		opts = append(opts, concurrent.WithClockBits(*clockBits))
 	}
+	var rec *obs.Recorder
+	if *events > 0 {
+		// One ring per policy shard keeps recording contention-free; the
+		// requested retention is split across them.
+		rec = obs.NewRecorder(*shards, *events/max(*shards, 1))
+		opts = append(opts, concurrent.WithRecorder(rec))
+	}
 	inner, err := concurrent.New(*cache, *capacity, opts...)
 	if err != nil {
-		log.Fatal(err)
+		fatal("cache construction failed", err)
 	}
 	store := concurrent.NewKV(inner, *shards)
+	if rec != nil {
+		store.SetRecorder(rec)
+	}
 	reg := metrics.NewRegistry()
+	slow := *slowReq
+	if rec == nil && *traceSample == 0 {
+		slow = 0 // no observability plane requested: keep the loop untimed
+	}
 	srv, err := server.New(server.Config{
 		Addr:        *addr,
 		Store:       store,
 		MaxConns:    *maxConns,
 		IdleTimeout: *idleTimeout,
 		MaxValueLen: *maxItemSize,
-		Logf:        log.Printf,
+		Logger:      lg,
 		Metrics:     reg,
+		Events:      rec,
+		TraceSample: *traceSample,
+		SlowRequest: slow,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("server construction failed", err)
 	}
 
 	if *adminAddr != "" {
 		expvar.Publish("cacheserver", srv.ExpvarMap())
 		go func() {
 			if err := http.ListenAndServe(*adminAddr, srv.AdminMux(reg)); err != nil {
-				log.Printf("admin server: %v", err)
+				lg.Error("admin server failed", "err", err)
 			}
 		}()
-		log.Printf("admin endpoint at http://%s/metrics", *adminAddr)
+		lg.Info("admin endpoint up", "url", "http://"+*adminAddr+"/metrics")
 	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serving %s on %s (capacity %d objects, %d shards)",
-		store.Name(), *addr, inner.Capacity(), *shards)
+	lg.Info("starting",
+		"cache", store.Name(), "addr", *addr,
+		"capacity", inner.Capacity(), "shards", *shards,
+		slog.Group("obs", "events", *events, "trace_sample", *traceSample, "slow_request", slow.String()))
 
 	select {
 	case err := <-errCh:
 		if err != nil {
-			log.Fatal(err)
+			fatal("serve failed", err)
 		}
 	case sig := <-sigs:
-		log.Printf("%v: draining (deadline %v)", sig, *drain)
+		lg.Info("signal received, draining", "signal", sig.String(), "deadline", drain.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Fatalf("shutdown: %v", err)
+			fatal("shutdown failed", err)
 		}
-		log.Print("drained cleanly")
+		lg.Info("drained cleanly")
 	}
 }

@@ -17,6 +17,8 @@ package concurrent
 
 import (
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Cache is a fixed-capacity thread-safe key-value cache. Values are uint64
@@ -42,11 +44,19 @@ type Cache interface {
 	// per-shard view the metrics layer exports for balance/occupancy
 	// dashboards.
 	ShardStats() []Snapshot
-	// SetEvictHook registers fn to be called with the key of every object
-	// evicted for capacity. It must be called before the cache is shared
-	// between goroutines. fn runs while the victim's shard lock is held
-	// and must not call back into the cache.
-	SetEvictHook(fn func(key uint64))
+	// SetEvictHook registers fn to be called with the key and reason of
+	// every object evicted for capacity (ReasonProbationOverflow,
+	// ReasonMainClock, or ReasonCapacity — never deletes). It must be
+	// called before the cache is shared between goroutines. fn runs while
+	// the victim's shard lock is held and must not call back into the
+	// cache.
+	SetEvictHook(fn func(key uint64, reason obs.Reason))
+	// SetRecorder attaches a lifecycle-event recorder (nil disables). Like
+	// SetEvictHook it must be called before the cache is shared. Events are
+	// emitted only on paths that already hold the shard's exclusive lock
+	// (admit, eviction-time scans); the shared-lock hit path never records,
+	// so attaching a recorder does not change the paper's hit-path cost.
+	SetRecorder(rec *obs.Recorder)
 	// Name identifies the implementation.
 	Name() string
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Clock is a sharded thread-safe k-bit CLOCK (FIFO-Reinsertion) cache.
@@ -17,7 +19,8 @@ type Clock struct {
 	mask    uint64
 	cap     int
 	maxFreq uint32
-	onEvict func(uint64)
+	onEvict func(uint64, obs.Reason)
+	rec     *obs.Recorder
 }
 
 type clockShard struct {
@@ -121,13 +124,14 @@ func (c *Clock) Set(key, value uint64) {
 		s.mu.Unlock()
 		return
 	}
-	idx := s.reclaim()
+	idx := s.reclaim(c)
 	slot := &s.slots[idx]
 	if slot.live {
 		delete(s.byKey, slot.key)
 		s.stats.evictions.Add(1)
+		c.rec.Record(obs.Event{Key: slot.key, Kind: obs.EvEvict, Reason: obs.ReasonMainClock})
 		if c.onEvict != nil {
-			c.onEvict(slot.key)
+			c.onEvict(slot.key, obs.ReasonMainClock)
 		}
 	} else {
 		slot.live = true
@@ -137,6 +141,7 @@ func (c *Clock) Set(key, value uint64) {
 	slot.value = value
 	slot.freq.Store(0)
 	s.byKey[key] = idx
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
 	s.mu.Unlock()
 }
 
@@ -173,11 +178,16 @@ func (c *Clock) ShardStats() []Snapshot {
 }
 
 // SetEvictHook implements Cache.
-func (c *Clock) SetEvictHook(fn func(uint64)) { c.onEvict = fn }
+func (c *Clock) SetEvictHook(fn func(uint64, obs.Reason)) { c.onEvict = fn }
+
+// SetRecorder implements Cache.
+func (c *Clock) SetRecorder(rec *obs.Recorder) { c.rec = rec }
 
 // reclaim returns the slot index to (re)use, advancing the hand past
-// recently referenced slots. Caller holds the exclusive lock.
-func (s *clockShard) reclaim() int {
+// recently referenced slots. Caller holds the exclusive lock. Each skipped
+// referenced slot is a lazy-promotion decision and is recorded as such,
+// with the counter value that earned the reinsertion.
+func (s *clockShard) reclaim(c *Clock) int {
 	if s.used < len(s.slots) {
 		// Fill empty slots first (they are contiguous from the start only
 		// on a fresh cache, so scan from the hand).
@@ -193,6 +203,7 @@ func (s *clockShard) reclaim() int {
 		slot := &s.slots[s.hand]
 		if f := slot.freq.Load(); f > 0 {
 			slot.freq.Store(f - 1)
+			c.rec.Record(obs.Event{Key: slot.key, Kind: obs.EvPromote, Freq: uint8(f)})
 			s.hand = (s.hand + 1) % len(s.slots)
 			continue
 		}

@@ -3,6 +3,8 @@ package concurrent
 import (
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func caches(t *testing.T, capacity, shards int) []Cache {
@@ -320,7 +322,12 @@ func TestEvictionCountAndHook(t *testing.T) {
 	for _, c := range caches(t, 64, 1) {
 		t.Run(c.Name(), func(t *testing.T) {
 			var hooked []uint64
-			c.SetEvictHook(func(key uint64) { hooked = append(hooked, key) })
+			c.SetEvictHook(func(key uint64, reason obs.Reason) {
+				if reason == obs.ReasonNone {
+					t.Errorf("evict hook for key %d carried no reason", key)
+				}
+				hooked = append(hooked, key)
+			})
 			for k := uint64(0); k < 200; k++ {
 				c.Set(k, k)
 			}

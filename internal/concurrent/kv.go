@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // KV is a byte-value, size-aware adapter over a sharded Cache: the inner
@@ -44,6 +46,7 @@ type KV struct {
 	bytes  atomic.Int64
 	items  atomic.Int64
 	casSeq atomic.Uint64
+	rec    *obs.Recorder
 }
 
 type kvShard struct {
@@ -111,10 +114,20 @@ func (kv *KV) shard(id uint64) *kvShard {
 	return &kv.shards[hash(id)&kv.mask]
 }
 
+// SetRecorder attaches a lifecycle-event recorder to the data plane and the
+// inner policy: the policy emits admit/promote/demote/evict events, KV adds
+// the client-driven removals (delete, expire). Call before the store is
+// shared, like SetEvictHook.
+func (kv *KV) SetRecorder(rec *obs.Recorder) {
+	kv.rec = rec
+	kv.inner.SetRecorder(rec)
+}
+
 // dropEvicted is the inner cache's eviction hook: it runs under the inner
 // shard's exclusive lock and only touches KV's own shard, never the inner
-// cache.
-func (kv *KV) dropEvicted(id uint64) {
+// cache. The eviction reason is recorded by the policy alongside its event;
+// the data plane only needs to drop the bytes.
+func (kv *KV) dropEvicted(id uint64, _ obs.Reason) {
 	s := kv.shard(id)
 	s.mu.Lock()
 	e := s.m[id]
@@ -330,6 +343,20 @@ func (kv *KV) Delete(key []byte) bool {
 
 // DeleteDigest is Delete with the key's digest already computed.
 func (kv *KV) DeleteDigest(key []byte, id uint64) bool {
+	return kv.remove(key, id, obs.EvDelete, obs.ReasonDeleted)
+}
+
+// ExpireDigest removes an already-expired key (the server's negative-exptime
+// store), reporting whether a value was dropped. It is Delete with the
+// lifecycle event recorded as an expiry instead of a client delete, so a
+// key watch can tell TTL churn from deletions.
+func (kv *KV) ExpireDigest(key []byte, id uint64) bool {
+	return kv.remove(key, id, obs.EvExpire, obs.ReasonExpired)
+}
+
+// remove implements DeleteDigest/ExpireDigest: policy entry first, data
+// second (see Delete for the ordering argument).
+func (kv *KV) remove(key []byte, id uint64, kind obs.EventKind, reason obs.Reason) bool {
 	s := kv.shard(id)
 	s.mu.RLock()
 	e := s.m[id]
@@ -353,6 +380,7 @@ func (kv *KV) DeleteDigest(key []byte, id uint64) bool {
 		return false
 	}
 	s.stats.deletes.Add(1)
+	kv.rec.Record(obs.Event{Key: id, Kind: kind, Reason: reason})
 	kv.bytes.Add(-int64(n))
 	kv.items.Add(-1)
 	return true

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/dlist"
+	"repro/internal/obs"
 )
 
 // LRU is a sharded thread-safe LRU cache. Every hit takes the shard's
@@ -13,7 +14,8 @@ type LRU struct {
 	shards  []lruShard
 	mask    uint64
 	cap     int
-	onEvict func(uint64)
+	onEvict func(uint64, obs.Reason)
+	rec     *obs.Recorder
 }
 
 type lruShard struct {
@@ -100,11 +102,13 @@ func (c *LRU) Set(key, value uint64) {
 		delete(s.byKey, victim.Value.key)
 		s.list.Remove(victim)
 		s.stats.evictions.Add(1)
+		c.rec.Record(obs.Event{Key: victim.Value.key, Kind: obs.EvEvict, Reason: obs.ReasonCapacity})
 		if c.onEvict != nil {
-			c.onEvict(victim.Value.key)
+			c.onEvict(victim.Value.key, obs.ReasonCapacity)
 		}
 	}
 	s.byKey[key] = s.list.PushFront(lruEntry{key: key, value: value})
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
 	s.mu.Unlock()
 }
 
@@ -140,4 +144,9 @@ func (c *LRU) ShardStats() []Snapshot {
 }
 
 // SetEvictHook implements Cache.
-func (c *LRU) SetEvictHook(fn func(uint64)) { c.onEvict = fn }
+func (c *LRU) SetEvictHook(fn func(uint64, obs.Reason)) { c.onEvict = fn }
+
+// SetRecorder implements Cache. LRU emits admit and evict events only: its
+// promotions happen on every hit, and recording per-hit events would slow
+// the very hit path the recorder exists to observe.
+func (c *LRU) SetRecorder(rec *obs.Recorder) { c.rec = rec }

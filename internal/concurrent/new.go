@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // config collects the functional options New applies before dispatching to
@@ -16,6 +18,7 @@ type config struct {
 	clockBitsSet bool
 	qdlp         QDLPOptions
 	qdlpSet      bool
+	recorder     *obs.Recorder
 }
 
 const defaultShards = 16
@@ -64,6 +67,16 @@ func WithQDLPOptions(opts QDLPOptions) Option {
 		}
 		c.qdlp = opts
 		c.qdlpSet = true
+		return nil
+	}
+}
+
+// WithRecorder attaches a lifecycle-event recorder to the constructed cache
+// (see Cache.SetRecorder). It applies to every policy; a nil recorder is
+// allowed and leaves tracing disabled.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(c *config) error {
+		c.recorder = rec
 		return nil
 	}
 }
@@ -119,7 +132,14 @@ func New(policy string, capacity int, opts ...Option) (Cache, error) {
 	if !ok {
 		return nil, fmt.Errorf("concurrent: unknown cache policy %q (known: %v)", policy, Names())
 	}
-	return f(capacity, cfg)
+	c, err := f(capacity, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.recorder != nil {
+		c.SetRecorder(cfg.recorder)
+	}
+	return c, nil
 }
 
 // rejectOptions errors when an option irrelevant to the policy was set.

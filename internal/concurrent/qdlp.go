@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // QDLP is a sharded thread-safe QD-LP-FIFO cache: a small probationary
@@ -16,7 +18,8 @@ type QDLP struct {
 	mask    uint64
 	cap     int
 	maxFreq uint32
-	onEvict func(uint64)
+	onEvict func(uint64, obs.Reason)
+	rec     *obs.Recorder
 }
 
 const (
@@ -204,6 +207,7 @@ func (c *QDLP) Set(key, value uint64) {
 	if _, ok := s.ghost[key]; ok {
 		// Quick-demotion mistake: admit straight into the main ring.
 		delete(s.ghost, key)
+		c.rec.Record(obs.Event{Key: key, Kind: obs.EvGhostReadmit})
 		s.insertMain(c, key, value)
 		return
 	}
@@ -218,6 +222,7 @@ func (c *QDLP) Set(key, value uint64) {
 	s.smallCount++
 	s.smallLive++
 	s.byKey[key] = qdLoc{where: locSmall, idx: int32(idx)}
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
 }
 
 // evictSmall pops the probationary head: accessed objects move to the main
@@ -235,27 +240,33 @@ func (s *qdShard) evictSmall(c *QDLP) {
 	delete(s.byKey, key)
 	slot.live = false
 	s.smallLive--
-	if slot.freq.Load() > 0 {
+	if f := slot.freq.Load(); f > 0 {
+		// Lazy promotion: the object earned the main ring while waiting in
+		// probation. Freq carries the counter at the decision.
+		c.rec.Record(obs.Event{Key: key, Kind: obs.EvPromote, Freq: uint8(f)})
 		s.insertMain(c, key, slot.value)
 		return
 	}
+	// Quick demotion: never re-requested — this is the eviction.
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvDemoteGhost, Reason: obs.ReasonProbationOverflow})
 	s.ghostAdd(key)
 	s.stats.evictions.Add(1)
 	if c.onEvict != nil {
-		c.onEvict(key)
+		c.onEvict(key, obs.ReasonProbationOverflow)
 	}
 }
 
 // insertMain places key into the main CLOCK ring, reclaiming a slot via
 // the hand if needed. Caller holds the exclusive lock.
 func (s *qdShard) insertMain(c *QDLP, key, value uint64) {
-	idx := s.mainReclaim()
+	idx := s.mainReclaim(c)
 	slot := &s.main[idx]
 	if slot.live {
 		delete(s.byKey, slot.key)
 		s.stats.evictions.Add(1)
+		c.rec.Record(obs.Event{Key: slot.key, Kind: obs.EvEvict, Reason: obs.ReasonMainClock})
 		if c.onEvict != nil {
-			c.onEvict(slot.key)
+			c.onEvict(slot.key, obs.ReasonMainClock)
 		}
 	} else {
 		slot.live = true
@@ -306,9 +317,12 @@ func (c *QDLP) ShardStats() []Snapshot {
 }
 
 // SetEvictHook implements Cache.
-func (c *QDLP) SetEvictHook(fn func(uint64)) { c.onEvict = fn }
+func (c *QDLP) SetEvictHook(fn func(uint64, obs.Reason)) { c.onEvict = fn }
 
-func (s *qdShard) mainReclaim() int {
+// SetRecorder implements Cache.
+func (c *QDLP) SetRecorder(rec *obs.Recorder) { c.rec = rec }
+
+func (s *qdShard) mainReclaim(c *QDLP) int {
 	if s.mainUsed < len(s.main) {
 		for i := 0; i < len(s.main); i++ {
 			idx := (s.mainHand + i) % len(s.main)
@@ -322,6 +336,7 @@ func (s *qdShard) mainReclaim() int {
 		slot := &s.main[s.mainHand]
 		if f := slot.freq.Load(); f > 0 {
 			slot.freq.Store(f - 1) // lazy promotion: second chances
+			c.rec.Record(obs.Event{Key: slot.key, Kind: obs.EvPromote, Freq: uint8(f)})
 			s.mainHand = (s.mainHand + 1) % len(s.main)
 			continue
 		}

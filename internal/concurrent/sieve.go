@@ -3,6 +3,8 @@ package concurrent
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Sieve is a sharded thread-safe SIEVE cache. Like Clock, its hit path is
@@ -15,7 +17,8 @@ type Sieve struct {
 	shards  []sieveShard
 	mask    uint64
 	cap     int
-	onEvict func(uint64)
+	onEvict func(uint64, obs.Reason)
+	rec     *obs.Recorder
 }
 
 type sieveNode struct {
@@ -104,10 +107,11 @@ func (c *Sieve) Set(key, value uint64) {
 		return
 	}
 	if s.size >= s.cap {
-		victim := s.evict()
+		victim := s.evict(c.rec)
 		s.stats.evictions.Add(1)
+		c.rec.Record(obs.Event{Key: victim, Kind: obs.EvEvict, Reason: obs.ReasonMainClock})
 		if c.onEvict != nil {
-			c.onEvict(victim)
+			c.onEvict(victim, obs.ReasonMainClock)
 		}
 	}
 	n := &sieveNode{key: key, value: value}
@@ -121,18 +125,22 @@ func (c *Sieve) Set(key, value uint64) {
 	}
 	s.byKey[key] = n
 	s.size++
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
 	s.mu.Unlock()
 }
 
 // evict runs the SIEVE sweep from the retained hand and returns the evicted
-// key. Caller holds the exclusive lock.
-func (s *sieveShard) evict() uint64 {
+// key. Caller holds the exclusive lock. Every visited object the sweep
+// spares is a lazy-promotion decision, recorded with Freq=1 (the visited
+// bit it spent to survive).
+func (s *sieveShard) evict(rec *obs.Recorder) uint64 {
 	n := s.hand
 	if n == nil {
 		n = s.tail
 	}
 	for n.visited.Load() {
 		n.visited.Store(false)
+		rec.Record(obs.Event{Key: n.key, Kind: obs.EvPromote, Freq: 1})
 		next := n.next // toward the head
 		if next == nil {
 			next = s.tail // wrap
@@ -183,7 +191,10 @@ func (c *Sieve) ShardStats() []Snapshot {
 }
 
 // SetEvictHook implements Cache.
-func (c *Sieve) SetEvictHook(fn func(uint64)) { c.onEvict = fn }
+func (c *Sieve) SetEvictHook(fn func(uint64, obs.Reason)) { c.onEvict = fn }
+
+// SetRecorder implements Cache.
+func (c *Sieve) SetRecorder(rec *obs.Recorder) { c.rec = rec }
 
 func (s *sieveShard) unlink(n *sieveNode) {
 	if n.prev != nil {

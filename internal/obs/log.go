@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a leveled structured logger writing to w. level is one of
+// "debug", "info", "warn", "error" (case-insensitive); format is "text" or
+// "json". Both cmds thread these straight from -log-level / -log-format.
+func NewLogger(level, format string, w io.Writer) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+}
+
+// NewLogfLogger adapts a legacy printf-style sink to a *slog.Logger — the
+// deprecation shim that keeps server.Config.Logf callers working while the
+// server itself speaks slog. Attributes are rendered key=value after the
+// message, at every level.
+func NewLogfLogger(logf func(format string, args ...any)) *slog.Logger {
+	return slog.New(logfHandler{logf: logf})
+}
+
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+	group string
+}
+
+func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	write := func(a slog.Attr) {
+		fmt.Fprintf(&b, " %s%s=%v", h.group, a.Key, a.Value.Any())
+	}
+	for _, a := range h.attrs {
+		write(a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		write(a)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := h
+	out.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return out
+}
+
+func (h logfHandler) WithGroup(name string) slog.Handler {
+	out := h
+	out.group = h.group + name + "."
+	return out
+}

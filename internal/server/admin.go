@@ -12,11 +12,13 @@ import (
 // listener from the cache protocol so operations traffic never competes
 // with the hot path:
 //
-//	/metrics      Prometheus text exposition of reg
-//	/healthz      200 while serving, 503 once draining
-//	/debug/vars   expvar (process-global)
-//	/debug/pprof  CPU/heap/etc profiles — the instrumentation §3's
-//	              measured-cost arguments depend on
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       200 while serving, 503 once draining
+//	/debug/vars    expvar (process-global)
+//	/debug/events  retained lifecycle events + sampled request spans
+//	/debug/trace   one key's lifecycle history, optionally followed live
+//	/debug/pprof   CPU/heap/etc profiles — the instrumentation §3's
+//	               measured-cost arguments depend on
 //
 // reg is typically the same registry passed in Config.Metrics; a nil reg
 // omits /metrics.
@@ -34,6 +36,10 @@ func (s *Server) AdminMux(reg *metrics.Registry) *http.ServeMux {
 		w.Write([]byte("ok\n"))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	// The events endpoints stay mounted with tracing off: they answer with
+	// empty sections, so dashboards need not special-case the config.
+	mux.HandleFunc("/debug/events", s.handleDebugEvents)
+	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

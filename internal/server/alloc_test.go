@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/concurrent"
+	"repro/internal/obs"
 )
 
 // Allocation guards for the served hit path: parse + dispatch + flush must
@@ -93,5 +95,80 @@ func TestServerSetPathAllocs(t *testing.T) {
 	payload := []byte("set key-07 9 0 27 noreply\r\nvalue-07-overwritten-steady\r\n")
 	if avg := runRequests(t, s, payload); avg > 1 {
 		t.Fatalf("set path allocates %.2f/op, want <= 1", avg)
+	}
+}
+
+// A lifecycle recorder on the store plus a disabled tracer (TraceSample 0)
+// must not cost the hit path anything: events fire only on exclusive-lock
+// paths and the tracer's disabled checks are single branches.
+func TestServerGetHitPathZeroAllocsWithRecorder(t *testing.T) {
+	s := allocServer(t)
+	s.cfg.Store.SetRecorder(obs.NewRecorder(4, 1024))
+	tr := s.newConnTracer()
+	if tr.enabled() {
+		t.Fatal("tracer enabled with TraceSample 0")
+	}
+	payload := []byte("get key-07\r\n")
+	src := bytes.NewReader(payload)
+	br := bufio.NewReaderSize(src, readBufSize)
+	bw := bufio.NewWriterSize(io.Discard, writeBufSize)
+	var req Request
+	if avg := testing.AllocsPerRun(1000, func() {
+		src.Reset(payload)
+		br.Reset(src)
+		pStart := tr.begin()
+		if err := ParseRequest(br, &req, 0); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		s.dispatch(bw, &req)
+		tr.observe(&req, pStart, start, time.Now())
+		fs := tr.preFlush()
+		bw.Flush()
+		tr.flushed(fs)
+	}); avg != 0 {
+		t.Fatalf("hit path with recorder + disabled tracer allocates %.1f/op, want 0", avg)
+	}
+}
+
+// With sampling on, the tracer is allowed its one-time pending-slice
+// allocation but nothing per request in steady state.
+func TestServerGetHitPathAllocsWithSampling(t *testing.T) {
+	inner, err := concurrent.NewClock(4096, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := concurrent.NewKV(inner, 4)
+	kv.Set([]byte("key-07"), []byte("value-07"), 7)
+	s, err := New(Config{Store: kv, TraceSample: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := s.newConnTracer()
+	payload := []byte("get key-07\r\n")
+	src := bytes.NewReader(payload)
+	br := bufio.NewReaderSize(src, readBufSize)
+	bw := bufio.NewWriterSize(io.Discard, writeBufSize)
+	var req Request
+	run := func() {
+		src.Reset(payload)
+		br.Reset(src)
+		pStart := tr.begin()
+		if err := ParseRequest(br, &req, 0); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		s.dispatch(bw, &req)
+		tr.observe(&req, pStart, start, time.Now())
+		fs := tr.preFlush()
+		bw.Flush()
+		tr.flushed(fs)
+	}
+	run() // warm the pending slice
+	if avg := testing.AllocsPerRun(1000, run); avg > 1 {
+		t.Fatalf("hit path with sampling allocates %.2f/op, want <= 1", avg)
+	}
+	if s.spans.Total() == 0 {
+		t.Fatal("sampling recorded no spans")
 	}
 }

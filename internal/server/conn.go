@@ -64,13 +64,16 @@ func (s *Server) handleConn(nc net.Conn) {
 	}()
 	br := bufio.NewReaderSize(nc, readBufSize)
 	bw := bufio.NewWriterSize(nc, writeBufSize)
+	tr := s.newConnTracer()
 	var req Request
 	for {
 		if br.Buffered() == 0 {
+			fs := tr.preFlush()
 			if err := bw.Flush(); err != nil {
-				s.cfg.Logf("server: %s: flush: %v", nc.RemoteAddr(), err)
+				s.log.Debug("flush failed", "remote", nc.RemoteAddr().String(), "err", err)
 				return
 			}
+			tr.flushed(fs)
 			if err := s.waitData(nc, br); err != nil {
 				return
 			}
@@ -78,15 +81,17 @@ func (s *Server) handleConn(nc net.Conn) {
 		// A request has started arriving; give the client one idle window
 		// to deliver the rest of it.
 		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		pStart := tr.begin()
 		err := ParseRequest(br, &req, s.cfg.MaxValueLen)
 		var cerr ClientError
 		switch {
 		case err == nil:
 			// Latency is measured around dispatch only: the parse above
 			// blocks on client bytes, so including it would measure the
-			// client's think time, not the server's service time.
+			// client's think time, not the server's service time. (Spans
+			// report the parse phase separately for the same reason.)
 			var start time.Time
-			if s.metrics != nil {
+			if s.metrics != nil || tr.enabled() {
 				start = time.Now()
 			}
 			alive := s.dispatch(bw, &req)
@@ -94,8 +99,13 @@ func (s *Server) handleConn(nc net.Conn) {
 				m.requests[req.Op].Inc()
 				m.duration[req.Op].ObserveDuration(time.Since(start))
 			}
+			if tr.enabled() && req.Op != OpInvalid {
+				tr.observe(&req, pStart, start, time.Now())
+			}
 			if !alive {
+				fs := tr.preFlush()
 				bw.Flush()
+				tr.flushed(fs)
 				return
 			}
 		case errors.As(err, &cerr):
@@ -119,8 +129,11 @@ func (s *Server) handleConn(nc net.Conn) {
 }
 
 // dispatch executes one parsed request, writing the response. It returns
-// false when the connection should close (quit).
+// false when the connection should close (quit). Besides the response it
+// stamps req.outcome, which the connection tracer copies into the
+// request's span.
 func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
+	req.outcome = OutcomeNone
 	switch req.Op {
 	case OpGet, OpGets:
 		withCAS := req.Op == OpGets
@@ -137,9 +150,11 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 			if ok {
 				s.counters.GetHits.Add(1)
 				s.counters.BytesWritten.Add(int64(vlen))
+				req.outcome = OutcomeHit
 				bw.Write(append(out, '\r', '\n'))
 			} else {
 				s.counters.GetMisses.Add(1)
+				req.outcome = OutcomeMiss
 			}
 			writeEnd(bw)
 			return true
@@ -155,12 +170,14 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 		hits := req.multi[:n]
 		req.mgetBuf = s.cfg.Store.GetMulti(req.mgetBuf[:0], req.Keys, req.Digests, hits)
 		s.counters.Gets.Add(int64(n))
+		req.outcome = OutcomeMiss // hit if any key hit
 		for i, h := range hits {
 			if !h.Hit {
 				s.counters.GetMisses.Add(1)
 				continue
 			}
 			s.counters.GetHits.Add(1)
+			req.outcome = OutcomeHit
 			v := req.mgetBuf[h.Start:h.End]
 			s.counters.BytesWritten.Add(int64(len(v)))
 			writeValue(bw, req.Keys[i], h.Flags, v, h.CAS, withCAS)
@@ -178,8 +195,10 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 			// Memcached semantics: a negative exptime stores an
 			// already-expired item. The store is acknowledged but the value
 			// is never visible — and any previous version was logically
-			// overwritten, so it is dropped too.
-			s.cfg.Store.DeleteDigest(req.Keys[0], req.Digests[0])
+			// overwritten, so it is dropped too, surfacing as an expire
+			// (not a delete) in the lifecycle event stream.
+			s.cfg.Store.ExpireDigest(req.Keys[0], req.Digests[0])
+			req.outcome = OutcomeStored
 			if !req.NoReply {
 				writeStored(bw)
 			}
@@ -188,9 +207,11 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 			// would silently violate the client's contract. Errors are
 			// reported even to noreply clients, matching memcached.
 			s.counters.BadCommands.Add(1)
+			req.outcome = OutcomeError
 			writeClientError(bw, "exptime must be 0 (TTL expiry not supported)")
 		default:
 			s.cfg.Store.SetDigest(req.Keys[0], req.Value, req.Flags, req.Digests[0])
+			req.outcome = OutcomeStored
 			if !req.NoReply {
 				writeStored(bw)
 			}
@@ -200,6 +221,9 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 		found := s.cfg.Store.DeleteDigest(req.Keys[0], req.Digests[0])
 		if found {
 			s.counters.DeleteHits.Add(1)
+			req.outcome = OutcomeDeleted
+		} else {
+			req.outcome = OutcomeNotFound
 		}
 		if !req.NoReply {
 			if found {

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/obs"
+)
+
+// eventsDump is the /debug/events payload: the retained lifecycle events
+// and sampled request spans, plus the buffer counters that say how much
+// history the rings have shed.
+type eventsDump struct {
+	EventsTotal   int64       `json:"events_total"`
+	EventsDropped int64       `json:"events_dropped"`
+	SpansTotal    int64       `json:"spans_total"`
+	SpansDropped  int64       `json:"spans_dropped"`
+	SlowRequests  int64       `json:"slow_requests"`
+	Events        []eventJSON `json:"events"`
+	Spans         []spanJSON  `json:"spans"`
+}
+
+type eventJSON struct {
+	Seq    uint64 `json:"seq"`
+	Nanos  int64  `json:"nanos"`
+	Key    string `json:"key"` // digest, fixed-width hex
+	Kind   string `json:"kind"`
+	Reason string `json:"reason,omitempty"`
+	Freq   uint8  `json:"freq,omitempty"`
+}
+
+type spanJSON struct {
+	Seq        uint64 `json:"seq"`
+	Start      int64  `json:"start"`
+	Key        string `json:"key"`
+	Op         string `json:"op"`
+	Outcome    string `json:"outcome"`
+	Slow       bool   `json:"slow,omitempty"`
+	ParseNs    int64  `json:"parse_ns"`
+	DispatchNs int64  `json:"dispatch_ns"`
+	FlushNs    int64  `json:"flush_ns"`
+}
+
+func toEventJSON(ev obs.Event) eventJSON {
+	return eventJSON{
+		Seq:    ev.Seq,
+		Nanos:  ev.Nanos,
+		Key:    fmt.Sprintf("%016x", ev.Key),
+		Kind:   ev.Kind.String(),
+		Reason: ev.Reason.String(),
+		Freq:   ev.Freq,
+	}
+}
+
+func toSpanJSON(sp obs.Span) spanJSON {
+	return spanJSON{
+		Seq:        sp.Seq,
+		Start:      sp.Start,
+		Key:        fmt.Sprintf("%016x", sp.Key),
+		Op:         opName(sp.Op),
+		Outcome:    outcomeName(sp.Outcome),
+		Slow:       sp.Slow,
+		ParseNs:    sp.ParseNs,
+		DispatchNs: sp.DispatchNs,
+		FlushNs:    sp.FlushNs,
+	}
+}
+
+// writeEventsText renders the dump in the line-oriented text form — one
+// event or span per line, key=value fields, section headers carrying the
+// buffer counters. The format is stable (golden-tested) so operators can
+// grep and cut it.
+func writeEventsText(w io.Writer, d eventsDump) {
+	fmt.Fprintf(w, "# events total=%d dropped=%d\n", d.EventsTotal, d.EventsDropped)
+	for _, ev := range d.Events {
+		fmt.Fprintf(w, "seq=%d t=%d key=%s kind=%s reason=%s freq=%d\n",
+			ev.Seq, ev.Nanos, ev.Key, ev.Kind, ev.Reason, ev.Freq)
+	}
+	fmt.Fprintf(w, "# spans total=%d dropped=%d slow=%d\n", d.SpansTotal, d.SpansDropped, d.SlowRequests)
+	for _, sp := range d.Spans {
+		fmt.Fprintf(w, "seq=%d start=%d key=%s op=%s outcome=%s slow=%t parse_ns=%d dispatch_ns=%d flush_ns=%d\n",
+			sp.Seq, sp.Start, sp.Key, sp.Op, sp.Outcome, sp.Slow, sp.ParseNs, sp.DispatchNs, sp.FlushNs)
+	}
+}
+
+// eventsDumpFor assembles the dump: the most recent max lifecycle events
+// (filtered to one key when key != ""), and the retained spans.
+func (s *Server) eventsDumpFor(key string, max int) eventsDump {
+	d := eventsDump{
+		EventsTotal:   s.cfg.Events.Total(),
+		EventsDropped: s.cfg.Events.Dropped(),
+		SpansTotal:    s.spans.Total(),
+		SpansDropped:  s.spans.Dropped(),
+		SlowRequests:  s.spans.SlowCount(),
+		Events:        []eventJSON{},
+		Spans:         []spanJSON{},
+	}
+	var evs []obs.Event
+	if key != "" {
+		evs = s.cfg.Events.KeyEvents(concurrent.Digest([]byte(key)), max)
+	} else {
+		evs = s.cfg.Events.Snapshot(max)
+	}
+	for _, ev := range evs {
+		d.Events = append(d.Events, toEventJSON(ev))
+	}
+	for _, sp := range s.spans.Snapshot(max) {
+		d.Spans = append(d.Spans, toSpanJSON(sp))
+	}
+	return d
+}
+
+// handleDebugEvents serves /debug/events: the retained lifecycle events and
+// request spans, newest history the rings still hold. Query parameters:
+//
+//	n=256        cap on events and spans returned (<=0 means everything)
+//	key=foo      only lifecycle events for this cache key
+//	format=json  machine form; default is the text line form
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	max := 256
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	d := s.eventsDumpFor(r.URL.Query().Get("key"), max)
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeEventsText(w, d)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d)
+	default:
+		http.Error(w, "bad format (want text or json)", http.StatusBadRequest)
+	}
+}
+
+const (
+	// tracePollInterval paces the /debug/trace follow loop. 25ms keeps the
+	// watch near-live without hammering the rings.
+	tracePollInterval = 25 * time.Millisecond
+	// traceMaxWait caps how long one /debug/trace request may follow a key.
+	traceMaxWait = time.Minute
+)
+
+// handleDebugTrace serves /debug/trace?key=foo: the key's retained
+// lifecycle history, then (with wait=2s etc.) a live follow that streams
+// new events for the key as the cache emits them — the per-key watch that
+// turns "why did this key miss" into a replayable admit→demote→readmit
+// story. Lines use the same format as /debug/events.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key parameter", http.StatusBadRequest)
+		return
+	}
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			http.Error(w, "bad wait duration", http.StatusBadRequest)
+			return
+		}
+		wait = min(d, traceMaxWait)
+	}
+	digest := concurrent.Digest([]byte(key))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "# trace key=%q digest=%016x\n", key, digest)
+
+	next := uint64(0) // first unseen ring sequence
+	emit := func(evs []obs.Event) {
+		for _, ev := range evs {
+			e := toEventJSON(ev)
+			fmt.Fprintf(w, "seq=%d t=%d key=%s kind=%s reason=%s freq=%d\n",
+				e.Seq, e.Nanos, e.Key, e.Kind, e.Reason, e.Freq)
+			if ev.Seq >= next {
+				next = ev.Seq + 1
+			}
+		}
+	}
+	emit(s.cfg.Events.KeyEvents(digest, 0))
+	if wait <= 0 {
+		return
+	}
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	deadline := time.Now().Add(wait)
+	for time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(tracePollInterval):
+		}
+		if evs := s.cfg.Events.KeyEventsSince(digest, next, 0); len(evs) > 0 {
+			emit(evs)
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+}

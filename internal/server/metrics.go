@@ -38,6 +38,15 @@ const (
 	MetricShardItems     = "cache_shard_items"
 	MetricShardEvictions = "cache_shard_evictions_total"
 
+	// Observability-plane counters: how much the lifecycle-event and
+	// request-span rings have recorded and shed. A climbing dropped count
+	// means the retained window is shorter than the scrape interval.
+	MetricObsEvents        = "cache_obs_events_total"
+	MetricObsEventsDropped = "cache_obs_events_dropped_total"
+	MetricObsSpans         = "cache_obs_spans_total"
+	MetricObsSpansDropped  = "cache_obs_spans_dropped_total"
+	MetricObsSlowRequests  = "cache_obs_slow_requests_total"
+
 	// Transport-level server counters.
 	MetricConnsCurrent  = "cache_server_connections_current"
 	MetricConnsTotal    = "cache_server_connections_total"
@@ -94,6 +103,16 @@ func (s *Server) initMetrics(reg *metrics.Registry) {
 		s.counters.BytesRead.Load)
 	reg.CounterFunc(MetricBytesWritten, "Value payload bytes sent in get responses.",
 		s.counters.BytesWritten.Load)
+
+	if ev := s.cfg.Events; ev != nil {
+		reg.CounterFunc(MetricObsEvents, "Lifecycle events recorded.", ev.Total)
+		reg.CounterFunc(MetricObsEventsDropped, "Lifecycle events overwritten before being read.", ev.Dropped)
+	}
+	if sp := s.spans; sp != nil {
+		reg.CounterFunc(MetricObsSpans, "Request spans recorded.", sp.Total)
+		reg.CounterFunc(MetricObsSpansDropped, "Request spans overwritten before being read.", sp.Dropped)
+		reg.CounterFunc(MetricObsSlowRequests, "Spans recorded for crossing the slow-request threshold.", sp.SlowCount)
+	}
 
 	RegisterStoreMetrics(reg, s.cfg.Store)
 	s.metrics = m

@@ -81,6 +81,10 @@ type Request struct {
 	keyStore []byte
 	valBuf   []byte
 
+	// outcome is the dispatch result code (Outcome* constants), read by the
+	// connection tracer when the request is sampled into a span.
+	outcome uint8
+
 	// Multi-get dispatch scratch, reused across requests on one connection.
 	multi   []concurrent.MultiHit
 	mgetBuf []byte

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/concurrent"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Config parameterizes a Server.
@@ -27,13 +29,31 @@ type Config struct {
 	IdleTimeout time.Duration
 	// MaxValueLen bounds set payloads. <=0 means DefaultMaxValueLen.
 	MaxValueLen int
+	// Logger, if set, receives the server's structured diagnostics. It
+	// takes precedence over Logf.
+	Logger *slog.Logger
 	// Logf, if set, receives connection-level diagnostics.
+	//
+	// Deprecated: set Logger instead. Logf is kept as a shim for existing
+	// callers; its lines lose level information (everything is emitted).
 	Logf func(format string, args ...any)
 	// Metrics, if set, receives the server's instruments (per-command
 	// request counters and latency histograms, transport counters, and the
 	// store's hit/miss/eviction/occupancy collectors). The registry must be
 	// private to this server: families are registered once in New.
 	Metrics *metrics.Registry
+	// Events, if set, is the lifecycle-event recorder attached to the
+	// store. The server does not record into it directly; it serves the
+	// retained events on AdminMux's /debug/events and /debug/trace and
+	// exports its drop counters through Metrics.
+	Events *obs.Recorder
+	// TraceSample records every Nth request on each connection as a span
+	// (phase timings, key digest, outcome) on AdminMux's /debug/events.
+	// 0 disables sampling.
+	TraceSample int
+	// SlowRequest, when positive, always records a span for requests whose
+	// parse+dispatch time crosses it, regardless of sampling.
+	SlowRequest time.Duration
 }
 
 // Server serves the memcached text protocol over a KV store. Each
@@ -44,6 +64,8 @@ type Server struct {
 	cfg      Config
 	counters Counters
 	metrics  *serverMetrics // nil unless Config.Metrics was set
+	log      *slog.Logger
+	spans    *obs.SpanBuffer // nil unless tracing was enabled
 	start    time.Time
 
 	mu    sync.Mutex
@@ -68,19 +90,41 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxValueLen <= 0 {
 		cfg.MaxValueLen = DefaultMaxValueLen
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.TraceSample < 0 {
+		return nil, fmt.Errorf("server: Config.TraceSample %d must be >= 0", cfg.TraceSample)
 	}
 	s := &Server{
 		cfg:   cfg,
+		log:   resolveLogger(cfg),
 		start: time.Now(),
 		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.TraceSample > 0 || cfg.SlowRequest > 0 {
+		s.spans = obs.NewSpanBuffer(spanBufferSize)
 	}
 	if cfg.Metrics != nil {
 		s.initMetrics(cfg.Metrics)
 	}
 	return s, nil
 }
+
+// resolveLogger picks the server's structured logger: Logger wins, a legacy
+// Logf is adapted through the obs shim, and with neither set diagnostics
+// are discarded (the pre-slog default).
+func resolveLogger(cfg Config) *slog.Logger {
+	switch {
+	case cfg.Logger != nil:
+		return cfg.Logger
+	case cfg.Logf != nil:
+		return obs.NewLogfLogger(cfg.Logf)
+	default:
+		return slog.New(slog.DiscardHandler)
+	}
+}
+
+// Spans exposes the server's request-span buffer (nil when tracing is
+// disabled), for tests and embedders that render spans elsewhere.
+func (s *Server) Spans() *obs.SpanBuffer { return s.spans }
 
 // Counters exposes the server's live counters (for tests and callers that
 // embed them elsewhere).
@@ -111,6 +155,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	s.log.Info("serving", "addr", ln.Addr().String(), "cache", s.cfg.Store.Name())
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -128,6 +173,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		if over {
 			s.counters.RejectedConns.Add(1)
+			s.log.Warn("connection rejected", "remote", nc.RemoteAddr().String(), "max_conns", s.cfg.MaxConns)
 			nc.Write([]byte("SERVER_ERROR too many connections\r\n"))
 			nc.Close()
 			continue
@@ -144,6 +190,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // force-closed and ctx's error returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.log.Info("draining", "open_conns", s.counters.CurrConns.Load())
 	s.mu.Lock()
 	if s.ln != nil {
 		s.ln.Close()

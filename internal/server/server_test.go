@@ -39,6 +39,12 @@ func startServer(t *testing.T, mutate func(*Config)) (*Server, string) {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
+	// Wait for Serve to register the listener: a test fast enough to reach
+	// Cleanup first would otherwise Shutdown a server that doesn't know its
+	// listener yet and hang waiting for Serve to return.
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Span outcome codes (obs.Span.Outcome). The obs package stores them
+// opaquely; the server owns both the assignment (dispatch) and the
+// rendering (outcomeName).
+const (
+	OutcomeNone uint8 = iota
+	OutcomeHit
+	OutcomeMiss
+	OutcomeStored
+	OutcomeDeleted
+	OutcomeNotFound
+	OutcomeError
+)
+
+var outcomeNames = [...]string{
+	OutcomeNone:     "none",
+	OutcomeHit:      "hit",
+	OutcomeMiss:     "miss",
+	OutcomeStored:   "stored",
+	OutcomeDeleted:  "deleted",
+	OutcomeNotFound: "not-found",
+	OutcomeError:    "error",
+}
+
+func outcomeName(o uint8) string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "unknown"
+}
+
+func opName(op uint8) string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "unknown"
+}
+
+const (
+	// spanBufferSize is the retained-span window; at a typical 1-in-1024
+	// sample it covers the last ~4M requests.
+	spanBufferSize = 4096
+	// pendingSpanCap bounds the spans one connection holds while waiting
+	// for their batch flush. An overflowing span is recorded immediately
+	// with FlushNs 0 rather than blocking or reallocating.
+	pendingSpanCap = 64
+)
+
+// connTracer samples one connection's requests into the server's span
+// buffer. Spans are held pending until the write buffer flushes so they can
+// carry the flush duration of the batch that delivered their response; a
+// zero-valued tracer (nil buf) is disabled and every method is a single
+// branch, keeping the untraced request loop allocation- and syscall-free.
+type connTracer struct {
+	buf     *obs.SpanBuffer
+	sample  uint64 // record every sample-th request; 0 = sampling off
+	slowNs  int64  // always record past this parse+dispatch time; 0 = off
+	seen    uint64
+	pending []obs.Span
+}
+
+func (s *Server) newConnTracer() connTracer {
+	return connTracer{
+		buf:    s.spans,
+		sample: uint64(s.cfg.TraceSample),
+		slowNs: s.cfg.SlowRequest.Nanoseconds(),
+	}
+}
+
+func (t *connTracer) enabled() bool { return t.buf != nil }
+
+// begin stamps the request's parse start. Zero when tracing is off, so the
+// disabled path never reads the clock.
+func (t *connTracer) begin() time.Time {
+	if t.buf == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observe decides whether the request that just dispatched is kept — every
+// sample-th request on this connection, plus everything over the slow
+// threshold — and if so parks its span until the batch flush stamps it.
+func (t *connTracer) observe(req *Request, start, dispatched, done time.Time) {
+	if t.buf == nil {
+		return
+	}
+	t.seen++
+	parseNs := dispatched.Sub(start).Nanoseconds()
+	dispatchNs := done.Sub(dispatched).Nanoseconds()
+	slow := t.slowNs > 0 && parseNs+dispatchNs >= t.slowNs
+	if !slow && (t.sample == 0 || t.seen%t.sample != 0) {
+		return
+	}
+	var key uint64
+	if len(req.Digests) > 0 {
+		key = req.Digests[0]
+	}
+	sp := obs.Span{
+		Start:      start.UnixNano(),
+		Key:        key,
+		Op:         uint8(req.Op),
+		Outcome:    req.outcome,
+		Slow:       slow,
+		ParseNs:    parseNs,
+		DispatchNs: dispatchNs,
+	}
+	if t.pending == nil {
+		t.pending = make([]obs.Span, 0, pendingSpanCap)
+	}
+	if len(t.pending) == cap(t.pending) {
+		t.buf.Record(sp) // pending set full: give up on the flush stamp
+		return
+	}
+	t.pending = append(t.pending, sp)
+}
+
+// preFlush stamps the flush start — only when spans are waiting for it, so
+// the common no-pending flush skips the clock reads.
+func (t *connTracer) preFlush() time.Time {
+	if t.buf == nil || len(t.pending) == 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// flushed records every pending span with the flush duration of the batch
+// write that carried its response. Pipelined requests answered by one flush
+// share the stamp — that sharing is the point: the spans show both the
+// per-request service time and the batched delivery cost.
+func (t *connTracer) flushed(flushStart time.Time) {
+	if t.buf == nil || len(t.pending) == 0 {
+		return
+	}
+	flushNs := time.Since(flushStart).Nanoseconds()
+	for i := range t.pending {
+		t.pending[i].FlushNs = flushNs
+		t.buf.Record(t.pending[i])
+	}
+	t.pending = t.pending[:0]
+}

@@ -16,10 +16,39 @@ echo '== go build ./...'
 go build ./...
 echo '== go test ./...'
 go test ./...
-echo '== go test -race (concurrent + server)'
-go test -race ./internal/concurrent/... ./internal/server/...
+echo '== go test -race (concurrent + server + obs)'
+go test -race ./internal/concurrent/... ./internal/server/... ./internal/obs/...
+echo '== alloc guard (tracing disabled = 0 allocs, sampling on <= 1)'
+go test -run 'TestServerGetHitPathZeroAllocsWithRecorder|TestServerGetHitPathAllocsWithSampling' ./internal/server/
 echo '== bench smoke (one iteration per benchmark)'
 go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
 echo '== throughput sweep smoke (one point)'
 go run ./cmd/throughput -cores 2 -caches sieve -ops 65536 -keyspace 16384 -json - > /dev/null
+echo '== events endpoint smoke (cacheserver + cacheload + /debug/events)'
+tmpdir=$(mktemp -d)
+trap 'kill $srv_pid 2>/dev/null; rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/cacheserver" ./cmd/cacheserver
+go build -o "$tmpdir/cacheload" ./cmd/cacheload
+"$tmpdir/cacheserver" -addr 127.0.0.1:21311 -admin-addr 127.0.0.1:21312 \
+    -capacity 16384 -shards 8 -events 16384 -trace-sample 8 \
+    -log-level warn > "$tmpdir/server.log" 2>&1 &
+srv_pid=$!
+i=0
+until curl -fsS http://127.0.0.1:21312/healthz > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "cacheserver did not become healthy" >&2
+        cat "$tmpdir/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$tmpdir/cacheload" -addr 127.0.0.1:21311 -conns 2 -ops 20000 -keyspace 8192 > /dev/null
+curl -fsS http://127.0.0.1:21312/debug/events > "$tmpdir/events.txt"
+grep -q 'kind=' "$tmpdir/events.txt" \
+    || { echo "/debug/events carried no lifecycle events" >&2; exit 1; }
+curl -fsS 'http://127.0.0.1:21312/debug/events?format=json' > "$tmpdir/events.json"
+grep -q '"spans_total"' "$tmpdir/events.json" \
+    || { echo "/debug/events json missing span counters" >&2; exit 1; }
+kill "$srv_pid"
 echo 'tier1: all green'
