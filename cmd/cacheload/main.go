@@ -7,6 +7,14 @@
 //
 //	cacheload -addr localhost:11211 -conns 8 -ops 1000000
 //	cacheload -family twitter -keyspace 100000 -conns 4
+//
+// With -retries the clients self-heal: transport failures reconnect with
+// jittered backoff and retry under the per-command policy, so a server
+// restart mid-run costs errors, not the run. With -chaos every connection
+// is routed through an in-process fault-injection proxy
+// (internal/chaos), exercising the same recovery paths on demand:
+//
+//	cacheload -chaos 'seed=7,latency=2ms,latency-p=0.1,reset=0.005' -ops 100000
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -35,6 +44,11 @@ func main() {
 		jsonOut  = flag.String("json", "", `write the run as a bench JSON artifact here ("-" = stdout); same shape as BENCH_throughput.json, with wire latency percentiles`)
 		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logFmt   = flag.String("log-format", "text", "log encoding: text|json")
+
+		retries     = flag.Int("retries", 0, "per-op transport-failure retry budget (0 = fail fast); sets are replayed at most once")
+		opTimeout   = flag.Duration("op-timeout", 0, "per-operation read/write deadline (0 = none)")
+		connTimeout = flag.Duration("connect-timeout", 5*time.Second, "dial deadline")
+		chaosSpec   = flag.String("chaos", "", `route load through an in-process fault-injection proxy; spec like "seed=7,refuse=0.02,latency=2ms,latency-p=0.1,partial=0.1,reset=0.01,blackhole=0.005" (implies -retries 4 and -op-timeout 1s if unset)`)
 	)
 	flag.Parse()
 
@@ -49,12 +63,48 @@ func main() {
 		os.Exit(1)
 	}
 
+	// -chaos interposes the fault proxy between the clients and the server.
+	// A chaos run without a retry budget or op deadline would just measure
+	// the first fault, so both default on.
+	loadAddr := *addr
+	var proxy *chaos.Proxy
+	if *chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fatal("bad -chaos spec", err)
+		}
+		if *retries == 0 {
+			*retries = 4
+			lg.Info("chaos enabled, defaulting -retries", "retries", *retries)
+		}
+		if *opTimeout == 0 {
+			*opTimeout = time.Second
+			lg.Info("chaos enabled, defaulting -op-timeout", "op_timeout", opTimeout.String())
+		}
+		proxy, err = chaos.NewProxy("", *addr, ccfg)
+		if err != nil {
+			fatal("chaos proxy failed", err)
+		}
+		defer proxy.Close()
+		loadAddr = proxy.Addr()
+		lg.Info("chaos proxy interposed", "proxy", loadAddr, "backend", *addr, "spec", *chaosSpec)
+	}
+	var dial *server.DialConfig
+	if *retries > 0 || *opTimeout > 0 {
+		dial = &server.DialConfig{
+			ConnectTimeout: *connTimeout,
+			ReadTimeout:    *opTimeout,
+			WriteTimeout:   *opTimeout,
+			MaxRetries:     *retries,
+		}
+	}
+
 	var reg *metrics.Registry
 	if *metricsF != "" {
 		reg = metrics.NewRegistry()
 	}
 	res, runErr := server.RunLoad(server.LoadConfig{
-		Addr:     *addr,
+		Addr:     loadAddr,
 		Conns:    *conns,
 		TotalOps: *ops,
 		KeySpace: *keySpace,
@@ -62,6 +112,7 @@ func main() {
 		Family:   *family,
 		ValueLen: *valueLen,
 		Metrics:  reg,
+		Dial:     dial,
 	})
 	if runErr != nil {
 		fatal("load run failed", runErr)
@@ -79,12 +130,20 @@ func main() {
 	tb.AddRow("ops/s", fmt.Sprintf("%.0f", res.OpsPerSecond()))
 	tb.AddRow("hit ratio", fmt.Sprintf("%.4f", res.HitRatio()))
 	tb.AddRow("sets (fills)", res.Sets)
+	if dial != nil {
+		tb.AddRow("errors", res.Errors)
+		tb.AddRow("retries", res.Retries)
+		tb.AddRow("reconnects", res.Reconnects)
+	}
 	tb.AddRow("get p50", res.Latency.Percentile(50).String())
 	tb.AddRow("get p90", res.Latency.Percentile(90).String())
 	tb.AddRow("get p99", res.Latency.Percentile(99).String())
 	tb.AddRow("get p999", res.Latency.Percentile(99.9).String())
 	tb.AddRow("get max", res.Latency.Percentile(100).String())
 	fmt.Print(tb)
+	if proxy != nil {
+		fmt.Printf("chaos faults injected: %s\n", proxy.Counters())
+	}
 
 	if *jsonOut != "" {
 		// The served cache's policy name comes from the server itself, so

@@ -49,6 +49,7 @@ func main() {
 		clockBits   = flag.Int("clock-bits", 0, "CLOCK counter bits for clock/qdlp (0 = policy default)")
 		maxConns    = flag.Int("max-conns", 1024, "max concurrent client connections")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this long")
+		writeTO     = flag.Duration("write-timeout", 30*time.Second, "close connections whose reads stall a response flush this long")
 		maxItemSize = flag.Int("max-item-size", server.DefaultMaxValueLen, "max value size in bytes")
 		adminAddr   = flag.String("admin-addr", "", "optional HTTP admin address (/metrics, /healthz, /debug/vars, /debug/events, /debug/trace, /debug/pprof)")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
@@ -96,16 +97,17 @@ func main() {
 		slow = 0 // no observability plane requested: keep the loop untimed
 	}
 	srv, err := server.New(server.Config{
-		Addr:        *addr,
-		Store:       store,
-		MaxConns:    *maxConns,
-		IdleTimeout: *idleTimeout,
-		MaxValueLen: *maxItemSize,
-		Logger:      lg,
-		Metrics:     reg,
-		Events:      rec,
-		TraceSample: *traceSample,
-		SlowRequest: slow,
+		Addr:         *addr,
+		Store:        store,
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTO,
+		MaxValueLen:  *maxItemSize,
+		Logger:       lg,
+		Metrics:      reg,
+		Events:       rec,
+		TraceSample:  *traceSample,
+		SlowRequest:  slow,
 	})
 	if err != nil {
 		fatal("server construction failed", err)

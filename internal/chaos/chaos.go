@@ -1,0 +1,238 @@
+// Package chaos injects deterministic transport faults into TCP byte
+// streams: connect refusals, read/write latency, fragmented writes,
+// mid-stream resets, and black-holed reads. It exists to prove the serving
+// stack's resilience story the same way the throughput harness proves its
+// performance story — under load, with numbers.
+//
+// Everything is driven by one seed. A Source derives an independent fault
+// stream per connection (connection i always draws the same schedule), so a
+// failed run reproduces exactly from its seed. Faults are applied either by
+// wrapping a net.Conn / net.Listener in-process, or by routing traffic
+// through an in-process TCP Proxy — the shape cmd/cacheload's -chaos flag
+// uses, so the system under test runs unmodified.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects which faults a Source injects and how often. All
+// probabilities are per I/O operation (per connection for RefuseProb) in
+// [0, 1]; zero values disable that fault, so the zero Config is a clean
+// pass-through.
+type Config struct {
+	// Seed fixes the fault schedule. Two Sources with equal Configs make
+	// identical decisions, connection for connection and op for op.
+	Seed int64
+	// RefuseProb is the probability a new connection is refused outright
+	// (reset on accept), modeling a listener backlog drop or a dead peer.
+	RefuseProb float64
+	// LatencyProb is the probability an I/O operation is delayed by a
+	// uniform duration in (0, Latency].
+	LatencyProb float64
+	// Latency is the maximum injected delay. Ignored unless LatencyProb > 0.
+	Latency time.Duration
+	// PartialProb is the probability a write is fragmented: a prefix is
+	// delivered, then the rest after a scheduling gap. The bytes all arrive —
+	// this fault exercises readers that assume whole requests per read.
+	PartialProb float64
+	// ResetProb is the probability an I/O operation tears the connection
+	// down mid-stream (RST, not FIN). A reset write may deliver a prefix
+	// first, so peers see truncated responses, not just clean breaks.
+	ResetProb float64
+	// BlackholeProb is the probability a read starts discarding inbound
+	// bytes instead of delivering them — the half-open-connection fault
+	// where the network eats data and only a deadline saves the caller.
+	BlackholeProb float64
+}
+
+// validate rejects probabilities outside [0, 1] and latency configs that
+// cannot be sampled.
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"refuse", c.RefuseProb},
+		{"latency-p", c.LatencyProb},
+		{"partial", c.PartialProb},
+		{"reset", c.ResetProb},
+		{"blackhole", c.BlackholeProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.LatencyProb > 0 && c.Latency <= 0 {
+		return fmt.Errorf("chaos: latency-p %v set with no latency bound", c.LatencyProb)
+	}
+	return nil
+}
+
+// Counters tally the faults a Source actually injected, so tests and load
+// runs can assert the schedule fired rather than trusting probabilities.
+type Counters struct {
+	Conns            atomic.Int64 // connections wrapped (refused included)
+	Refused          atomic.Int64 // connections refused on arrival
+	Delays           atomic.Int64 // I/O ops delayed
+	FragmentedWrites atomic.Int64 // writes split into trickled prefix+rest
+	Resets           atomic.Int64 // connections torn down mid-stream
+	BlackholedReads  atomic.Int64 // reads that started discarding inbound bytes
+}
+
+// String renders the tally on one line for run summaries.
+func (c *Counters) String() string {
+	return fmt.Sprintf("conns=%d refused=%d delays=%d fragmented=%d resets=%d blackholed=%d",
+		c.Conns.Load(), c.Refused.Load(), c.Delays.Load(),
+		c.FragmentedWrites.Load(), c.Resets.Load(), c.BlackholedReads.Load())
+}
+
+// Source derives per-connection fault streams from one seed. It is safe for
+// concurrent use; each wrapped connection owns an independent PRNG, so the
+// schedule does not depend on cross-connection interleaving.
+type Source struct {
+	cfg Config
+	ctr Counters
+	n   atomic.Int64
+}
+
+// NewSource validates cfg and returns a fault source.
+func NewSource(cfg Config) (*Source, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Source{cfg: cfg}, nil
+}
+
+// Counters exposes the source's live fault tally.
+func (s *Source) Counters() *Counters { return &s.ctr }
+
+// next allocates the next connection's fault stream and draws its refusal
+// decision. Connection indices are assigned in accept order; determinism
+// therefore holds per connection, not across a racing accept order.
+func (s *Source) next() (f *faults, refuse bool) {
+	i := s.n.Add(1) - 1
+	s.ctr.Conns.Add(1)
+	f = &faults{
+		cfg: s.cfg,
+		ctr: &s.ctr,
+		// Index scaled by an odd 63-bit multiplier so adjacent connections
+		// land far apart in the seed space.
+		rng: rand.New(rand.NewSource(s.cfg.Seed ^ (i+1)*0x5851F42D4C957F2D)),
+	}
+	if s.cfg.RefuseProb > 0 && f.rng.Float64() < s.cfg.RefuseProb {
+		s.ctr.Refused.Add(1)
+		return f, true
+	}
+	return f, false
+}
+
+// action is one fault decision kind.
+type action uint8
+
+const (
+	actNone action = iota
+	actReset
+	actFragment  // writes only
+	actBlackhole // reads only
+)
+
+// decision is one I/O operation's drawn fault.
+type decision struct {
+	act   action
+	delay time.Duration
+	frac  float64 // prefix fraction for fragment/reset writes
+}
+
+// faults is one connection's seeded fault stream. The mutex serializes rng
+// draws: a connection's two directions (or a reader and writer goroutine)
+// may fault concurrently.
+type faults struct {
+	cfg Config
+	ctr *Counters
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+// next draws the fault decision for one I/O operation.
+func (f *faults) next(read bool) decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var d decision
+	if f.cfg.LatencyProb > 0 && f.rng.Float64() < f.cfg.LatencyProb {
+		d.delay = time.Duration(1 + f.rng.Int63n(int64(f.cfg.Latency)))
+	}
+	if f.cfg.ResetProb > 0 && f.rng.Float64() < f.cfg.ResetProb {
+		d.act = actReset
+		d.frac = f.rng.Float64()
+		return d
+	}
+	if read {
+		if f.cfg.BlackholeProb > 0 && f.rng.Float64() < f.cfg.BlackholeProb {
+			d.act = actBlackhole
+		}
+		return d
+	}
+	if f.cfg.PartialProb > 0 && f.rng.Float64() < f.cfg.PartialProb {
+		d.act = actFragment
+		d.frac = f.rng.Float64()
+	}
+	return d
+}
+
+// ParseSpec parses the compact key=value fault spec used by command-line
+// flags, e.g.
+//
+//	seed=7,refuse=0.02,latency=2ms,latency-p=0.2,partial=0.1,reset=0.01,blackhole=0.005
+//
+// Unknown keys and out-of-range values are errors; an empty spec is the
+// zero (fault-free) Config.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: field %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "refuse":
+			cfg.RefuseProb, err = strconv.ParseFloat(val, 64)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "latency-p":
+			cfg.LatencyProb, err = strconv.ParseFloat(val, 64)
+		case "partial":
+			cfg.PartialProb, err = strconv.ParseFloat(val, 64)
+		case "reset":
+			cfg.ResetProb, err = strconv.ParseFloat(val, 64)
+		case "blackhole":
+			cfg.BlackholeProb, err = strconv.ParseFloat(val, 64)
+		default:
+			return cfg, fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("chaos: bad value for %q: %v", key, err)
+		}
+	}
+	if cfg.LatencyProb > 0 && cfg.Latency == 0 {
+		return cfg, fmt.Errorf("chaos: latency-p set without latency")
+	}
+	if cfg.Latency > 0 && cfg.LatencyProb == 0 {
+		// A bare latency bound means "always": the common case for a flat
+		// injected RTT.
+		cfg.LatencyProb = 1
+	}
+	return cfg, cfg.validate()
+}

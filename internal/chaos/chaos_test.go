@@ -1,0 +1,296 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedule is the reproducibility contract: two sources
+// built from the same Config draw identical fault schedules, connection for
+// connection and op for op, while a different seed diverges.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{
+		Seed:          42,
+		RefuseProb:    0.1,
+		LatencyProb:   0.3,
+		Latency:       5 * time.Millisecond,
+		PartialProb:   0.25,
+		ResetProb:     0.1,
+		BlackholeProb: 0.1,
+	}
+	draw := func(cfg Config) (schedule []decision, refusals []bool) {
+		src, err := NewSource(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for conn := 0; conn < 16; conn++ {
+			f, refuse := src.next()
+			refusals = append(refusals, refuse)
+			for op := 0; op < 64; op++ {
+				schedule = append(schedule, f.next(op%2 == 0))
+			}
+		}
+		return schedule, refusals
+	}
+
+	s1, r1 := draw(cfg)
+	s2, r2 := draw(cfg)
+	if !equalSchedules(s1, s2) {
+		t.Fatal("same seed drew different fault schedules")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("same seed drew different refusal for conn %d", i)
+		}
+	}
+
+	other := cfg
+	other.Seed = 43
+	s3, _ := draw(other)
+	if equalSchedules(s1, s3) {
+		t.Fatal("different seeds drew identical fault schedules")
+	}
+}
+
+func equalSchedules(a, b []decision) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The per-connection streams must not depend on draw interleaving across
+// connections: connection i's schedule is a function of (seed, i) only.
+func TestPerConnStreamsIndependent(t *testing.T) {
+	cfg := Config{Seed: 7, ResetProb: 0.2, LatencyProb: 0.2, Latency: time.Millisecond}
+	src1, _ := NewSource(cfg)
+	fA1, _ := src1.next()
+	fB1, _ := src1.next()
+	// Interleave draws between the two connections.
+	var a1, b1 []decision
+	for i := 0; i < 32; i++ {
+		a1 = append(a1, fA1.next(true))
+		b1 = append(b1, fB1.next(true))
+	}
+
+	// Second run: drain connection B fully before touching A.
+	src2, _ := NewSource(cfg)
+	fA2, _ := src2.next()
+	fB2, _ := src2.next()
+	var b2 []decision
+	for i := 0; i < 32; i++ {
+		b2 = append(b2, fB2.next(true))
+	}
+	var a2 []decision
+	for i := 0; i < 32; i++ {
+		a2 = append(a2, fA2.next(true))
+	}
+	if !equalSchedules(a1, a2) || !equalSchedules(b1, b2) {
+		t.Fatal("per-connection schedules depend on cross-connection draw order")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Config
+		wantErr bool
+	}{
+		{spec: "", want: Config{}},
+		{spec: "seed=7", want: Config{Seed: 7}},
+		{
+			spec: "seed=1,refuse=0.02,latency=2ms,latency-p=0.2,partial=0.1,reset=0.01,blackhole=0.005",
+			want: Config{Seed: 1, RefuseProb: 0.02, Latency: 2 * time.Millisecond,
+				LatencyProb: 0.2, PartialProb: 0.1, ResetProb: 0.01, BlackholeProb: 0.005},
+		},
+		// A bare latency bound means always-on latency.
+		{spec: "latency=1ms", want: Config{Latency: time.Millisecond, LatencyProb: 1}},
+		{spec: "seed=x", wantErr: true},
+		{spec: "refuse=1.5", wantErr: true},
+		{spec: "latency-p=0.5", wantErr: true}, // probability without a bound
+		{spec: "bogus=1", wantErr: true},
+		{spec: "seed", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) = %+v, want error", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+// pipePair returns the two ends of a loopback TCP connection.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+// Fragmented writes deliver every byte, in order — the fault reshapes
+// packets, it must not corrupt the stream.
+func TestConnFragmentedWriteDeliversAll(t *testing.T) {
+	client, srv := pipePair(t)
+	src, _ := NewSource(Config{Seed: 3, PartialProb: 1})
+	cc, refused := src.Wrap(client)
+	if refused {
+		t.Fatal("refused with RefuseProb 0")
+	}
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 256)
+	go func() {
+		for sent := 0; sent < len(payload); {
+			n, err := cc.Write(payload[sent:])
+			if err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			sent += n
+		}
+		cc.Close()
+	}()
+	got, err := io.ReadAll(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("fragmented stream corrupted: got %d bytes, want %d", len(got), len(payload))
+	}
+	if src.Counters().FragmentedWrites.Load() == 0 {
+		t.Fatal("no fragmented writes counted with PartialProb 1")
+	}
+}
+
+// A reset surfaces as a connection error on both ends, mid-stream.
+func TestConnReset(t *testing.T) {
+	client, srv := pipePair(t)
+	src, _ := NewSource(Config{Seed: 5, ResetProb: 1})
+	cc, _ := src.Wrap(client)
+	if _, err := cc.Write([]byte("hello")); err == nil {
+		t.Fatal("write survived ResetProb 1")
+	}
+	srv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := srv.Read(buf); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				t.Fatal("peer saw no reset before deadline")
+			}
+			break // RST or EOF: the tear-down reached the peer
+		}
+	}
+	if src.Counters().Resets.Load() == 0 {
+		t.Fatal("no resets counted")
+	}
+}
+
+// A black-holed read eats the bytes but keeps the caller's deadline live:
+// the read ends with a timeout, not a hang.
+func TestConnBlackholeHonorsDeadline(t *testing.T) {
+	client, srv := pipePair(t)
+	src, _ := NewSource(Config{Seed: 11, BlackholeProb: 1})
+	cc, _ := src.Wrap(client)
+	go srv.Write([]byte("doomed bytes\r\n"))
+	cc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	start := time.Now()
+	_, err := cc.Read(make([]byte, 64))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("blackholed read returned %v, want timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("blackholed read ignored the deadline")
+	}
+	if src.Counters().BlackholedReads.Load() == 0 {
+		t.Fatal("no blackholed reads counted")
+	}
+}
+
+// Listener refusals never surface to Accept; surviving connections work.
+func TestListenerRefusals(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewListener(ln, Config{Seed: 9, RefuseProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	const dials = 32
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < dials; i++ {
+			c, err := net.Dial("tcp", cl.Listener.Addr().String())
+			if err != nil {
+				continue
+			}
+			c.Write([]byte("x"))
+			c.Close()
+		}
+	}()
+
+	accepted := 0
+	for {
+		cl.Listener.(*net.TCPListener).SetDeadline(time.Now().Add(500 * time.Millisecond))
+		c, err := cl.Accept()
+		if err != nil {
+			break // deadline: dialer finished and the backlog is drained
+		}
+		accepted++
+		c.Close()
+	}
+	wg.Wait()
+	ctr := cl.Counters()
+	if ctr.Refused.Load() == 0 {
+		t.Fatal("no refusals with RefuseProb 0.5")
+	}
+	if int64(accepted) != ctr.Conns.Load()-ctr.Refused.Load() {
+		t.Fatalf("accepted %d, want conns %d - refused %d",
+			accepted, ctr.Conns.Load(), ctr.Refused.Load())
+	}
+}

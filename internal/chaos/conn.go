@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Conn wraps a net.Conn, injecting its fault stream's decisions into Read
+// and Write. Deadlines, addresses, and Close pass through to the wrapped
+// connection, so callers' timeout handling keeps working — black-holed
+// reads in particular end only when the caller's own deadline fires.
+type Conn struct {
+	net.Conn
+	f     *faults
+	abort sync.Once
+}
+
+// Wrap returns nc with this source's next per-connection fault stream
+// attached. refused reports a drawn connect refusal: the caller should
+// close nc (Refuse does both) and treat the connection as never having
+// existed.
+func (s *Source) Wrap(nc net.Conn) (c *Conn, refused bool) {
+	f, refuse := s.next()
+	return &Conn{Conn: nc, f: f}, refuse
+}
+
+// Refuse tears nc down with a RST rather than a clean close, so the peer
+// observes a refused/reset connection instead of an orderly EOF.
+func Refuse(nc net.Conn) {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	nc.Close()
+}
+
+// reset aborts the connection mid-stream with a RST and reports the error
+// the peer of a real reset would see locally.
+func (c *Conn) reset(op string) error {
+	c.f.ctr.Resets.Add(1)
+	c.abort.Do(func() { Refuse(c.Conn) })
+	return &net.OpError{Op: op, Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+// Read applies the fault stream to one read: optional delay, mid-stream
+// reset, or a black hole that discards inbound bytes until the caller's
+// deadline (or a close) ends the wait.
+func (c *Conn) Read(p []byte) (int, error) {
+	d := c.f.next(true)
+	if d.delay > 0 {
+		c.f.ctr.Delays.Add(1)
+		time.Sleep(d.delay)
+	}
+	switch d.act {
+	case actReset:
+		return 0, c.reset("read")
+	case actBlackhole:
+		c.f.ctr.BlackholedReads.Add(1)
+		// The network eats everything that arrives from here on. Reading
+		// through the wrapped conn keeps deadlines live: the caller's
+		// SetReadDeadline still fires, it just never sees data again.
+		scratch := make([]byte, max(len(p), 512))
+		for {
+			if _, err := c.Conn.Read(scratch); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write applies the fault stream to one write: optional delay, a reset
+// that may truncate the payload mid-stream, or fragmentation (prefix now,
+// rest after a scheduling gap — all bytes arrive, in order).
+func (c *Conn) Write(p []byte) (int, error) {
+	d := c.f.next(false)
+	if d.delay > 0 {
+		c.f.ctr.Delays.Add(1)
+		time.Sleep(d.delay)
+	}
+	switch d.act {
+	case actReset:
+		// Deliver a prefix before tearing down, so peers exercise their
+		// truncated-response handling, not only clean breaks.
+		if n := prefixLen(d.frac, len(p)); n > 0 {
+			c.Conn.Write(p[:n])
+		}
+		return 0, c.reset("write")
+	case actFragment:
+		n := prefixLen(d.frac, len(p))
+		if n <= 0 || n >= len(p) {
+			break
+		}
+		c.f.ctr.FragmentedWrites.Add(1)
+		wrote, err := c.Conn.Write(p[:n])
+		if err != nil {
+			return wrote, err
+		}
+		// A scheduling gap, not a drawn latency: enough for the peer's
+		// reader to wake up between the fragments.
+		time.Sleep(time.Millisecond)
+		rest, err := c.Conn.Write(p[n:])
+		return wrote + rest, err
+	}
+	return c.Conn.Write(p)
+}
+
+// prefixLen maps a fraction draw to a strict prefix length of an n-byte
+// payload (at least 1 byte when n > 1, so a fragment is never a no-op).
+func prefixLen(frac float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 1 + int(frac*float64(n-1))
+}
+
+// Listener wraps a net.Listener: accepted connections get fault streams
+// from the source, and connections drawn as refused are reset and never
+// surfaced to the caller.
+type Listener struct {
+	net.Listener
+	src *Source
+}
+
+// NewListener validates cfg and wraps ln.
+func NewListener(ln net.Listener, cfg Config) (*Listener, error) {
+	src, err := NewSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{Listener: ln, src: src}, nil
+}
+
+// Counters exposes the listener's fault tally.
+func (l *Listener) Counters() *Counters { return l.src.Counters() }
+
+// Accept waits for the next connection that survives the refusal draw.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		nc, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		c, refused := l.src.Wrap(nc)
+		if refused {
+			Refuse(nc)
+			continue
+		}
+		return c, nil
+	}
+}

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// dialTimeout bounds the proxy's backend dials; a backend that cannot be
+// reached within it surfaces to the client as a dropped connection.
+const dialTimeout = 5 * time.Second
+
+// Proxy is an in-process fault-injecting TCP proxy: clients connect to
+// Addr, the proxy dials the backend, and bytes shuttle both ways through a
+// chaos Conn on the client-facing side — requests fault on the way in,
+// responses on the way out, and the backend runs unmodified. This is the
+// deployment shape cmd/cacheload's -chaos flag uses and the chaos soak
+// test drives.
+type Proxy struct {
+	backend string
+	src     *Source
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewProxy listens on listenAddr (empty means an ephemeral loopback port)
+// and forwards surviving connections to backend under cfg's fault schedule.
+func NewProxy(listenAddr, backend string, cfg Config) (*Proxy, error) {
+	src, err := NewSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		backend: backend,
+		src:     src,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, the one clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Counters exposes the proxy's fault tally.
+func (p *Proxy) Counters() *Counters { return p.src.Counters() }
+
+// Close stops accepting, tears down every active connection, and waits for
+// all proxy goroutines to exit — after Close returns, the proxy leaks
+// nothing.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed by Close, or beyond saving either way
+		}
+		c, refused := p.src.Wrap(nc)
+		if refused {
+			Refuse(nc)
+			continue
+		}
+		p.wg.Add(1)
+		go p.handle(c)
+	}
+}
+
+// handle shuttles one connection's bytes until either side dies, then tears
+// both down so the opposite copy loop unblocks.
+func (p *Proxy) handle(client *Conn) {
+	defer p.wg.Done()
+	backend, err := net.DialTimeout("tcp", p.backend, dialTimeout)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.track(client, backend)
+	defer p.untrack(client, backend)
+
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(backend, client) // requests: client reads faulted
+		halfClose(backend)
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(client, backend) // responses: client writes faulted
+		halfClose(client.Conn)
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	client.Close()
+	backend.Close()
+}
+
+// halfClose propagates one direction's EOF without tearing down the other:
+// in-flight responses still drain after the request stream ends.
+func halfClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		return
+	}
+	c.Close()
+}
+
+func (p *Proxy) track(conns ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range conns {
+		p.conns[c] = struct{}{}
+	}
+	if p.closed.Load() {
+		// Close already swept the map; don't let a racing accept outlive it.
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+}
+
+func (p *Proxy) untrack(conns ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range conns {
+		delete(p.conns, c)
+	}
+}

@@ -16,7 +16,7 @@ import (
 // run without touching the heap once a connection's reusable buffers are
 // warm, or the GC-light data plane's benefit is lost one layer up.
 
-func allocServer(t testing.TB) *Server {
+func allocServer(t testing.TB) (*Server, *concurrent.KV) {
 	t.Helper()
 	inner, err := concurrent.NewClock(4096, 4, 2)
 	if err != nil {
@@ -31,7 +31,7 @@ func allocServer(t testing.TB) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s
+	return s, kv
 }
 
 // runRequests replays one pipelined request payload through the real parse
@@ -61,7 +61,7 @@ func runRequests(t *testing.T, s *Server, payload []byte) float64 {
 }
 
 func TestServerGetHitPathZeroAllocs(t *testing.T) {
-	s := allocServer(t)
+	s, _ := allocServer(t)
 	if avg := runRequests(t, s, []byte("get key-07\r\n")); avg != 0 {
 		t.Fatalf("single-key get hit path allocates %.1f/op, want 0", avg)
 	}
@@ -74,7 +74,7 @@ func TestServerGetHitPathZeroAllocs(t *testing.T) {
 }
 
 func TestServerMultiGetPathZeroAllocs(t *testing.T) {
-	s := allocServer(t)
+	s, _ := allocServer(t)
 	line := []byte("get")
 	for i := 0; i < 16; i++ {
 		line = append(line, fmt.Sprintf(" key-%02d", i*3)...)
@@ -91,7 +91,7 @@ func TestServerMultiGetPathZeroAllocs(t *testing.T) {
 // Set is allowed its single pooled-buffer acquisition but nothing else per
 // request in steady state (overwrites recycle the previous buffer).
 func TestServerSetPathAllocs(t *testing.T) {
-	s := allocServer(t)
+	s, _ := allocServer(t)
 	payload := []byte("set key-07 9 0 27 noreply\r\nvalue-07-overwritten-steady\r\n")
 	if avg := runRequests(t, s, payload); avg > 1 {
 		t.Fatalf("set path allocates %.2f/op, want <= 1", avg)
@@ -102,8 +102,8 @@ func TestServerSetPathAllocs(t *testing.T) {
 // must not cost the hit path anything: events fire only on exclusive-lock
 // paths and the tracer's disabled checks are single branches.
 func TestServerGetHitPathZeroAllocsWithRecorder(t *testing.T) {
-	s := allocServer(t)
-	s.cfg.Store.SetRecorder(obs.NewRecorder(4, 1024))
+	s, kv := allocServer(t)
+	kv.SetRecorder(obs.NewRecorder(4, 1024))
 	tr := s.newConnTracer()
 	if tr.enabled() {
 		t.Fatal("tracer enabled with TraceSample 0")

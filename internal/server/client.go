@@ -3,54 +3,268 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
+	"sync/atomic"
+	"time"
 )
+
+// DialConfig parameterizes a self-healing Client: per-operation deadlines,
+// automatic reconnect with capped exponential backoff plus jitter, and a
+// retry policy tuned per command class.
+//
+// The retry policy: gets are idempotent and retried up to MaxRetries times
+// across reconnects. Sets and deletes are replayed at most once after a
+// reconnect — a mutation whose response was lost may or may not have been
+// applied, and one replay converges the cache either way without letting a
+// flapping link hammer the same write forever. Protocol-level errors (the
+// server answered, just not what we expected) are never retried: the
+// connection is healthy and the answer is real.
+type DialConfig struct {
+	// Addr is the server address.
+	Addr string
+	// ConnectTimeout bounds each dial. <=0 means 5 seconds.
+	ConnectTimeout time.Duration
+	// ReadTimeout bounds each response read; 0 means no deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each request flush; 0 means no deadline.
+	WriteTimeout time.Duration
+	// MaxRetries is the number of additional attempts after a transport
+	// failure (gets; dials use it too). 0 disables retrying entirely, which
+	// is the plain Dial behavior.
+	MaxRetries int
+	// BackoffBase and BackoffMax bound the reconnect backoff: attempt n
+	// sleeps a uniform jittered duration in (0, min(Base<<(n-1), Max)].
+	// <=0 means 5ms base, 1s max.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed fixes the jitter stream, keeping load runs reproducible.
+	Seed int64
+}
+
+func (cfg DialConfig) withDefaults() DialConfig {
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = 5 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 5 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	return cfg
+}
 
 // Client is a minimal text-protocol client for the subset this server
 // speaks. It is synchronous and not safe for concurrent use; open one per
-// goroutine (the closed-loop shape RunLoad uses).
+// goroutine (the closed-loop shape RunLoad uses). Built through
+// DialWithConfig it self-heals: transport failures close the connection,
+// and the next attempt reconnects with backoff and replays per the retry
+// policy.
 type Client struct {
+	cfg  DialConfig
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	buf  []byte
+	rng  *rand.Rand
+
+	retries    atomic.Int64
+	reconnects atomic.Int64
 }
 
-// Dial connects to a cache server at addr.
+// Dial connects to a cache server at addr with no deadlines and no retry
+// policy: any transport error surfaces immediately.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWithConfig(DialConfig{Addr: addr})
+}
+
+// DialWithConfig connects under cfg. The initial dial honors the retry
+// budget too: a client configured to survive a server restart also
+// survives starting before its server is up.
+func DialWithConfig(cfg DialConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	c := &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	err := c.connect()
+	for attempt := 1; err != nil && attempt <= cfg.MaxRetries; attempt++ {
+		c.retries.Add(1)
+		c.backoff(attempt)
+		err = c.connect()
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 32<<10),
-		bw:   bufio.NewWriterSize(conn, 32<<10),
-	}, nil
+	return c, nil
 }
 
-// Close sends quit and closes the connection.
+// Retries reports transport-failure retry attempts (including reconnect
+// attempts that themselves failed); Reconnects reports connections
+// re-established after the first.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Reconnects reports how many times the client re-established its
+// connection after a transport failure.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// connect dials and (re)binds the buffered reader and writer. The bufio
+// pair is reused across reconnects, which also discards any half-read
+// response bytes from the dead connection.
+func (c *Client) connect() error {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.ConnectTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	if c.br == nil {
+		c.br = bufio.NewReaderSize(conn, 32<<10)
+		c.bw = bufio.NewWriterSize(conn, 32<<10)
+	} else {
+		c.br.Reset(conn)
+		c.bw.Reset(conn)
+	}
+	return nil
+}
+
+// reconnect replaces a broken connection.
+func (c *Client) reconnect() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if err := c.connect(); err != nil {
+		return err
+	}
+	c.reconnects.Add(1)
+	return nil
+}
+
+// markBroken closes a connection a transport error poisoned; the next
+// attempt (or the caller's next op) reconnects.
+func (c *Client) markBroken() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// backoff sleeps the jittered exponential pause before retry n (1-based).
+func (c *Client) backoff(attempt int) {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d <= 0 || d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	// Full jitter: uncorrelated clients reconnecting after one server
+	// restart must not stampede in lockstep.
+	time.Sleep(time.Duration(1 + c.rng.Int63n(int64(d))))
+}
+
+// isTransportErr reports whether err came from the connection rather than
+// the protocol — the class of errors a reconnect can heal.
+func isTransportErr(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// do runs op under the retry policy: up to maxAttempts tries, reconnecting
+// (with backoff after the first) before each retry. Non-transport errors
+// return immediately.
+func (c *Client) do(maxAttempts int, op func() error) error {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			c.backoff(attempt)
+		}
+		if c.conn == nil {
+			// Healing a connection a previous op broke: not a retry of this
+			// op, so no backoff charge on attempt 0.
+			if err = c.reconnect(); err != nil {
+				continue
+			}
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		if !isTransportErr(err) {
+			return err
+		}
+		c.markBroken()
+	}
+	return err
+}
+
+// getAttempts is the idempotent-op budget; mutateAttempts allows one replay
+// after a reconnect, and only when retrying is enabled at all.
+func (c *Client) getAttempts() int { return 1 + c.cfg.MaxRetries }
+
+func (c *Client) mutateAttempts() int {
+	if c.cfg.MaxRetries == 0 {
+		return 1
+	}
+	return 2
+}
+
+// flush arms the write deadline and pushes the buffered request out.
+func (c *Client) flush() error {
+	if c.cfg.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	}
+	return c.bw.Flush()
+}
+
+// armRead arms the response deadline for one operation.
+func (c *Client) armRead() {
+	if c.cfg.ReadTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+	}
+}
+
+// Close sends quit, flushes it, and closes the connection, surfacing any
+// flush or close error. It is safe on an already-broken client (one whose
+// connection a failed op closed) and on repeated calls: both report nil.
 func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
 	c.bw.WriteString("quit\r\n")
-	c.bw.Flush()
-	return c.conn.Close()
+	flushErr := c.flush()
+	closeErr := c.conn.Close()
+	c.conn = nil
+	return errors.Join(flushErr, closeErr)
 }
 
 // Get fetches one key, returning (value, found). The returned slice is
 // owned by the caller.
-func (c *Client) Get(key []byte) ([]byte, bool, error) {
+func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
+	err = c.do(c.getAttempts(), func() error {
+		var e error
+		value, found, e = c.getOnce(key)
+		return e
+	})
+	return value, found, err
+}
+
+func (c *Client) getOnce(key []byte) ([]byte, bool, error) {
 	c.buf = append(c.buf[:0], "get "...)
 	c.buf = append(c.buf, key...)
 	c.buf = append(c.buf, "\r\n"...)
 	if _, err := c.bw.Write(c.buf); err != nil {
 		return nil, false, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return nil, false, err
 	}
+	c.armRead()
 	var value []byte
 	found := false
 	for {
@@ -80,6 +294,10 @@ func (c *Client) Get(key []byte) ([]byte, bool, error) {
 
 // Set stores value under key.
 func (c *Client) Set(key []byte, flags uint32, value []byte) error {
+	return c.do(c.mutateAttempts(), func() error { return c.setOnce(key, flags, value) })
+}
+
+func (c *Client) setOnce(key []byte, flags uint32, value []byte) error {
 	c.buf = append(c.buf[:0], "set "...)
 	c.buf = append(c.buf, key...)
 	c.buf = append(c.buf, ' ')
@@ -96,9 +314,10 @@ func (c *Client) Set(key []byte, flags uint32, value []byte) error {
 	if _, err := c.bw.WriteString("\r\n"); err != nil {
 		return err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return err
 	}
+	c.armRead()
 	line, err := c.readLine()
 	if err != nil {
 		return err
@@ -110,16 +329,26 @@ func (c *Client) Set(key []byte, flags uint32, value []byte) error {
 }
 
 // Delete removes key, reporting whether the server had it.
-func (c *Client) Delete(key []byte) (bool, error) {
+func (c *Client) Delete(key []byte) (found bool, err error) {
+	err = c.do(c.mutateAttempts(), func() error {
+		var e error
+		found, e = c.deleteOnce(key)
+		return e
+	})
+	return found, err
+}
+
+func (c *Client) deleteOnce(key []byte) (bool, error) {
 	c.buf = append(c.buf[:0], "delete "...)
 	c.buf = append(c.buf, key...)
 	c.buf = append(c.buf, "\r\n"...)
 	if _, err := c.bw.Write(c.buf); err != nil {
 		return false, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return false, err
 	}
+	c.armRead()
 	line, err := c.readLine()
 	if err != nil {
 		return false, err
@@ -133,14 +362,26 @@ func (c *Client) Delete(key []byte) (bool, error) {
 	return false, fmt.Errorf("server: delete: %q", line)
 }
 
-// Stats fetches the server's stats as a name→value map.
-func (c *Client) Stats() (map[string]string, error) {
+// Stats fetches the server's stats as a name→value map. Stats is read-only
+// but not retried: it is a diagnostic, and a heal here would mask the very
+// failure being diagnosed.
+func (c *Client) Stats() (stats map[string]string, err error) {
+	err = c.do(1, func() error {
+		var e error
+		stats, e = c.statsOnce()
+		return e
+	})
+	return stats, err
+}
+
+func (c *Client) statsOnce() (map[string]string, error) {
 	if _, err := c.bw.WriteString("stats\r\n"); err != nil {
 		return nil, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return nil, err
 	}
+	c.armRead()
 	out := make(map[string]string)
 	for {
 		line, err := c.readLine()
@@ -179,8 +420,13 @@ func (c *Client) readLine() ([]byte, error) {
 	return line, nil
 }
 
-// parseValueHeader parses "VALUE <key> <flags> <bytes> [<cas>]".
+// parseValueHeader parses "VALUE <key> <flags> <bytes> [<cas>]". It
+// tolerates arbitrary junk (a resilient client sees truncated and
+// corrupted streams), answering with an error instead of panicking.
 func parseValueHeader(line []byte) (key []byte, flags uint32, n int, cas uint64, err error) {
+	if !bytes.HasPrefix(line, []byte("VALUE ")) {
+		return nil, 0, 0, 0, fmt.Errorf("server: bad VALUE header %q", line)
+	}
 	rest := line[len("VALUE "):]
 	key, rest = nextToken(rest)
 	flagsTok, rest := nextToken(rest)

@@ -3,7 +3,9 @@ package server
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"net"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/concurrent"
@@ -51,16 +53,49 @@ func (s *Server) waitData(nc net.Conn, br *bufio.Reader) error {
 	}
 }
 
+// flush writes buffered responses to the socket under the write deadline.
+// A deadline miss means a reader that stopped draining while the server
+// holds its responses in memory; the slow client is counted and its
+// connection closed (by the caller, via the returned error).
+func (s *Server) flush(nc net.Conn, bw *bufio.Writer) error {
+	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	err := bw.Flush()
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.counters.SlowConnsClosed.Add(1)
+			s.log.Warn("slow reader evicted at write deadline",
+				"remote", nc.RemoteAddr().String(), "write_timeout", s.cfg.WriteTimeout.String())
+		} else {
+			s.log.Debug("flush failed", "remote", nc.RemoteAddr().String(), "err", err)
+		}
+	}
+	return err
+}
+
 // handleConn runs one connection's request loop. Responses accumulate in
 // the write buffer and are flushed only when no further pipelined request
 // is already buffered — the flush-batching that makes request bursts cost
 // one syscall each way instead of one per request.
+//
+// A panic anywhere below — a store bug, a parser edge the fuzzer missed —
+// is confined to this connection: it is counted, logged with its stack,
+// and the deferred cleanup closes only this conn while the rest of the
+// server keeps serving.
 func (s *Server) handleConn(nc net.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		s.removeConn(nc)
 		nc.Close()
 		s.counters.CurrConns.Add(-1)
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			s.counters.Panics.Add(1)
+			s.log.Error("connection handler panic isolated",
+				"remote", nc.RemoteAddr().String(), "panic", fmt.Sprint(r),
+				"stack", string(debug.Stack()))
+		}
 	}()
 	br := bufio.NewReaderSize(nc, readBufSize)
 	bw := bufio.NewWriterSize(nc, writeBufSize)
@@ -69,8 +104,7 @@ func (s *Server) handleConn(nc net.Conn) {
 	for {
 		if br.Buffered() == 0 {
 			fs := tr.preFlush()
-			if err := bw.Flush(); err != nil {
-				s.log.Debug("flush failed", "remote", nc.RemoteAddr().String(), "err", err)
+			if err := s.flush(nc, bw); err != nil {
 				return
 			}
 			tr.flushed(fs)
@@ -78,9 +112,11 @@ func (s *Server) handleConn(nc net.Conn) {
 				return
 			}
 		}
-		// A request has started arriving; give the client one idle window
-		// to deliver the rest of it.
+		// A request has started arriving; give the client one idle window to
+		// deliver the rest of it, and arm the write deadline so even writes
+		// that bypass the buffer (values larger than it) stay bounded.
 		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		pStart := tr.begin()
 		err := ParseRequest(br, &req, s.cfg.MaxValueLen)
 		var cerr ClientError
@@ -104,7 +140,7 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 			if !alive {
 				fs := tr.preFlush()
-				bw.Flush()
+				s.flush(nc, bw)
 				tr.flushed(fs)
 				return
 			}
@@ -118,11 +154,11 @@ func (s *Server) handleConn(nc net.Conn) {
 			// The oversized body was not consumed: report and close.
 			s.counters.BadCommands.Add(1)
 			writeServerError(bw, "object too large for cache")
-			bw.Flush()
+			s.flush(nc, bw)
 			return
 		default:
 			// I/O error, a client that stalled mid-request, or client gone.
-			bw.Flush()
+			s.flush(nc, bw)
 			return
 		}
 	}
@@ -262,5 +298,8 @@ func (s *Server) writeStats(bw *bufio.Writer) {
 	writeStat(bw, "curr_connections", s.counters.CurrConns.Load())
 	writeStat(bw, "total_connections", s.counters.TotalConns.Load())
 	writeStat(bw, "rejected_connections", s.counters.RejectedConns.Load())
+	writeStat(bw, "conns_slow_closed", s.counters.SlowConnsClosed.Load())
+	writeStat(bw, "accept_retries", s.counters.AcceptRetries.Load())
+	writeStat(bw, "panics", s.counters.Panics.Load())
 	writeEnd(bw)
 }

@@ -27,6 +27,14 @@ type Counters struct {
 	CurrConns     atomic.Int64
 	TotalConns    atomic.Int64
 	RejectedConns atomic.Int64
+
+	// Resilience counters: transient accept errors survived with backoff,
+	// slow readers evicted at the write deadline, and handler panics
+	// isolated to their connection. In a healthy deployment all three stay
+	// flat; any climbing is an operational signal, not just a statistic.
+	AcceptRetries   atomic.Int64
+	SlowConnsClosed atomic.Int64
+	Panics          atomic.Int64
 }
 
 // ExpvarMap exposes the server's counters plus the store gauges as an
@@ -50,6 +58,9 @@ func (s *Server) ExpvarMap() *expvar.Map {
 	gauge("curr_connections", s.counters.CurrConns.Load)
 	gauge("total_connections", s.counters.TotalConns.Load)
 	gauge("rejected_connections", s.counters.RejectedConns.Load)
+	gauge("accept_retries", s.counters.AcceptRetries.Load)
+	gauge("conns_slow_closed", s.counters.SlowConnsClosed.Load)
+	gauge("panics", s.counters.Panics.Load)
 	gauge("curr_items", s.cfg.Store.Items)
 	gauge("curr_bytes", s.cfg.Store.Bytes)
 	gauge("evictions", func() int64 { return s.cfg.Store.Stats().Evictions })

@@ -41,6 +41,13 @@ type LoadConfig struct {
 	// family names the server reports (side="client"), so one scrape of
 	// each end lines up: requests and latency per command, hits/misses.
 	Metrics *metrics.Registry
+	// Dial, if set, selects the self-healing client: each connection dials
+	// with these timeouts and retry budget (Addr is overridden per run).
+	// With MaxRetries > 0 the run is resilient — an operation that exhausts
+	// its retry budget is counted as an error and the loop moves on instead
+	// of aborting, so a server restart mid-sweep costs accuracy, not the
+	// run. Nil keeps the strict fail-fast behavior of plain Dial.
+	Dial *DialConfig
 }
 
 // loadMetrics are the client-side instruments, shared by all connections.
@@ -49,6 +56,10 @@ type loadMetrics struct {
 	getLat, setLat   *metrics.Histogram
 	hits, misses     *metrics.Counter
 	sets             *metrics.Counter
+
+	errs       *metrics.Counter
+	retries    *metrics.Counter
+	reconnects *metrics.Counter
 }
 
 func newLoadMetrics(reg *metrics.Registry) *loadMetrics {
@@ -67,6 +78,12 @@ func newLoadMetrics(reg *metrics.Registry) *loadMetrics {
 			"side", "client"),
 		sets: reg.Counter(MetricSets, "Cache-aside fills issued on misses.",
 			"side", "client"),
+		errs: reg.Counter(MetricClientErrors, "Operations failed after exhausting the retry budget.",
+			"side", "client"),
+		retries: reg.Counter(MetricClientRetries, "Operation retries after transport failures.",
+			"side", "client"),
+		reconnects: reg.Counter(MetricClientReconnects, "Connections re-established after transport failures.",
+			"side", "client"),
 	}
 }
 
@@ -76,6 +93,13 @@ type LoadResult struct {
 	Hits    int64
 	Sets    int64
 	Elapsed time.Duration
+	// Errors counts operations abandoned after exhausting the retry budget
+	// (resilient mode only; in strict mode any error aborts the run).
+	Errors int64
+	// Retries and Reconnects aggregate the self-healing clients' recovery
+	// work; both stay zero in strict mode or on a fault-free run.
+	Retries    int64
+	Reconnects int64
 	// Latency holds get round-trip samples across all connections.
 	Latency *stats.LatencyRecorder
 }
@@ -146,9 +170,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		wg        sync.WaitGroup
 		mu        sync.Mutex
 		firstErr  error
-		hits      int64
-		sets      int64
-		ops       int64
+		total     connResult
 		recorders = make([]*stats.LatencyRecorder, len(streams))
 	)
 	start := time.Now()
@@ -158,13 +180,16 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			defer wg.Done()
 			rec := stats.NewLatencyRecorder(cfg.LatencySamples, cfg.Seed+int64(i))
 			recorders[i] = rec
-			localHits, localSets, localOps, err := driveConn(cfg, keys, rec, lm)
+			r := driveConn(cfg, i, keys, rec, lm)
 			mu.Lock()
-			hits += localHits
-			sets += localSets
-			ops += localOps
-			if err != nil && firstErr == nil {
-				firstErr = err
+			total.hits += r.hits
+			total.sets += r.sets
+			total.ops += r.ops
+			total.errs += r.errs
+			total.retries += r.retries
+			total.reconnects += r.reconnects
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
 			}
 			mu.Unlock()
 		}(i, stream)
@@ -174,11 +199,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		return nil, firstErr
 	}
 	res := &LoadResult{
-		Ops:     ops,
-		Hits:    hits,
-		Sets:    sets,
-		Elapsed: time.Since(start),
-		Latency: stats.NewLatencyRecorder(cfg.LatencySamples*len(streams), cfg.Seed),
+		Ops:        total.ops,
+		Hits:       total.hits,
+		Sets:       total.sets,
+		Elapsed:    time.Since(start),
+		Errors:     total.errs,
+		Retries:    total.retries,
+		Reconnects: total.reconnects,
+		Latency:    stats.NewLatencyRecorder(cfg.LatencySamples*len(streams), cfg.Seed),
 	}
 	for _, rec := range recorders {
 		res.Latency.Merge(rec)
@@ -186,13 +214,58 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	return res, nil
 }
 
+// connResult is one connection's tally (and the run's aggregate).
+type connResult struct {
+	hits, sets, ops           int64
+	errs, retries, reconnects int64
+	err                       error
+}
+
 // driveConn runs one connection's closed loop. lm may be nil (metrics off).
-func driveConn(cfg LoadConfig, keys []uint64, rec *stats.LatencyRecorder, lm *loadMetrics) (hits, sets, ops int64, err error) {
-	c, err := Dial(cfg.Addr)
-	if err != nil {
-		return 0, 0, 0, err
+// In resilient mode (cfg.Dial set with MaxRetries > 0) operation errors are
+// counted and skipped; latency is recorded only for successful gets so
+// retry storms don't pollute the distribution with timeout ceilings.
+func driveConn(cfg LoadConfig, connID int, keys []uint64, rec *stats.LatencyRecorder, lm *loadMetrics) (res connResult) {
+	var (
+		c   *Client
+		err error
+	)
+	resilient := false
+	if cfg.Dial != nil {
+		dc := *cfg.Dial
+		dc.Addr = cfg.Addr
+		if dc.Seed == 0 {
+			dc.Seed = cfg.Seed + int64(connID)
+		}
+		resilient = dc.MaxRetries > 0
+		c, err = DialWithConfig(dc)
+	} else {
+		c, err = Dial(cfg.Addr)
 	}
-	defer c.Close()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer func() {
+		res.retries = c.Retries()
+		res.reconnects = c.Reconnects()
+		if lm != nil {
+			lm.retries.Add(res.retries)
+			lm.reconnects.Add(res.reconnects)
+		}
+		c.Close()
+	}()
+	fail := func(err error) bool {
+		if resilient {
+			res.errs++
+			if lm != nil {
+				lm.errs.Inc()
+			}
+			return false
+		}
+		res.err = err
+		return true
+	}
 	keyBuf := make([]byte, 0, 32)
 	value := make([]byte, cfg.ValueLen)
 	for _, k := range keys {
@@ -200,26 +273,30 @@ func driveConn(cfg LoadConfig, keys []uint64, rec *stats.LatencyRecorder, lm *lo
 		t0 := time.Now()
 		v, found, err := c.Get(keyBuf)
 		rtt := time.Since(t0)
-		rec.Record(rtt)
 		if lm != nil {
 			lm.getReqs.Inc()
-			lm.getLat.ObserveDuration(rtt)
 		}
 		if err != nil {
-			return hits, sets, ops, err
+			if fail(err) {
+				return res
+			}
+			continue
 		}
+		rec.Record(rtt)
 		if lm != nil {
+			lm.getLat.ObserveDuration(rtt)
 			if found {
 				lm.hits.Inc()
 			} else {
 				lm.misses.Inc()
 			}
 		}
-		ops++
+		res.ops++
 		if found {
-			hits++
+			res.hits++
 			if !bytes.HasPrefix(v, keyBuf) || len(v) > len(keyBuf) && v[len(keyBuf)] != ':' {
-				return hits, sets, ops, fmt.Errorf("server: corrupt value for key %s: %q", keyBuf, v)
+				res.err = fmt.Errorf("server: corrupt value for key %s: %q", keyBuf, v)
+				return res
 			}
 			continue
 		}
@@ -234,13 +311,18 @@ func driveConn(cfg LoadConfig, keys []uint64, rec *stats.LatencyRecorder, lm *lo
 		err = c.Set(keyBuf, 0, fill)
 		if lm != nil {
 			lm.setReqs.Inc()
+		}
+		if err != nil {
+			if fail(err) {
+				return res
+			}
+			continue
+		}
+		if lm != nil {
 			lm.setLat.ObserveDuration(time.Since(t0))
 			lm.sets.Inc()
 		}
-		if err != nil {
-			return hits, sets, ops, err
-		}
-		sets++
+		res.sets++
 	}
-	return hits, sets, ops, nil
+	return res
 }

@@ -54,6 +54,18 @@ const (
 	MetricBadCommands   = "cache_server_bad_commands_total"
 	MetricBytesRead     = "cache_server_value_bytes_read_total"
 	MetricBytesWritten  = "cache_server_value_bytes_written_total"
+
+	// Resilience counters: faults survived rather than propagated. All
+	// three should sit at zero in a healthy deployment.
+	MetricPanics          = "cache_server_panics_total"
+	MetricAcceptRetries   = "cache_server_accept_retries_total"
+	MetricConnsSlowClosed = "cache_server_connections_slow_closed_total"
+
+	// Client-side resilience counters (side="client" families reported by
+	// RunLoad's self-healing dialer).
+	MetricClientErrors     = "cache_client_errors_total"
+	MetricClientRetries    = "cache_client_retries_total"
+	MetricClientReconnects = "cache_client_reconnects_total"
 )
 
 // opNames maps Op to its cmd label value.
@@ -103,6 +115,12 @@ func (s *Server) initMetrics(reg *metrics.Registry) {
 		s.counters.BytesRead.Load)
 	reg.CounterFunc(MetricBytesWritten, "Value payload bytes sent in get responses.",
 		s.counters.BytesWritten.Load)
+	reg.CounterFunc(MetricPanics, "Connection-handler panics isolated (conn closed, server kept serving).",
+		s.counters.Panics.Load)
+	reg.CounterFunc(MetricAcceptRetries, "Transient accept errors survived with backoff.",
+		s.counters.AcceptRetries.Load)
+	reg.CounterFunc(MetricConnsSlowClosed, "Slow readers evicted at the write deadline.",
+		s.counters.SlowConnsClosed.Load)
 
 	if ev := s.cfg.Events; ev != nil {
 		reg.CounterFunc(MetricObsEvents, "Lifecycle events recorded.", ev.Total)
@@ -122,7 +140,7 @@ func (s *Server) initMetrics(reg *metrics.Registry) {
 // snapshots as scrape-time collectors, aggregated under the policy label
 // and per shard. It is exported so non-Server embedders of concurrent.KV
 // can publish the same families.
-func RegisterStoreMetrics(reg *metrics.Registry, store *concurrent.KV) {
+func RegisterStoreMetrics(reg *metrics.Registry, store Store) {
 	policy := store.Name()
 	stat := func(field func(concurrent.Snapshot) int64) func() int64 {
 		return func() int64 { return field(store.Stats()) }

@@ -8,9 +8,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
-	"repro/internal/concurrent"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -19,14 +19,20 @@ import (
 type Config struct {
 	// Addr is the TCP listen address for ListenAndServe (e.g. ":11211").
 	Addr string
-	// Store is the byte-value cache being served. Required.
-	Store *concurrent.KV
+	// Store is the byte-value cache being served (normally a
+	// *concurrent.KV). Required.
+	Store Store
 	// MaxConns bounds concurrent client connections; excess connections
 	// are answered with SERVER_ERROR and closed. <=0 means 1024.
 	MaxConns int
 	// IdleTimeout closes connections with no complete request for this
 	// long. <=0 means 5 minutes.
 	IdleTimeout time.Duration
+	// WriteTimeout bounds each flush of buffered responses to the socket.
+	// A reader that cannot drain its responses within it is a slow (or
+	// stalled) client holding server memory hostage; the connection is
+	// closed and counted in conns_slow_closed. <=0 means 30 seconds.
+	WriteTimeout time.Duration
 	// MaxValueLen bounds set payloads. <=0 means DefaultMaxValueLen.
 	MaxValueLen int
 	// Logger, if set, receives the server's structured diagnostics. It
@@ -86,6 +92,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
 	}
 	if cfg.MaxValueLen <= 0 {
 		cfg.MaxValueLen = DefaultMaxValueLen
@@ -149,21 +158,67 @@ func (s *Server) ListenAndServe() error {
 	return s.Serve(ln)
 }
 
+// Accept-retry backoff bounds: transient accept errors (fd exhaustion, a
+// peer that aborted in the backlog) are survived with an exponentially
+// growing pause instead of tearing down Serve.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+
+	// rejectWriteTimeout bounds the courtesy error write on the MaxConns
+	// path: a stalled client must never wedge the accept loop.
+	rejectWriteTimeout = time.Second
+)
+
+// isTransientAcceptErr classifies accept errors the loop should retry:
+// running out of fds (EMFILE/ENFILE), connections aborted while queued
+// (ECONNABORTED), transient kernel resource exhaustion, and anything the
+// net package itself flags as temporary. Everything else — a closed or
+// broken listener — is terminal.
+func isTransientAcceptErr(err error) bool {
+	for _, e := range []error{
+		syscall.ECONNABORTED, syscall.ECONNRESET, syscall.EMFILE,
+		syscall.ENFILE, syscall.ENOBUFS, syscall.ENOMEM, syscall.EINTR,
+	} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	var ne net.Error
+	//lint:ignore SA1019 Temporary is exactly the accept-loop notion wanted here.
+	return errors.As(err, &ne) && ne.Temporary()
+}
+
 // Serve accepts connections on ln until Shutdown (which returns nil here)
-// or a listener error.
+// or a non-transient listener error. Transient accept errors back off and
+// retry — one slow moment must not take down every established session.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
 	s.log.Info("serving", "addr", ln.Addr().String(), "cache", s.cfg.Store.Name())
+	var backoff time.Duration
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			if s.draining.Load() {
 				return nil
 			}
+			if isTransientAcceptErr(err) {
+				if backoff == 0 {
+					backoff = acceptBackoffMin
+				} else if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				s.counters.AcceptRetries.Add(1)
+				s.log.Warn("transient accept error, backing off",
+					"err", err, "backoff", backoff.String())
+				time.Sleep(backoff)
+				continue
+			}
 			return fmt.Errorf("server: accept: %w", err)
 		}
+		backoff = 0
 		s.counters.TotalConns.Add(1)
 		s.mu.Lock()
 		over := len(s.conns) >= s.cfg.MaxConns
@@ -174,6 +229,9 @@ func (s *Server) Serve(ln net.Listener) error {
 		if over {
 			s.counters.RejectedConns.Add(1)
 			s.log.Warn("connection rejected", "remote", nc.RemoteAddr().String(), "max_conns", s.cfg.MaxConns)
+			// Deadline-bounded courtesy write: a client that won't read it
+			// cannot block the accept loop.
+			nc.SetWriteDeadline(time.Now().Add(rejectWriteTimeout))
 			nc.Write([]byte("SERVER_ERROR too many connections\r\n"))
 			nc.Close()
 			continue

@@ -16,8 +16,8 @@ echo '== go build ./...'
 go build ./...
 echo '== go test ./...'
 go test ./...
-echo '== go test -race (concurrent + server + obs)'
-go test -race ./internal/concurrent/... ./internal/server/... ./internal/obs/...
+echo '== go test -race (concurrent + server + obs + chaos)'
+go test -race ./internal/concurrent/... ./internal/server/... ./internal/obs/... ./internal/chaos/...
 echo '== alloc guard (tracing disabled = 0 allocs, sampling on <= 1)'
 go test -run 'TestServerGetHitPathZeroAllocsWithRecorder|TestServerGetHitPathAllocsWithSampling' ./internal/server/
 echo '== bench smoke (one iteration per benchmark)'
@@ -50,5 +50,16 @@ grep -q 'kind=' "$tmpdir/events.txt" \
 curl -fsS 'http://127.0.0.1:21312/debug/events?format=json' > "$tmpdir/events.json"
 grep -q '"spans_total"' "$tmpdir/events.json" \
     || { echo "/debug/events json missing span counters" >&2; exit 1; }
+echo '== chaos soak smoke (cacheload -chaos against the live server)'
+"$tmpdir/cacheload" -addr 127.0.0.1:21311 -conns 2 -ops 20000 -keyspace 8192 \
+    -chaos 'seed=7,refuse=0.02,latency=500us,latency-p=0.05,partial=0.05,reset=0.002' \
+    > "$tmpdir/chaosload.txt"
+grep -q 'chaos faults injected' "$tmpdir/chaosload.txt" \
+    || { echo "chaos run reported no fault counters" >&2; exit 1; }
+curl -fsS http://127.0.0.1:21312/healthz > /dev/null \
+    || { echo "server unhealthy after chaos soak" >&2; exit 1; }
+curl -fsS http://127.0.0.1:21312/metrics > "$tmpdir/metrics.txt"
+grep -q '^cache_server_panics_total 0$' "$tmpdir/metrics.txt" \
+    || { echo "cache_server_panics_total != 0 after chaos soak" >&2; exit 1; }
 kill "$srv_pid"
 echo 'tier1: all green'
