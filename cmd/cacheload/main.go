@@ -15,6 +15,12 @@
 // (internal/chaos), exercising the same recovery paths on demand:
 //
 //	cacheload -chaos 'seed=7,latency=2ms,latency-p=0.1,reset=0.005' -ops 100000
+//
+// With -servers the load spreads across a cluster: each connection becomes
+// a ring-routing cluster client, sending every key to its consistent-hash
+// owner — the same placement a router or another client computes:
+//
+//	cacheload -servers localhost:7001,localhost:7002,localhost:7003 -conns 8
 package main
 
 import (
@@ -22,9 +28,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -34,6 +42,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "localhost:11211", "cache server address")
+		servers  = flag.String("servers", "", "comma-separated cluster endpoints (host:port,...): each connection routes keys across the ring instead of hitting -addr")
 		conns    = flag.Int("conns", 4, "concurrent client connections")
 		ops      = flag.Int("ops", 1<<20, "total get operations across all connections")
 		keySpace = flag.Int("keyspace", 1<<17, "distinct keys in the load")
@@ -103,6 +112,25 @@ func main() {
 	if *metricsF != "" {
 		reg = metrics.NewRegistry()
 	}
+	// -servers spreads each connection's keys across the cluster ring: every
+	// load connection becomes a cluster.Client owning one self-healing
+	// connection per endpoint, routing key-by-key exactly as a router does.
+	var dialFunc func(int) (server.LoadConn, error)
+	if *servers != "" {
+		if *chaosSpec != "" {
+			fatal("flag conflict", fmt.Errorf("-chaos fronts a single -addr; it cannot interpose a -servers ring"))
+		}
+		endpoints := splitEndpoints(*servers)
+		if len(endpoints) == 0 {
+			fatal("bad -servers", fmt.Errorf("no endpoints in %q", *servers))
+		}
+		ccfg := cluster.ClientConfig{Endpoints: endpoints}
+		if dial != nil {
+			ccfg.Dial = *dial
+		}
+		dialFunc = func(int) (server.LoadConn, error) { return cluster.NewClient(ccfg) }
+		lg.Info("cluster load", "endpoints", len(endpoints), "servers", *servers)
+	}
 	res, runErr := server.RunLoad(server.LoadConfig{
 		Addr:     loadAddr,
 		Conns:    *conns,
@@ -113,6 +141,7 @@ func main() {
 		ValueLen: *valueLen,
 		Metrics:  reg,
 		Dial:     dial,
+		DialFunc: dialFunc,
 	})
 	if runErr != nil {
 		fatal("load run failed", runErr)
@@ -150,7 +179,11 @@ func main() {
 		// the artifact records what was actually measured (best-effort: a
 		// server without the stat leaves it empty).
 		cacheName := ""
-		if c, err := server.Dial(*addr); err == nil {
+		statsAddr := *addr
+		if *servers != "" {
+			statsAddr = splitEndpoints(*servers)[0]
+		}
+		if c, err := server.Dial(statsAddr); err == nil {
 			if st, err := c.Stats(); err == nil {
 				cacheName = st["cache"]
 			}
@@ -197,4 +230,16 @@ func main() {
 			fatal("metrics write failed", err)
 		}
 	}
+}
+
+// splitEndpoints parses -servers, trimming blanks so trailing commas are
+// forgiven.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/concurrent"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -58,6 +59,11 @@ func main() {
 		events      = flag.Int("events", 0, "retain this many cache lifecycle events for /debug/events and /debug/trace (0 = off)")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth request per connection as a span (0 = off)")
 		slowReq     = flag.Duration("slow-request", 100*time.Millisecond, "always record requests slower than this as spans (0 = off; only active with tracing or -events)")
+		route       = flag.String("route", "", "comma-separated backend nodes (host:port,...): serve as a cluster router instead of a local cache")
+		replicas    = flag.Int("replicas", 2, "router: nodes serving each hot key (1 disables hot-key replication)")
+		hotThresh   = flag.Int("hot-threshold", 8, "router: count-min estimate at which a key is replicated")
+		vnodes      = flag.Int("vnodes", cluster.DefaultVirtualNodes, "router: virtual nodes per backend on the hash ring")
+		ringSeed    = flag.Int64("ring-seed", 0, "router: ring placement seed (share across routers for identical routing)")
 	)
 	flag.Parse()
 
@@ -72,26 +78,53 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := []concurrent.Option{concurrent.WithShards(*shards)}
-	if *clockBits != 0 {
-		opts = append(opts, concurrent.WithClockBits(*clockBits))
-	}
-	var rec *obs.Recorder
-	if *events > 0 {
-		// One ring per policy shard keeps recording contention-free; the
-		// requested retention is split across them.
-		rec = obs.NewRecorder(*shards, *events/max(*shards, 1))
-		opts = append(opts, concurrent.WithRecorder(rec))
-	}
-	inner, err := concurrent.New(*cache, *capacity, opts...)
-	if err != nil {
-		fatal("cache construction failed", err)
-	}
-	store := concurrent.NewKV(inner, *shards)
-	if rec != nil {
-		store.SetRecorder(rec)
-	}
 	reg := metrics.NewRegistry()
+	var (
+		store  server.Store
+		rec    *obs.Recorder
+		router *cluster.Router
+	)
+	if *route != "" {
+		// Router mode: no local cache — every operation forwards to the
+		// consistent-hash owner among the backends, hot keys replicated.
+		if *events > 0 {
+			rec = obs.NewRecorder(*shards, *events/max(*shards, 1))
+		}
+		router, err = cluster.NewRouter(cluster.RouterConfig{
+			Nodes:        splitNodes(*route),
+			Seed:         *ringSeed,
+			VirtualNodes: *vnodes,
+			Replicas:     *replicas,
+			HotThreshold: *hotThresh,
+			Metrics:      reg,
+			Events:       rec,
+			Logger:       lg,
+		})
+		if err != nil {
+			fatal("router construction failed", err)
+		}
+		store = router
+	} else {
+		opts := []concurrent.Option{concurrent.WithShards(*shards)}
+		if *clockBits != 0 {
+			opts = append(opts, concurrent.WithClockBits(*clockBits))
+		}
+		if *events > 0 {
+			// One ring per policy shard keeps recording contention-free; the
+			// requested retention is split across them.
+			rec = obs.NewRecorder(*shards, *events/max(*shards, 1))
+			opts = append(opts, concurrent.WithRecorder(rec))
+		}
+		inner, err := concurrent.New(*cache, *capacity, opts...)
+		if err != nil {
+			fatal("cache construction failed", err)
+		}
+		kv := concurrent.NewKV(inner, *shards)
+		if rec != nil {
+			kv.SetRecorder(rec)
+		}
+		store = kv
+	}
 	slow := *slowReq
 	if rec == nil && *traceSample == 0 {
 		slow = 0 // no observability plane requested: keep the loop untimed
@@ -115,8 +148,12 @@ func main() {
 
 	if *adminAddr != "" {
 		expvar.Publish("cacheserver", srv.ExpvarMap())
+		mux := srv.AdminMux(reg)
+		if router != nil {
+			mux.Handle("/cluster", router.AdminHandler())
+		}
 		go func() {
-			if err := http.ListenAndServe(*adminAddr, srv.AdminMux(reg)); err != nil {
+			if err := http.ListenAndServe(*adminAddr, mux); err != nil {
 				lg.Error("admin server failed", "err", err)
 			}
 		}()
@@ -127,10 +164,17 @@ func main() {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	lg.Info("starting",
-		"cache", store.Name(), "addr", *addr,
-		"capacity", inner.Capacity(), "shards", *shards,
-		slog.Group("obs", "events", *events, "trace_sample", *traceSample, "slow_request", slow.String()))
+	if router != nil {
+		lg.Info("starting",
+			"mode", "router", "addr", *addr,
+			"nodes", *route, "replicas", *replicas, "hot_threshold", *hotThresh, "vnodes", *vnodes,
+			slog.Group("obs", "events", *events, "trace_sample", *traceSample, "slow_request", slow.String()))
+	} else {
+		lg.Info("starting",
+			"cache", store.Name(), "addr", *addr,
+			"capacity", store.Capacity(), "shards", *shards,
+			slog.Group("obs", "events", *events, "trace_sample", *traceSample, "slow_request", slow.String()))
+	}
 
 	select {
 	case err := <-errCh:
@@ -146,4 +190,16 @@ func main() {
 		}
 		lg.Info("drained cleanly")
 	}
+}
+
+// splitNodes parses the -route list, trimming blanks so trailing commas are
+// forgiven.
+func splitNodes(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -186,6 +186,10 @@ func (f *faults) next(read bool) decision {
 	return d
 }
 
+// knownSpecKeys lists every key ParseSpec accepts, in spec order, for the
+// unknown-key error message.
+const knownSpecKeys = "seed, refuse, latency, latency-p, partial, reset, blackhole"
+
 // ParseSpec parses the compact key=value fault spec used by command-line
 // flags, e.g.
 //
@@ -220,7 +224,10 @@ func ParseSpec(spec string) (Config, error) {
 		case "blackhole":
 			cfg.BlackholeProb, err = strconv.ParseFloat(val, 64)
 		default:
-			return cfg, fmt.Errorf("chaos: unknown spec key %q", key)
+			// Name the offending key and the valid ones: a typo like
+			// "latncy=2ms" silently disabling a fault would make a chaos run
+			// vacuously green, which is worse than no run at all.
+			return cfg, fmt.Errorf("chaos: unknown spec key %q (known keys: %s)", key, knownSpecKeys)
 		}
 		if err != nil {
 			return cfg, fmt.Errorf("chaos: bad value for %q: %v", key, err)

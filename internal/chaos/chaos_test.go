@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -120,6 +121,11 @@ func TestParseSpec(t *testing.T) {
 		{spec: "latency-p=0.5", wantErr: true}, // probability without a bound
 		{spec: "bogus=1", wantErr: true},
 		{spec: "seed", wantErr: true},
+		// Typoed keys must fail loudly, not silently disable a fault.
+		{spec: "latncy=2ms", wantErr: true},
+		{spec: "seed=7,rfuse=0.02", wantErr: true},
+		{spec: "Latency=2ms", wantErr: true}, // keys are case-sensitive
+		{spec: "blackhole =0.1", wantErr: true},
 	}
 	for _, tc := range cases {
 		got, err := ParseSpec(tc.spec)
@@ -292,5 +298,23 @@ func TestListenerRefusals(t *testing.T) {
 	if int64(accepted) != ctr.Conns.Load()-ctr.Refused.Load() {
 		t.Fatalf("accepted %d, want conns %d - refused %d",
 			accepted, ctr.Conns.Load(), ctr.Refused.Load())
+	}
+}
+
+// The unknown-key error must name the offending key and the valid ones, so
+// a typoed fault spec is diagnosable straight from the flag error.
+func TestParseSpecUnknownKeyNamesIt(t *testing.T) {
+	_, err := ParseSpec("seed=7,latncy=2ms")
+	if err == nil {
+		t.Fatal("typoed key accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"latncy"`) {
+		t.Errorf("error %q does not name the bad key", msg)
+	}
+	for _, known := range []string{"seed", "refuse", "latency", "latency-p", "partial", "reset", "blackhole"} {
+		if !strings.Contains(msg, known) {
+			t.Errorf("error %q does not list known key %q", msg, known)
+		}
 	}
 }

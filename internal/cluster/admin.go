@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// clusterPage is the JSON shape of GET /cluster?format=json.
+type clusterPage struct {
+	Nodes           []string       `json:"nodes"`
+	VirtualNodes    int            `json:"virtual_nodes"`
+	Replicas        int            `json:"replicas"`
+	HotThreshold    int            `json:"hot_threshold"`
+	HotKeys         int            `json:"hot_keys"`
+	HotPromotions   int64          `json:"hot_promotions"`
+	HotDemotions    int64          `json:"hot_demotions"`
+	TopologyAdds    int64          `json:"topology_adds"`
+	TopologyRemoves int64          `json:"topology_removes"`
+	PerNode         []NodeSnapshot `json:"per_node"`
+}
+
+// AdminHandler serves the /cluster endpoint on the admin mux:
+//
+//	GET  /cluster               — human-readable topology and per-node counters
+//	GET  /cluster?format=json   — the same as JSON
+//	POST /cluster?op=add&node=host:port     — join a backend under load
+//	POST /cluster?op=remove&node=host:port  — drop a backend under load
+//
+// Topology mutations are POST-only so a crawling browser or a stray GET
+// cannot resize the fleet.
+func (r *Router) AdminHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodGet:
+			r.serveStatus(w, req)
+		case http.MethodPost:
+			r.serveTopology(w, req)
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func (r *Router) serveStatus(w http.ResponseWriter, req *http.Request) {
+	perNode, hotKeys, promos, demos, adds, drops := r.Snapshot()
+	page := clusterPage{
+		Nodes:           r.ring.Nodes(),
+		VirtualNodes:    r.ring.VirtualNodes(),
+		Replicas:        r.cfg.Replicas,
+		HotThreshold:    r.cfg.HotThreshold,
+		HotKeys:         hotKeys,
+		HotPromotions:   promos,
+		HotDemotions:    demos,
+		TopologyAdds:    adds,
+		TopologyRemoves: drops,
+		PerNode:         perNode,
+	}
+	if req.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(page)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "cluster nodes=%d vnodes=%d replicas=%d hot_threshold=%d hot_keys=%d hot_promotions=%d hot_demotions=%d topology_adds=%d topology_removes=%d\n",
+		len(page.Nodes), page.VirtualNodes, page.Replicas, page.HotThreshold,
+		page.HotKeys, page.HotPromotions, page.HotDemotions, page.TopologyAdds, page.TopologyRemoves)
+	for _, n := range page.PerNode {
+		state := "live"
+		if !n.Live {
+			state = "removed"
+		}
+		fmt.Fprintf(w, "node %s state=%s routed_get=%d routed_set=%d routed_delete=%d forward_errors=%d replica_reads=%d replica_writes=%d\n",
+			n.Addr, state, n.RoutedGet, n.RoutedSet, n.RoutedDelete,
+			n.ForwardErrors, n.ReplicaReads, n.ReplicaWrites)
+	}
+}
+
+func (r *Router) serveTopology(w http.ResponseWriter, req *http.Request) {
+	node := req.URL.Query().Get("node")
+	if node == "" {
+		http.Error(w, "missing node parameter", http.StatusBadRequest)
+		return
+	}
+	var err error
+	switch op := req.URL.Query().Get("op"); op {
+	case "add":
+		err = r.AddNode(node)
+	case "remove":
+		err = r.RemoveNode(node)
+	default:
+		http.Error(w, fmt.Sprintf("unknown op %q (want add or remove)", op), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	fmt.Fprintf(w, "ok nodes=%d\n", r.ring.Len())
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/concurrent"
+	"repro/internal/server"
+)
+
+// ClientConfig parameterizes a cluster-aware client.
+type ClientConfig struct {
+	// Endpoints are the initial ring members (host:port). At least one is
+	// required.
+	Endpoints []string
+	// Dial configures each per-endpoint server.Client (Addr is overridden
+	// per endpoint). The zero value means plain fail-fast connections.
+	Dial server.DialConfig
+	// Seed fixes ring placement; clients sharing Seed, VirtualNodes, and
+	// the endpoint set route identically with no coordination.
+	Seed int64
+	// VirtualNodes is the ring's per-node point count (<=0 selects
+	// DefaultVirtualNodes).
+	VirtualNodes int
+}
+
+// Client routes cache operations across a ring of servers. Each key is
+// digested once (the same xxHash64 the server parses into) and sent to the
+// node its digest lands on; each endpoint is served by one self-healing
+// server.Client, dialed lazily on first use. Multi-key gets fan out to the
+// owning nodes concurrently and fan back in, preserving request order.
+//
+// Like server.Client, a Client is synchronous and not safe for concurrent
+// use: open one per goroutine. (GetMulti's internal fan-out is safe — each
+// endpoint client is driven by exactly one goroutine per batch.)
+type Client struct {
+	cfg   ClientConfig
+	ring  *Ring
+	conns map[string]*server.Client
+	// closed endpoint clients keep their retry/reconnect tallies counted.
+	drainedRetries    int64
+	drainedReconnects int64
+	ownerBuf          []string
+}
+
+// NewClient builds a cluster client over cfg.Endpoints. Connections are
+// dialed lazily, so constructing a client against a partially-up fleet
+// succeeds; the first operation routed to a down node surfaces the error
+// (or heals it, given a retry budget).
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("cluster: no endpoints")
+	}
+	ring, err := NewRing(cfg.Seed, cfg.VirtualNodes, cfg.Endpoints...)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:   cfg,
+		ring:  ring,
+		conns: make(map[string]*server.Client, len(cfg.Endpoints)),
+	}, nil
+}
+
+// Ring exposes the client's ring for topology inspection in tests and
+// tooling.
+func (c *Client) Ring() *Ring { return c.ring }
+
+// conn returns (dialing if needed) the endpoint's client.
+func (c *Client) conn(addr string) (*server.Client, error) {
+	if sc, ok := c.conns[addr]; ok {
+		return sc, nil
+	}
+	dc := c.cfg.Dial
+	dc.Addr = addr
+	if dc.Seed == 0 {
+		dc.Seed = c.cfg.Seed
+	}
+	sc, err := server.DialWithConfig(dc)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	c.conns[addr] = sc
+	return sc, nil
+}
+
+// route returns the connection owning key's digest.
+func (c *Client) route(key []byte) (*server.Client, error) {
+	addr := c.ring.Lookup(concurrent.Digest(key))
+	if addr == "" {
+		return nil, errors.New("cluster: empty ring")
+	}
+	return c.conn(addr)
+}
+
+// Get fetches key from its owner node.
+func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
+	sc, err := c.route(key)
+	if err != nil {
+		return nil, false, err
+	}
+	return sc.Get(key)
+}
+
+// Set stores key on its owner node.
+func (c *Client) Set(key []byte, flags uint32, value []byte) error {
+	sc, err := c.route(key)
+	if err != nil {
+		return err
+	}
+	return sc.Set(key, flags, value)
+}
+
+// Delete removes key from its owner node.
+func (c *Client) Delete(key []byte) (found bool, err error) {
+	sc, err := c.route(key)
+	if err != nil {
+		return false, err
+	}
+	return sc.Delete(key)
+}
+
+// GetMulti fetches keys across the ring: keys are grouped by owner node,
+// each node's batch issued as one pipelined multi-get on its own goroutine,
+// and results fanned back in request order. A node whose batch fails takes
+// only its own keys down; the first node error is returned after all
+// batches settle, with the surviving nodes' results intact.
+func (c *Client) GetMulti(keys [][]byte) ([]server.MultiValue, error) {
+	out := make([]server.MultiValue, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	groups := make(map[string][]int)
+	for i, k := range keys {
+		addr := c.ring.Lookup(concurrent.Digest(k))
+		if addr == "" {
+			return nil, errors.New("cluster: empty ring")
+		}
+		groups[addr] = append(groups[addr], i)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for addr, idxs := range groups {
+		// Dial on the caller's goroutine: c.conns is not concurrency-safe.
+		sc, err := c.conn(addr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(sc *server.Client, idxs []int) {
+			defer wg.Done()
+			batch := make([][]byte, len(idxs))
+			for j, i := range idxs {
+				batch[j] = keys[i]
+			}
+			vals, err := sc.GetMulti(batch)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for j, i := range idxs {
+				out[i] = vals[j]
+			}
+		}(sc, idxs)
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+// Stats fetches per-node stats maps, keyed by endpoint.
+func (c *Client) Stats() (map[string]map[string]string, error) {
+	out := make(map[string]map[string]string)
+	var firstErr error
+	for _, addr := range c.ring.Nodes() {
+		sc, err := c.conn(addr)
+		if err == nil {
+			var st map[string]string
+			if st, err = sc.Stats(); err == nil {
+				out[addr] = st
+				continue
+			}
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}
+
+// AddNode joins addr to the client's ring; subsequent operations route
+// ~K/n of the keyspace to it.
+func (c *Client) AddNode(addr string) error { return c.ring.Add(addr) }
+
+// RemoveNode drops addr from the ring and closes its connection; its
+// former keys route to the surviving nodes.
+func (c *Client) RemoveNode(addr string) error {
+	if err := c.ring.Remove(addr); err != nil {
+		return err
+	}
+	if sc, ok := c.conns[addr]; ok {
+		c.drainedRetries += sc.Retries()
+		c.drainedReconnects += sc.Reconnects()
+		sc.Close()
+		delete(c.conns, addr)
+	}
+	return nil
+}
+
+// Retries sums transport retries across all endpoint clients, past and
+// present.
+func (c *Client) Retries() int64 {
+	n := c.drainedRetries
+	for _, sc := range c.conns {
+		n += sc.Retries()
+	}
+	return n
+}
+
+// Reconnects sums re-established connections across all endpoint clients.
+func (c *Client) Reconnects() int64 {
+	n := c.drainedReconnects
+	for _, sc := range c.conns {
+		n += sc.Reconnects()
+	}
+	return n
+}
+
+// Close closes every endpoint connection, returning the first error.
+func (c *Client) Close() error {
+	var firstErr error
+	for addr, sc := range c.conns {
+		if err := sc.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(c.conns, addr)
+	}
+	return firstErr
+}
+
+// The cluster client drives RunLoad like a single-node client does.
+var _ server.LoadConn = (*Client)(nil)

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/server"
+)
+
+// TestClusterKillRejoinE2E is the acceptance soak for the cluster tier: a
+// router fronting three nodes serves cache-aside load while one backend is
+// killed, removed from the ring, and a replacement joined — all mid-flight.
+// Three properties must hold, end to end:
+//
+//  1. Bounded movement: each topology change remaps at most 1.25·K/n of
+//     the K live keys (consistent hashing's contract, measured on the
+//     router's actual ring, not a model of it).
+//  2. Recovery: after the replacement joins and refills, the client's hit
+//     ratio returns to within 0.05 of the pre-kill steady state.
+//  3. Fail-soft: the client sees zero errors beyond its retry budget
+//     through the whole exercise — node death costs hit ratio, never
+//     client-visible failures.
+func TestClusterKillRejoinE2E(t *testing.T) {
+	const K = 2048
+
+	addrs := make([]string, 3)
+	stops := make([]func(), 3)
+	for i := range addrs {
+		addrs[i], stops[i] = startBackend(t)
+	}
+	router, err := NewRouter(RouterConfig{
+		Nodes:        addrs,
+		Replicas:     2,
+		Seed:         1,
+		VirtualNodes: 256, // tighter balance => tighter movement bound
+		Dial:         server.DialConfig{ConnectTimeout: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	front := startFront(t, router)
+	admin := router.AdminHandler()
+
+	cl, err := server.DialWithConfig(server.DialConfig{
+		Addr:           front,
+		MaxRetries:     2,
+		ConnectTimeout: 2 * time.Second,
+		ReadTimeout:    2 * time.Second,
+		WriteTimeout:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	keys := make([][]byte, K)
+	digests := make([]uint64, K)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("soak%05d", i))
+		digests[i] = concurrent.Digest(keys[i])
+	}
+	value := func(i int) []byte { return []byte(fmt.Sprintf("val-%05d", i)) }
+
+	// Cache-aside load: get, fill on miss. Any error that escapes the
+	// client's retry budget fails the soak.
+	errors := 0
+	rng := rand.New(rand.NewSource(42))
+	pass := func(ops int) (hitRatio float64) {
+		hits := 0
+		for op := 0; op < ops; op++ {
+			i := rng.Intn(K)
+			v, found, err := cl.Get(keys[i])
+			if err != nil {
+				errors++
+				continue
+			}
+			if found {
+				if string(v) != string(value(i)) {
+					t.Fatalf("corrupt read key %d: %q", i, v)
+				}
+				hits++
+				continue
+			}
+			if err := cl.Set(keys[i], 0, value(i)); err != nil {
+				errors++
+			}
+		}
+		return float64(hits) / float64(ops)
+	}
+
+	owners := func() []string {
+		out := make([]string, K)
+		for i, d := range digests {
+			out[i] = router.Ring().Lookup(d)
+		}
+		return out
+	}
+	// assertMovement checks one topology change against the consistent-
+	// hashing bound: at most 1.25·K/n keys remap, all of them to/from the
+	// changed node.
+	assertMovement := func(phase string, before, after []string, changed string, joining bool) {
+		t.Helper()
+		moved := 0
+		for i := range before {
+			if before[i] == after[i] {
+				continue
+			}
+			moved++
+			if joining && after[i] != changed {
+				t.Fatalf("%s: key %d moved %s → %s, not to the joining node", phase, i, before[i], after[i])
+			}
+			if !joining && before[i] != changed {
+				t.Fatalf("%s: key %d moved %s → %s though its owner survived", phase, i, before[i], after[i])
+			}
+		}
+		bound := K * 5 / 12 // 1.25·K/n with n=3
+		if moved > bound {
+			t.Fatalf("%s: %d of %d keys remapped, bound %d (1.25·K/n)", phase, moved, K, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("%s: no keys remapped — the topology change was a no-op", phase)
+		}
+		t.Logf("%s: %d/%d keys remapped (bound %d)", phase, moved, K, bound)
+	}
+	post := func(op, node string) {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		admin.ServeHTTP(rr, httptest.NewRequest("POST",
+			"/cluster?op="+op+"&node="+url.QueryEscape(node), nil))
+		if rr.Code != 200 {
+			t.Fatalf("admin %s %s: %d %q", op, node, rr.Code, rr.Body.String())
+		}
+	}
+
+	// Phase 1 — warm and measure steady state.
+	for i := range keys {
+		if err := cl.Set(keys[i], 0, value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steady := pass(3 * K)
+	if steady < 0.95 {
+		t.Fatalf("steady-state hit ratio %.3f: keyspace should fit entirely", steady)
+	}
+
+	// Phase 2 — kill a backend mid-soak. Its keys degrade to misses whose
+	// refills drop; the client must ride through error-free.
+	victim := addrs[2]
+	stops[2]()
+	degraded := pass(2 * K)
+	t.Logf("hit ratio: steady %.3f, node down %.3f", steady, degraded)
+
+	// Phase 3 — operator removes the dead node (through the same admin
+	// surface a curl would hit). Movement is bounded; survivors refill.
+	before := owners()
+	post("remove", victim)
+	assertMovement("remove", before, owners(), victim, false)
+	pass(4 * K) // refill the remapped share
+
+	// Phase 4 — a replacement node joins live.
+	replacement, _ := startBackend(t)
+	before = owners()
+	post("add", replacement)
+	assertMovement("add", before, owners(), replacement, true)
+	pass(5 * K) // refill the share that moved to the new node
+
+	// Phase 5 — recovery: hit ratio back within 0.05 of steady state.
+	final := pass(2 * K)
+	t.Logf("hit ratio: final %.3f (steady %.3f)", final, steady)
+	if final < steady-0.05 {
+		t.Fatalf("hit ratio did not recover: final %.3f vs steady %.3f", final, steady)
+	}
+
+	if errors != 0 {
+		t.Fatalf("%d client errors escaped the retry budget during the soak", errors)
+	}
+
+	// The kill was actually observed by the router.
+	nodes, _, _, _, adds, drops := router.Snapshot()
+	var victimErrs int64
+	for _, n := range nodes {
+		if n.Addr == victim {
+			victimErrs = n.ForwardErrors
+		}
+	}
+	if victimErrs == 0 {
+		t.Error("dead node accrued no forward errors — was it ever hit?")
+	}
+	if adds != 1 || drops != 1 {
+		t.Errorf("topology counters add=%d drop=%d, want 1/1", adds, drops)
+	}
+}

@@ -1,0 +1,220 @@
+// Package cluster is the fleet tier over the single-node cache server: a
+// consistent-hash ring with virtual nodes, a cluster-aware client that
+// routes each key to its owner (digest-once, reusing the self-healing
+// server.Client per endpoint), and a router store that lets one cacheserver
+// front a ring of backends, replicating hot keys detected by the
+// internal/sketch count-min sketch.
+//
+// The design constraint carried over from the paper's serving argument: the
+// policy-level win (QD-LP-FIFO's cheap lazy-promotion hit path) only
+// survives fleet scale if the routing layer stays out of the way. Routing
+// is therefore one digest (already computed at parse time), one lock-free
+// ring lookup (0 allocs/op, guarded by a benchmark), and the existing
+// zero-alloc client machinery — no extra hashing, no proxy hop unless the
+// operator explicitly runs one.
+//
+// Topology is dynamic: AddNode/RemoveNode swap an immutable ring snapshot
+// under load, and consistent hashing bounds the fallout — only ~K/n of K
+// keys change owner when the ring grows to n nodes (asserted by tests and
+// the kill/rejoin e2e).
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/concurrent"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count. 128 points per
+// node keeps the max/mean ownership ratio within ~1.25 for small fleets —
+// tight enough that the bounded-movement invariant (≤1.25·K/n keys remap
+// per topology change) holds with margin.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over named nodes. Lookups are lock-free
+// and allocation-free against an immutable snapshot; topology mutations
+// build a new snapshot and swap it atomically, so a Lookup racing an
+// AddNode sees either the old or the new ring, never a partial one.
+type Ring struct {
+	mu     sync.Mutex // serializes topology mutations
+	seed   int64
+	vnodes int
+	state  atomic.Pointer[ringState]
+}
+
+// ringPoint is one virtual node: a position on the uint64 circle owned by a
+// node. The node field shares the Ring's interned name string, so copying a
+// point copies a string header, not bytes.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ringState is one immutable topology snapshot.
+type ringState struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted node names
+}
+
+// NewRing builds a ring with vnodes virtual points per node (<=0 selects
+// DefaultVirtualNodes). The seed perturbs every point's placement, so two
+// rings agree on ownership exactly when they share seed, vnodes, and node
+// set — the property that lets independent clients route identically
+// without coordination.
+func NewRing(seed int64, vnodes int, nodes ...string) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{seed: seed, vnodes: vnodes}
+	r.state.Store(&ringState{})
+	for _, n := range nodes {
+		if err := r.Add(n); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// pointHash places virtual node i of a node: xxHash64 of
+// seed ‖ name ‖ 0xFF ‖ i. The 0xFF separator cannot appear in a
+// hostname:port, so distinct (name, i) pairs never collide structurally.
+func (r *Ring) pointHash(name string, i int) uint64 {
+	var buf [300]byte
+	b := binary.LittleEndian.AppendUint64(buf[:0], uint64(r.seed))
+	b = append(b, name...)
+	b = append(b, 0xFF)
+	b = binary.LittleEndian.AppendUint32(b, uint32(i))
+	return concurrent.Digest(b)
+}
+
+// Add inserts a node and swaps in the new snapshot. Adding a present node
+// is an error.
+func (r *Ring) Add(name string) error {
+	if name == "" {
+		return fmt.Errorf("cluster: empty node name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.state.Load()
+	for _, n := range cur.nodes {
+		if n == name {
+			return fmt.Errorf("cluster: node %q already in ring", name)
+		}
+	}
+	next := &ringState{
+		points: make([]ringPoint, 0, len(cur.points)+r.vnodes),
+		nodes:  make([]string, 0, len(cur.nodes)+1),
+	}
+	next.points = append(next.points, cur.points...)
+	for i := 0; i < r.vnodes; i++ {
+		next.points = append(next.points, ringPoint{hash: r.pointHash(name, i), node: name})
+	}
+	sort.Slice(next.points, func(i, j int) bool { return next.points[i].hash < next.points[j].hash })
+	next.nodes = append(next.nodes, cur.nodes...)
+	next.nodes = append(next.nodes, name)
+	sort.Strings(next.nodes)
+	r.state.Store(next)
+	return nil
+}
+
+// Remove drops a node and swaps in the new snapshot. Removing an absent
+// node or the last node is an error (an empty ring routes nothing).
+func (r *Ring) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.state.Load()
+	found := false
+	for _, n := range cur.nodes {
+		if n == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster: node %q not in ring", name)
+	}
+	if len(cur.nodes) == 1 {
+		return fmt.Errorf("cluster: cannot remove last node %q", name)
+	}
+	next := &ringState{
+		points: make([]ringPoint, 0, len(cur.points)-r.vnodes),
+		nodes:  make([]string, 0, len(cur.nodes)-1),
+	}
+	for _, p := range cur.points {
+		if p.node != name {
+			next.points = append(next.points, p)
+		}
+	}
+	for _, n := range cur.nodes {
+		if n != name {
+			next.nodes = append(next.nodes, n)
+		}
+	}
+	r.state.Store(next)
+	return nil
+}
+
+// Lookup returns the node owning digest: the first virtual point clockwise
+// from the digest's position (wrapping past the top of the circle). It is
+// lock-free and performs no allocations; an empty ring returns "".
+func (r *Ring) Lookup(digest uint64) string {
+	st := r.state.Load()
+	pts := st.points
+	if len(pts) == 0 {
+		return ""
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= digest })
+	if i == len(pts) {
+		i = 0
+	}
+	return pts[i].node
+}
+
+// LookupN appends the first n distinct nodes clockwise from digest to dst
+// and returns it — the owner followed by its n−1 replica followers. Fewer
+// than n nodes in the ring yields all of them. Reusing dst across calls
+// keeps the replica path allocation-free too.
+func (r *Ring) LookupN(digest uint64, n int, dst []string) []string {
+	st := r.state.Load()
+	pts := st.points
+	if len(pts) == 0 || n <= 0 {
+		return dst
+	}
+	if n > len(st.nodes) {
+		n = len(st.nodes)
+	}
+	start := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= digest })
+	base := len(dst)
+	for k := 0; k < len(pts) && len(dst)-base < n; k++ {
+		p := pts[(start+k)%len(pts)]
+		dup := false
+		for _, seen := range dst[base:] {
+			if seen == p.node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, p.node)
+		}
+	}
+	return dst
+}
+
+// Nodes returns the current node set, sorted.
+func (r *Ring) Nodes() []string {
+	st := r.state.Load()
+	out := make([]string, len(st.nodes))
+	copy(out, st.nodes)
+	return out
+}
+
+// Len reports the current node count.
+func (r *Ring) Len() int { return len(r.state.Load().nodes) }
+
+// VirtualNodes reports the per-node virtual point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }

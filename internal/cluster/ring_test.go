@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func mustRing(t *testing.T, seed int64, vnodes int, nodes ...string) *Ring {
+	t.Helper()
+	r, err := NewRing(seed, vnodes, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Two rings with the same seed and node set agree on every lookup — the
+// no-coordination contract independent clients rely on. A different seed
+// must disagree somewhere (placement is genuinely seeded).
+func TestRingDeterministicSeededPlacement(t *testing.T) {
+	nodes := []string{"a:1", "b:2", "c:3"}
+	r1 := mustRing(t, 42, 64, nodes...)
+	r2 := mustRing(t, 42, 64, nodes[2], nodes[0], nodes[1]) // insertion order must not matter
+	r3 := mustRing(t, 43, 64, nodes...)
+	diverged := false
+	for i := 0; i < 4096; i++ {
+		d := rand.New(rand.NewSource(int64(i))).Uint64()
+		if r1.Lookup(d) != r2.Lookup(d) {
+			t.Fatalf("same seed, different owner for digest %d", d)
+		}
+		if r1.Lookup(d) != r3.Lookup(d) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical placement")
+	}
+}
+
+// Ownership is roughly balanced: with 128 vnodes per node, no node owns
+// more than ~1.6x its fair share of a large key sample.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a:1", "b:2", "c:3", "d:4", "e:5"}
+	r := mustRing(t, 1, DefaultVirtualNodes, nodes...)
+	counts := map[string]int{}
+	const K = 100000
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < K; i++ {
+		counts[r.Lookup(rng.Uint64())]++
+	}
+	fair := float64(K) / float64(len(nodes))
+	for n, c := range counts {
+		if ratio := float64(c) / fair; ratio > 1.6 || ratio < 0.4 {
+			t.Errorf("node %s owns %.2fx fair share (%d keys)", n, ratio, c)
+		}
+	}
+}
+
+// The bounded-movement invariant, the point of consistent hashing: growing
+// an n−1 node ring to n moves at most ~K/n of K keys (the ones the new node
+// takes over), and nothing else changes owner. Shrinking moves exactly the
+// removed node's keys.
+func TestRingBoundedMovement(t *testing.T) {
+	const K = 16384
+	digests := make([]uint64, K)
+	rng := rand.New(rand.NewSource(7))
+	for i := range digests {
+		digests[i] = rng.Uint64()
+	}
+	owners := func(r *Ring) []string {
+		out := make([]string, K)
+		for i, d := range digests {
+			out[i] = r.Lookup(d)
+		}
+		return out
+	}
+
+	r := mustRing(t, 5, DefaultVirtualNodes, "a:1", "b:2", "c:3")
+	before := owners(r)
+
+	// Grow 3 → 4.
+	if err := r.Add("d:4"); err != nil {
+		t.Fatal(err)
+	}
+	after := owners(r)
+	moved := 0
+	for i := range before {
+		if before[i] != after[i] {
+			moved++
+			if after[i] != "d:4" {
+				t.Fatalf("digest %d moved %s → %s, not to the new node", digests[i], before[i], after[i])
+			}
+		}
+	}
+	bound := int(1.25 * K / 4)
+	if moved > bound {
+		t.Fatalf("add moved %d of %d keys, bound %d (1.25·K/n)", moved, K, bound)
+	}
+	if moved == 0 {
+		t.Fatal("add moved nothing: new node owns no keys")
+	}
+
+	// Shrink 4 → 3: only d's keys move, back to surviving nodes.
+	before = after
+	if err := r.Remove("d:4"); err != nil {
+		t.Fatal(err)
+	}
+	after = owners(r)
+	moved = 0
+	for i := range before {
+		if before[i] != after[i] {
+			moved++
+			if before[i] != "d:4" {
+				t.Fatalf("digest %d moved %s → %s though its owner survived", digests[i], before[i], after[i])
+			}
+		}
+	}
+	if moved > bound {
+		t.Fatalf("remove moved %d of %d keys, bound %d", moved, K, bound)
+	}
+	// Removing and re-adding restores the original placement exactly.
+	for i, d := range digests {
+		if got := r.Lookup(d); got != after[i] {
+			t.Fatalf("unstable lookup for %d", d)
+		}
+	}
+}
+
+func TestRingAddRemoveErrors(t *testing.T) {
+	r := mustRing(t, 1, 8, "a:1")
+	if err := r.Add("a:1"); err == nil {
+		t.Error("duplicate add accepted")
+	}
+	if err := r.Add(""); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if err := r.Remove("zzz"); err == nil {
+		t.Error("removing absent node accepted")
+	}
+	if err := r.Remove("a:1"); err == nil {
+		t.Error("removing last node accepted")
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("Len = %d after failed mutations", got)
+	}
+}
+
+func TestRingLookupN(t *testing.T) {
+	r := mustRing(t, 3, 32, "a:1", "b:2", "c:3")
+	dst := make([]string, 0, 3)
+	for i := 0; i < 1000; i++ {
+		d := rand.New(rand.NewSource(int64(i))).Uint64()
+		dst = r.LookupN(d, 2, dst[:0])
+		if len(dst) != 2 {
+			t.Fatalf("LookupN(2) returned %d nodes", len(dst))
+		}
+		if dst[0] == dst[1] {
+			t.Fatalf("LookupN returned duplicate node %q", dst[0])
+		}
+		if dst[0] != r.Lookup(d) {
+			t.Fatalf("LookupN[0] %q != Lookup %q", dst[0], r.Lookup(d))
+		}
+	}
+	// Asking for more replicas than nodes yields all nodes.
+	dst = r.LookupN(12345, 99, dst[:0])
+	if len(dst) != 3 {
+		t.Fatalf("LookupN(99) on 3 nodes returned %d", len(dst))
+	}
+	// Empty ring behaves.
+	empty := &Ring{}
+	empty.state.Store(&ringState{})
+	if empty.Lookup(1) != "" || len(empty.LookupN(1, 2, nil)) != 0 {
+		t.Fatal("empty ring did not degrade cleanly")
+	}
+}
+
+// The hot-path contract: Lookup and a reused-buffer LookupN allocate
+// nothing. This is the routing-layer half of the serving stack's 0-alloc
+// hit path, so it gets the same guard the KV path has.
+func TestRingLookupZeroAllocs(t *testing.T) {
+	r := mustRing(t, 1, DefaultVirtualNodes, "a:1", "b:2", "c:3", "d:4")
+	var sink string
+	if avg := testing.AllocsPerRun(1000, func() {
+		sink = r.Lookup(0x9e3779b97f4a7c15)
+	}); avg != 0 {
+		t.Errorf("Lookup allocs/op = %v, want 0", avg)
+	}
+	dst := make([]string, 0, 4)
+	if avg := testing.AllocsPerRun(1000, func() {
+		dst = r.LookupN(0x9e3779b97f4a7c15, 2, dst[:0])
+	}); avg != 0 {
+		t.Errorf("LookupN allocs/op = %v, want 0", avg)
+	}
+	_ = sink
+}
+
+func BenchmarkRingLookup(b *testing.B) {
+	for _, nodes := range []int{3, 16, 64} {
+		names := make([]string, nodes)
+		for i := range names {
+			names[i] = fmt.Sprintf("node%d:11211", i)
+		}
+		r, err := NewRing(1, DefaultVirtualNodes, names...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink string
+			for i := 0; i < b.N; i++ {
+				sink = r.Lookup(uint64(i) * 0x9e3779b97f4a7c15)
+			}
+			_ = sink
+		})
+	}
+}

@@ -1,0 +1,720 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/sketch"
+)
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Nodes are the initial backend endpoints (host:port). At least one is
+	// required.
+	Nodes []string
+	// Dial configures the pooled per-node clients (Addr overridden per
+	// node). Zero fields get router defaults tuned for fast failure: 1s
+	// connect, 2s read/write — a dead node must cost milliseconds, not a
+	// stalled soak.
+	Dial server.DialConfig
+	// Seed fixes ring placement (shared with any cluster.Client fronting
+	// the same fleet).
+	Seed int64
+	// VirtualNodes is the ring's per-node point count (<=0 selects
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// Replicas is how many ring-successor nodes serve a hot key (owner
+	// included). <=0 means 2; 1 disables replication.
+	Replicas int
+	// HotThreshold is the count-min estimate at which a key turns hot.
+	// <=0 means 8.
+	HotThreshold int
+	// HotKeyspace sizes the hot-key sketch. <=0 means 1<<16.
+	HotKeyspace int
+	// PoolSize bounds idle pooled connections per node. <=0 means 16.
+	PoolSize int
+	// Metrics, if set, receives the per-node route/replica/forward counter
+	// families and the cluster gauges.
+	Metrics *metrics.Registry
+	// Events, if set, records hot-key replicate/demote lifecycle events
+	// (EvHotReplicate/EvHotDemote), served on /debug/events like any other
+	// cache event.
+	Events *obs.Recorder
+	// Logger receives topology and forwarding diagnostics.
+	Logger *slog.Logger
+}
+
+// nodeCounters is one node's live tally. Counters persist across a
+// remove/rejoin of the same node name, so metric series stay monotonic.
+type nodeCounters struct {
+	routedGet, routedSet, routedDelete atomic.Int64
+	forwardErrors                      atomic.Int64
+	replicaReads, replicaWrites        atomic.Int64
+}
+
+// routerNode is one live backend: its address and a bounded pool of
+// self-healing clients. Store methods run on many connection goroutines, so
+// forwarding clients are borrowed from the pool and returned after use.
+type routerNode struct {
+	addr   string
+	dial   server.DialConfig
+	pool   chan *server.Client
+	closed atomic.Bool
+	ctr    *nodeCounters
+}
+
+func (n *routerNode) get() (*server.Client, error) {
+	select {
+	case c := <-n.pool:
+		return c, nil
+	default:
+		dc := n.dial
+		dc.Addr = n.addr
+		return server.DialWithConfig(dc)
+	}
+}
+
+func (n *routerNode) put(c *server.Client) {
+	if n.closed.Load() {
+		c.Close()
+		return
+	}
+	select {
+	case n.pool <- c:
+	default:
+		c.Close()
+	}
+}
+
+func (n *routerNode) close() {
+	n.closed.Store(true)
+	for {
+		select {
+		case c := <-n.pool:
+			c.Close()
+		default:
+			return
+		}
+	}
+}
+
+// Router is a cluster-aware server.Store: a cacheserver running in -route
+// mode serves the normal protocol while every operation is forwarded to the
+// consistent-hash owner among the backend nodes. Keys the count-min sketch
+// classifies as hot are replicated to the owner's ring successors: reads
+// round-robin across the replica set, writes fan to all of it.
+//
+// Failure semantics are a cache's, end to end: a backend that cannot be
+// reached makes reads miss and writes drop (counted per node in
+// cache_cluster_forward_errors_total), it never errors the front
+// connection. Clients see reduced hit ratio while a node is down and
+// recovery once topology is fixed — the contract the kill/rejoin e2e
+// asserts.
+type Router struct {
+	cfg  RouterConfig
+	ring *Ring
+	hot  *sketch.HotKeys
+	log  *slog.Logger
+
+	mu       sync.RWMutex
+	nodes    map[string]*routerNode
+	counters map[string]*nodeCounters // persists across remove/rejoin
+
+	rr atomic.Uint64 // replica-read round-robin cursor
+
+	hits, misses, sets, deletes   atomic.Int64
+	hotPromotions, hotDemotions   atomic.Int64
+	topologyAdds, topologyDrops   atomic.Int64
+	statsMu                       sync.Mutex
+	statsAt                       time.Time
+	statItems, statBytes, statCap int64
+}
+
+// NewRouter validates cfg and connects the ring. Backends are dialed
+// lazily: a router can front a fleet that is still coming up.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: router needs at least one node")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = 8
+	}
+	if cfg.HotKeyspace <= 0 {
+		cfg.HotKeyspace = 1 << 16
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 16
+	}
+	if cfg.Dial.ConnectTimeout == 0 {
+		cfg.Dial.ConnectTimeout = time.Second
+	}
+	if cfg.Dial.ReadTimeout == 0 {
+		cfg.Dial.ReadTimeout = 2 * time.Second
+	}
+	if cfg.Dial.WriteTimeout == 0 {
+		cfg.Dial.WriteTimeout = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	ring, err := NewRing(cfg.Seed, cfg.VirtualNodes, cfg.Nodes...)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:      cfg,
+		ring:     ring,
+		hot:      sketch.NewHotKeys(cfg.HotKeyspace, cfg.HotThreshold),
+		log:      cfg.Logger,
+		nodes:    make(map[string]*routerNode, len(cfg.Nodes)),
+		counters: make(map[string]*nodeCounters, len(cfg.Nodes)),
+	}
+	for _, addr := range cfg.Nodes {
+		r.mu.Lock()
+		r.addLocked(addr)
+		r.mu.Unlock()
+	}
+	if cfg.Metrics != nil {
+		r.registerMetrics(cfg.Metrics)
+	}
+	return r, nil
+}
+
+// Ring exposes the router's ring (tests, admin).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// HotKeyCount reports the current hot-set size.
+func (r *Router) HotKeyCount() int { return r.hot.Len() }
+
+// addLocked creates the node record and its (possibly pre-existing)
+// counters. Caller holds r.mu and has verified absence.
+func (r *Router) addLocked(addr string) {
+	ctr, ok := r.counters[addr]
+	if !ok {
+		ctr = &nodeCounters{}
+		r.counters[addr] = ctr
+		if reg := r.cfg.Metrics; reg != nil {
+			registerNodeMetrics(reg, addr, ctr)
+		}
+	}
+	r.nodes[addr] = &routerNode{
+		addr: addr,
+		dial: r.cfg.Dial,
+		pool: make(chan *server.Client, r.cfg.PoolSize),
+		ctr:  ctr,
+	}
+}
+
+// AddNode joins a backend to the ring under load. The ring swap is atomic;
+// in-flight operations complete against whichever snapshot they read.
+func (r *Router) AddNode(addr string) error {
+	r.mu.Lock()
+	if _, ok := r.nodes[addr]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: node %q already routed", addr)
+	}
+	if err := r.ring.Add(addr); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	r.addLocked(addr)
+	r.mu.Unlock()
+	r.topologyAdds.Add(1)
+	r.log.Info("cluster node added", "node", addr, "nodes", r.ring.Len())
+	return nil
+}
+
+// RemoveNode drops a backend: its ring points disappear (only its ~K/n keys
+// remap, to the surviving successors) and its pooled connections close.
+func (r *Router) RemoveNode(addr string) error {
+	r.mu.Lock()
+	n, ok := r.nodes[addr]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: node %q not routed", addr)
+	}
+	if err := r.ring.Remove(addr); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	delete(r.nodes, addr)
+	r.mu.Unlock()
+	n.close()
+	r.topologyDrops.Add(1)
+	r.log.Info("cluster node removed", "node", addr, "nodes", r.ring.Len())
+	return nil
+}
+
+// node resolves an address to its live record (nil if a concurrent
+// RemoveNode won the race; callers treat that as a forward failure).
+func (r *Router) node(addr string) *routerNode {
+	r.mu.RLock()
+	n := r.nodes[addr]
+	r.mu.RUnlock()
+	return n
+}
+
+var errNodeGone = errors.New("cluster: node left the ring mid-operation")
+
+// fetch forwards one get to addr through its pool.
+func (r *Router) fetch(addr string, key []byte) (value []byte, flags uint32, cas uint64, found bool, err error) {
+	n := r.node(addr)
+	if n == nil {
+		return nil, 0, 0, false, errNodeGone
+	}
+	c, err := n.get()
+	if err != nil {
+		n.ctr.forwardErrors.Add(1)
+		return nil, 0, 0, false, err
+	}
+	n.ctr.routedGet.Add(1)
+	value, flags, cas, found, err = c.GetWith(key)
+	if err != nil {
+		n.ctr.forwardErrors.Add(1)
+		c.Close()
+		return nil, 0, 0, false, err
+	}
+	n.put(c)
+	return value, flags, cas, found, nil
+}
+
+// send forwards one set to addr through its pool.
+func (r *Router) send(addr string, key, value []byte, flags uint32) error {
+	n := r.node(addr)
+	if n == nil {
+		return errNodeGone
+	}
+	c, err := n.get()
+	if err != nil {
+		n.ctr.forwardErrors.Add(1)
+		return err
+	}
+	n.ctr.routedSet.Add(1)
+	if err := c.Set(key, flags, value); err != nil {
+		n.ctr.forwardErrors.Add(1)
+		c.Close()
+		return err
+	}
+	n.put(c)
+	return nil
+}
+
+// touch records one access in the hot-key sketch and drains any demotions
+// aging produced (recording them as events so /debug/events shows the hot
+// set breathing).
+func (r *Router) touch(id uint64) (hot, promoted bool) {
+	hot, promoted = r.hot.Touch(id)
+	for _, k := range r.hot.Demoted() {
+		r.hotDemotions.Add(1)
+		r.cfg.Events.Record(obs.Event{Key: k, Kind: obs.EvHotDemote})
+	}
+	return hot, promoted
+}
+
+// readTarget picks the node a read of id goes to, plus the primary owner
+// for fallback: hot keys round-robin across the replica set, everything
+// else reads its owner.
+func (r *Router) readTarget(id uint64, hot bool, scratch []string) (addr, primary string) {
+	if hot && r.cfg.Replicas > 1 {
+		owners := r.ring.LookupN(id, r.cfg.Replicas, scratch[:0])
+		if len(owners) > 0 {
+			return owners[r.rr.Add(1)%uint64(len(owners))], owners[0]
+		}
+	}
+	p := r.ring.Lookup(id)
+	return p, p
+}
+
+// replicate copies a freshly promoted hot key's value to every replica
+// owner except src (best effort; failures are per-node counted).
+func (r *Router) replicate(key, value []byte, flags uint32, id uint64, src string) {
+	var ob [8]string
+	owners := r.ring.LookupN(id, r.cfg.Replicas, ob[:0])
+	for _, addr := range owners {
+		if addr == src {
+			continue
+		}
+		if err := r.send(addr, key, value, flags); err == nil {
+			if n := r.node(addr); n != nil {
+				n.ctr.replicaWrites.Add(1)
+			}
+		}
+	}
+	r.hotPromotions.Add(1)
+	r.cfg.Events.Record(obs.Event{Key: id, Kind: obs.EvHotReplicate})
+	r.log.Debug("hot key replicated", "key", id, "replicas", len(owners)-1)
+}
+
+// AppendHit implements the server's single-key hit path by forwarding to
+// the owner (or, for hot keys, a round-robin replica with owner fallback)
+// and appending the backend's header and value.
+func (r *Router) AppendHit(dst, key []byte, id uint64, hdr concurrent.HitHeaderFunc) (out []byte, valueLen int, ok bool) {
+	hot, promoted := r.touch(id)
+	var ob [8]string
+	addr, primary := r.readTarget(id, hot, ob[:])
+	if addr == "" {
+		r.misses.Add(1)
+		return dst, 0, false
+	}
+	value, flags, cas, found, err := r.fetch(addr, key)
+	if (err != nil || !found) && addr != primary {
+		// Replica miss or failure: the owner is the source of truth. addr
+		// tracks who actually served the value, so a later replicate
+		// doesn't mistake the empty replica for the source.
+		addr = primary
+		value, flags, cas, found, err = r.fetch(primary, key)
+	} else if addr != primary && found {
+		if n := r.node(addr); n != nil {
+			n.ctr.replicaReads.Add(1)
+		}
+	}
+	if err != nil || !found {
+		r.misses.Add(1)
+		return dst, 0, false
+	}
+	if promoted {
+		r.replicate(key, value, flags, id, addr)
+	}
+	r.hits.Add(1)
+	out = hdr(dst, key, len(value), flags, cas)
+	out = append(out, value...)
+	return out, len(value), true
+}
+
+// GetMulti groups keys by target node, forwards each group as one
+// pipelined multi-get on its own goroutine, and fans the results back into
+// request order — the per-node fan-out/fan-in that keeps a 64-key batch at
+// one round trip per node instead of one per key.
+func (r *Router) GetMulti(dst []byte, keys [][]byte, ids []uint64, out []concurrent.MultiHit) []byte {
+	type group struct {
+		idxs []int
+		vals []server.MultiValue
+	}
+	groups := make(map[string]*group)
+	var ob [8]string
+	for i, id := range ids {
+		hot, _ := r.touch(id)
+		addr, _ := r.readTarget(id, hot, ob[:])
+		g := groups[addr]
+		if g == nil {
+			g = &group{}
+			groups[addr] = g
+		}
+		g.idxs = append(g.idxs, i)
+	}
+	var wg sync.WaitGroup
+	for addr, g := range groups {
+		wg.Add(1)
+		go func(addr string, g *group) {
+			defer wg.Done()
+			n := r.node(addr)
+			if n == nil || addr == "" {
+				return
+			}
+			c, err := n.get()
+			if err != nil {
+				n.ctr.forwardErrors.Add(1)
+				return
+			}
+			batch := make([][]byte, len(g.idxs))
+			for j, i := range g.idxs {
+				batch[j] = keys[i]
+			}
+			n.ctr.routedGet.Add(int64(len(batch)))
+			vals, err := c.GetMulti(batch)
+			if err != nil {
+				n.ctr.forwardErrors.Add(1)
+				c.Close()
+				return
+			}
+			n.put(c)
+			g.vals = vals
+		}(addr, g)
+	}
+	wg.Wait()
+	for i := range out {
+		out[i] = concurrent.MultiHit{}
+	}
+	for _, g := range groups {
+		if g.vals == nil {
+			continue // node failed: its keys stay misses
+		}
+		for j, i := range g.idxs {
+			mv := g.vals[j]
+			if !mv.Found {
+				continue
+			}
+			start := len(dst)
+			dst = append(dst, mv.Value...)
+			out[i] = concurrent.MultiHit{
+				Start: start, End: len(dst),
+				Flags: mv.Flags, CAS: mv.CAS, Hit: true,
+			}
+		}
+	}
+	for i := range out {
+		if out[i].Hit {
+			r.hits.Add(1)
+		} else {
+			r.misses.Add(1)
+		}
+	}
+	return dst
+}
+
+// SetDigest forwards a write to the owner; a hot key's write fans to its
+// whole replica set so replicas never serve stale values longer than one
+// write cycle. The returned cas is 0: the authoritative token lives on the
+// backend and is re-served on gets.
+func (r *Router) SetDigest(key, value []byte, flags uint32, id uint64) uint64 {
+	hot, _ := r.touch(id)
+	r.sets.Add(1)
+	var ob [8]string
+	if hot && r.cfg.Replicas > 1 {
+		owners := r.ring.LookupN(id, r.cfg.Replicas, ob[:0])
+		for i, addr := range owners {
+			if err := r.send(addr, key, value, flags); err == nil && i > 0 {
+				if n := r.node(addr); n != nil {
+					n.ctr.replicaWrites.Add(1)
+				}
+			}
+		}
+		return 0
+	}
+	if addr := r.ring.Lookup(id); addr != "" {
+		r.send(addr, key, value, flags)
+	}
+	return 0
+}
+
+// deleteFan removes key from every node in its replica set (replicas may
+// hold copies from a past hot episode; deleting everywhere is cheap and
+// always correct). found reports whether any node had it.
+func (r *Router) deleteFan(key []byte, id uint64) bool {
+	var ob [8]string
+	owners := r.ring.LookupN(id, r.cfg.Replicas, ob[:0])
+	found := false
+	for _, addr := range owners {
+		n := r.node(addr)
+		if n == nil {
+			continue
+		}
+		c, err := n.get()
+		if err != nil {
+			n.ctr.forwardErrors.Add(1)
+			continue
+		}
+		n.ctr.routedDelete.Add(1)
+		ok, err := c.Delete(key)
+		if err != nil {
+			n.ctr.forwardErrors.Add(1)
+			c.Close()
+			continue
+		}
+		n.put(c)
+		found = found || ok
+	}
+	return found
+}
+
+// DeleteDigest implements explicit deletes.
+func (r *Router) DeleteDigest(key []byte, id uint64) bool {
+	found := r.deleteFan(key, id)
+	if found {
+		r.deletes.Add(1)
+	}
+	return found
+}
+
+// ExpireDigest implements the already-expired store (set with negative
+// exptime): the previous value must vanish everywhere.
+func (r *Router) ExpireDigest(key []byte, id uint64) bool {
+	return r.deleteFan(key, id)
+}
+
+// Stats reports the router's own operation counters (hits and misses as
+// served through the ring, not the backends' internal tallies).
+func (r *Router) Stats() concurrent.Snapshot {
+	items, _, capacity := r.aggregate()
+	return concurrent.Snapshot{
+		Hits:     r.hits.Load(),
+		Misses:   r.misses.Load(),
+		Sets:     r.sets.Load(),
+		Deletes:  r.deletes.Load(),
+		Len:      int(items),
+		Capacity: int(capacity),
+	}
+}
+
+// ShardStats reports none: the router has no local shards (per-node state
+// lives on the /cluster page and the per-node metric families).
+func (r *Router) ShardStats() []concurrent.Snapshot { return nil }
+
+// aggregate sums occupancy across backends via their stats command, cached
+// briefly so a scrape of several gauges costs one fleet poll.
+func (r *Router) aggregate() (items, bytes, capacity int64) {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	if time.Since(r.statsAt) < 2*time.Second {
+		return r.statItems, r.statBytes, r.statCap
+	}
+	r.mu.RLock()
+	nodes := make([]*routerNode, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.RUnlock()
+	items, bytes, capacity = 0, 0, 0
+	for _, n := range nodes {
+		c, err := n.get()
+		if err != nil {
+			n.ctr.forwardErrors.Add(1)
+			continue
+		}
+		st, err := c.Stats()
+		if err != nil {
+			n.ctr.forwardErrors.Add(1)
+			c.Close()
+			continue
+		}
+		n.put(c)
+		for _, f := range []struct {
+			name string
+			dst  *int64
+		}{{"curr_items", &items}, {"curr_bytes", &bytes}, {"capacity_items", &capacity}} {
+			if v, err := server.StatInt(st, f.name); err == nil {
+				*f.dst += v
+			}
+		}
+	}
+	r.statsAt = time.Now()
+	r.statItems, r.statBytes, r.statCap = items, bytes, capacity
+	return items, bytes, capacity
+}
+
+// Items reports the fleet-aggregate cached object count.
+func (r *Router) Items() int64 { i, _, _ := r.aggregate(); return i }
+
+// Bytes reports the fleet-aggregate cached value bytes.
+func (r *Router) Bytes() int64 { _, b, _ := r.aggregate(); return b }
+
+// Capacity reports the fleet-aggregate configured capacity.
+func (r *Router) Capacity() int { _, _, c := r.aggregate(); return int(c) }
+
+// Name is the policy label the front server's metrics carry.
+func (r *Router) Name() string { return "router" }
+
+// registerMetrics publishes the cluster gauges and counters that are not
+// per-node (those register as nodes first appear).
+func (r *Router) registerMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc(server.MetricClusterNodes, "Nodes currently in the ring.",
+		func() float64 { return float64(r.ring.Len()) })
+	reg.GaugeFunc(server.MetricClusterHotKeys, "Keys currently classified hot.",
+		func() float64 { return float64(r.hot.Len()) })
+	reg.CounterFunc(server.MetricClusterHotPromotions, "Keys promoted to hot and replicated.",
+		r.hotPromotions.Load)
+	reg.CounterFunc(server.MetricClusterHotDemotions, "Hot keys demoted by sketch aging.",
+		r.hotDemotions.Load)
+	reg.CounterFunc(server.MetricClusterTopologyChanges, "Nodes added to the ring.",
+		r.topologyAdds.Load, "op", "add")
+	reg.CounterFunc(server.MetricClusterTopologyChanges, "Nodes removed from the ring.",
+		r.topologyDrops.Load, "op", "remove")
+}
+
+// registerNodeMetrics publishes one node's counter series; called once per
+// node name for the registry's lifetime (counters survive rejoin).
+func registerNodeMetrics(reg *metrics.Registry, addr string, ctr *nodeCounters) {
+	reg.CounterFunc(server.MetricClusterRouted, "Operations forwarded, by node and op.",
+		ctr.routedGet.Load, "node", addr, "op", "get")
+	reg.CounterFunc(server.MetricClusterRouted, "Operations forwarded, by node and op.",
+		ctr.routedSet.Load, "node", addr, "op", "set")
+	reg.CounterFunc(server.MetricClusterRouted, "Operations forwarded, by node and op.",
+		ctr.routedDelete.Load, "node", addr, "op", "delete")
+	reg.CounterFunc(server.MetricClusterForwardErrors, "Forwards that failed (reads miss, writes drop).",
+		ctr.forwardErrors.Load, "node", addr)
+	reg.CounterFunc(server.MetricClusterReplicaReads, "Hot-key reads served by a non-owner replica.",
+		ctr.replicaReads.Load, "node", addr)
+	reg.CounterFunc(server.MetricClusterReplicaWrites, "Hot-key writes fanned to a non-owner replica.",
+		ctr.replicaWrites.Load, "node", addr)
+}
+
+// NodeSnapshot is one node's counter snapshot for the /cluster page.
+type NodeSnapshot struct {
+	Addr          string `json:"addr"`
+	Live          bool   `json:"live"`
+	RoutedGet     int64  `json:"routed_get"`
+	RoutedSet     int64  `json:"routed_set"`
+	RoutedDelete  int64  `json:"routed_delete"`
+	ForwardErrors int64  `json:"forward_errors"`
+	ReplicaReads  int64  `json:"replica_reads"`
+	ReplicaWrites int64  `json:"replica_writes"`
+}
+
+// Snapshot captures the router's topology and counters. Nodes that were
+// removed keep reporting their historical counters with Live=false.
+func (r *Router) Snapshot() (nodes []NodeSnapshot, hotKeys int, promotions, demotions, adds, drops int64) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters))
+	for addr := range r.counters {
+		names = append(names, addr)
+	}
+	live := make(map[string]bool, len(r.nodes))
+	for addr := range r.nodes {
+		live[addr] = true
+	}
+	ctrs := make(map[string]*nodeCounters, len(r.counters))
+	for addr, c := range r.counters {
+		ctrs[addr] = c
+	}
+	r.mu.RUnlock()
+	sortStrings(names)
+	for _, addr := range names {
+		c := ctrs[addr]
+		nodes = append(nodes, NodeSnapshot{
+			Addr: addr, Live: live[addr],
+			RoutedGet: c.routedGet.Load(), RoutedSet: c.routedSet.Load(),
+			RoutedDelete: c.routedDelete.Load(), ForwardErrors: c.forwardErrors.Load(),
+			ReplicaReads: c.replicaReads.Load(), ReplicaWrites: c.replicaWrites.Load(),
+		})
+	}
+	return nodes, r.hot.Len(), r.hotPromotions.Load(), r.hotDemotions.Load(),
+		r.topologyAdds.Load(), r.topologyDrops.Load()
+}
+
+// Close shuts down every node pool.
+func (r *Router) Close() {
+	r.mu.Lock()
+	nodes := make([]*routerNode, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.nodes = make(map[string]*routerNode)
+	r.mu.Unlock()
+	for _, n := range nodes {
+		n.close()
+	}
+}
+
+// sortStrings is strconv-free sort.Strings (kept local so the import list
+// stays honest about what the hot path uses).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// The router is a drop-in store for the front server.
+var _ server.Store = (*Router)(nil)

@@ -54,6 +54,13 @@ const (
 	EvExpire
 	// EvDelete is an explicit client delete.
 	EvDelete
+	// EvHotReplicate is a cluster-tier event: a key's access frequency
+	// crossed the router's hot threshold and the key was replicated to its
+	// follower nodes (reads fan out, writes fan to all replicas).
+	EvHotReplicate
+	// EvHotDemote is the reverse edge: sketch aging decayed a hot key below
+	// threshold, so the router stops fanning its reads and writes.
+	EvHotDemote
 )
 
 // String returns the kind's wire name, used by /debug/events.
@@ -73,6 +80,10 @@ func (k EventKind) String() string {
 		return "expire"
 	case EvDelete:
 		return "delete"
+	case EvHotReplicate:
+		return "hot-replicate"
+	case EvHotDemote:
+		return "hot-demote"
 	}
 	return "none"
 }

@@ -219,6 +219,8 @@ func TestKindAndReasonStrings(t *testing.T) {
 		{EvEvict.String(), "evict"},
 		{EvExpire.String(), "expire"},
 		{EvDelete.String(), "delete"},
+		{EvHotReplicate.String(), "hot-replicate"},
+		{EvHotDemote.String(), "hot-demote"},
 		{EvNone.String(), "none"},
 		{ReasonProbationOverflow.String(), "probation-overflow"},
 		{ReasonMainClock.String(), "main-clock"},

@@ -248,46 +248,140 @@ func (c *Client) Close() error {
 func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
 	err = c.do(c.getAttempts(), func() error {
 		var e error
-		value, found, e = c.getOnce(key)
+		value, _, _, found, e = c.getOnce("get", key)
 		return e
 	})
 	return value, found, err
 }
 
-func (c *Client) getOnce(key []byte) ([]byte, bool, error) {
-	c.buf = append(c.buf[:0], "get "...)
+// GetWith fetches one key along with its stored flags and cas token (it
+// issues a gets). It exists for proxies: a router re-serving a backend's
+// object must carry the backend's metadata through unchanged.
+func (c *Client) GetWith(key []byte) (value []byte, flags uint32, cas uint64, found bool, err error) {
+	err = c.do(c.getAttempts(), func() error {
+		var e error
+		value, flags, cas, found, e = c.getOnce("gets", key)
+		return e
+	})
+	return value, flags, cas, found, err
+}
+
+func (c *Client) getOnce(verb string, key []byte) ([]byte, uint32, uint64, bool, error) {
+	c.buf = append(c.buf[:0], verb...)
+	c.buf = append(c.buf, ' ')
 	c.buf = append(c.buf, key...)
 	c.buf = append(c.buf, "\r\n"...)
 	if _, err := c.bw.Write(c.buf); err != nil {
-		return nil, false, err
+		return nil, 0, 0, false, err
 	}
 	if err := c.flush(); err != nil {
-		return nil, false, err
+		return nil, 0, 0, false, err
 	}
 	c.armRead()
-	var value []byte
+	var (
+		value []byte
+		flags uint32
+		cas   uint64
+	)
 	found := false
 	for {
 		line, err := c.readLine()
 		if err != nil {
-			return nil, false, err
+			return nil, 0, 0, false, err
 		}
 		switch {
 		case bytes.Equal(line, []byte("END")):
-			return value, found, nil
+			return value, flags, cas, found, nil
 		case bytes.HasPrefix(line, []byte("VALUE ")):
-			_, _, n, _, err := parseValueHeader(line)
+			_, f, n, cs, err := parseValueHeader(line)
 			if err != nil {
-				return nil, false, err
+				return nil, 0, 0, false, err
 			}
 			value = make([]byte, n+2)
 			if _, err := io.ReadFull(c.br, value); err != nil {
-				return nil, false, err
+				return nil, 0, 0, false, err
 			}
 			value = value[:n]
+			flags, cas = f, cs
 			found = true
 		default:
-			return nil, false, fmt.Errorf("server: unexpected get response %q", line)
+			return nil, 0, 0, false, fmt.Errorf("server: unexpected get response %q", line)
+		}
+	}
+}
+
+// MultiValue is one key's result in a GetMulti batch.
+type MultiValue struct {
+	// Value is the stored bytes, owned by the caller; nil on a miss.
+	Value []byte
+	Flags uint32
+	CAS   uint64
+	Found bool
+}
+
+// GetMulti fetches keys as pipelined multi-key gets (one request per
+// MaxKeysPerGet chunk), returning per-key results in request order. It is
+// the fan-out unit the cluster client batches per node: many keys, one
+// round trip. Retries follow the idempotent-get budget per chunk.
+func (c *Client) GetMulti(keys [][]byte) ([]MultiValue, error) {
+	out := make([]MultiValue, len(keys))
+	for start := 0; start < len(keys); start += MaxKeysPerGet {
+		end := min(start+MaxKeysPerGet, len(keys))
+		chunk, res := keys[start:end], out[start:end]
+		err := c.do(c.getAttempts(), func() error { return c.getMultiOnce(chunk, res) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (c *Client) getMultiOnce(keys [][]byte, out []MultiValue) error {
+	// A retried chunk starts over; clear anything a broken attempt filled.
+	for i := range out {
+		out[i] = MultiValue{}
+	}
+	c.buf = append(c.buf[:0], "gets"...)
+	for _, k := range keys {
+		c.buf = append(c.buf, ' ')
+		c.buf = append(c.buf, k...)
+	}
+	c.buf = append(c.buf, "\r\n"...)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return err
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	c.armRead()
+	idx := make(map[string]int, len(keys))
+	for i, k := range keys {
+		idx[string(k)] = i
+	}
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		switch {
+		case bytes.Equal(line, []byte("END")):
+			return nil
+		case bytes.HasPrefix(line, []byte("VALUE ")):
+			key, flags, n, cas, err := parseValueHeader(line)
+			if err != nil {
+				return err
+			}
+			value := make([]byte, n+2)
+			if _, err := io.ReadFull(c.br, value); err != nil {
+				return err
+			}
+			i, ok := idx[string(key)]
+			if !ok {
+				return fmt.Errorf("server: unrequested key %q in multi-get response", key)
+			}
+			out[i] = MultiValue{Value: value[:n], Flags: flags, CAS: cas, Found: true}
+		default:
+			return fmt.Errorf("server: unexpected get response %q", line)
 		}
 	}
 }

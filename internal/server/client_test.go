@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"net"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -303,5 +304,81 @@ func TestClientMutateReplaysOnce(t *testing.T) {
 	c2 := &Client{cfg: DialConfig{}.withDefaults()}
 	if got := c2.mutateAttempts(); got != 1 {
 		t.Fatalf("mutateAttempts with retries disabled = %d, want 1", got)
+	}
+}
+
+// GetMulti returns per-key results in request order, spanning chunk
+// boundaries (requests are split at MaxKeysPerGet), and GetWith carries the
+// backend's flags and cas through — the router's forwarding contract.
+func TestClientGetMultiAndGetWith(t *testing.T) {
+	_, addr := startServer(t, nil)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// More keys than one multi-get chunk, with a hole at every 7th key.
+	n := MaxKeysPerGet*2 + 11
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte("mk" + strconv.Itoa(i))
+		if i%7 == 0 {
+			continue // never stored: must come back as a miss
+		}
+		if err := c.Set(keys[i], uint32(i), []byte("v"+strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.GetMulti(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("GetMulti returned %d results, want %d", len(got), n)
+	}
+	for i, mv := range got {
+		if i%7 == 0 {
+			if mv.Found {
+				t.Fatalf("key %d: unexpected hit", i)
+			}
+			continue
+		}
+		if !mv.Found {
+			t.Fatalf("key %d: miss", i)
+		}
+		if want := "v" + strconv.Itoa(i); string(mv.Value) != want {
+			t.Fatalf("key %d: value %q, want %q", i, mv.Value, want)
+		}
+		if mv.Flags != uint32(i) {
+			t.Fatalf("key %d: flags %d, want %d", i, mv.Flags, i)
+		}
+		if mv.CAS == 0 {
+			t.Fatalf("key %d: zero cas from gets", i)
+		}
+	}
+
+	v, flags, cas, found, err := c.GetWith(keys[1])
+	if err != nil || !found {
+		t.Fatalf("GetWith: found=%v err=%v", found, err)
+	}
+	if string(v) != "v1" || flags != 1 || cas == 0 {
+		t.Fatalf("GetWith = (%q, %d, %d)", v, flags, cas)
+	}
+	if _, _, _, found, err := c.GetWith([]byte("absent")); err != nil || found {
+		t.Fatalf("GetWith(absent): found=%v err=%v", found, err)
+	}
+}
+
+func TestClientGetMultiEmpty(t *testing.T) {
+	_, addr := startServer(t, nil)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.GetMulti(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("GetMulti(nil) = %v, %v", got, err)
 	}
 }

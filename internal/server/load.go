@@ -48,6 +48,27 @@ type LoadConfig struct {
 	// of aborting, so a server restart mid-sweep costs accuracy, not the
 	// run. Nil keeps the strict fail-fast behavior of plain Dial.
 	Dial *DialConfig
+	// DialFunc, if set, supplies each connection's client directly and
+	// takes precedence over Addr/Dial. It is the multi-endpoint seam:
+	// cacheload's -servers flag hands RunLoad cluster-aware clients that
+	// route each key through a consistent-hash ring, while the closed loop
+	// here stays identical.
+	DialFunc func(connID int) (LoadConn, error)
+	// Resilient forces count-and-skip error handling for DialFunc clients
+	// (with plain Dial it is implied by MaxRetries > 0).
+	Resilient bool
+}
+
+// LoadConn is the per-connection client surface RunLoad drives. *Client
+// implements it; so does the cluster-aware client in internal/cluster,
+// which is how one closed loop spreads across a ring of servers.
+type LoadConn interface {
+	Get(key []byte) (value []byte, found bool, err error)
+	Set(key []byte, flags uint32, value []byte) error
+	// Retries and Reconnects surface self-healing work for the run tally.
+	Retries() int64
+	Reconnects() int64
+	Close() error
 }
 
 // loadMetrics are the client-side instruments, shared by all connections.
@@ -227,11 +248,15 @@ type connResult struct {
 // retry storms don't pollute the distribution with timeout ceilings.
 func driveConn(cfg LoadConfig, connID int, keys []uint64, rec *stats.LatencyRecorder, lm *loadMetrics) (res connResult) {
 	var (
-		c   *Client
+		c   LoadConn
 		err error
 	)
 	resilient := false
-	if cfg.Dial != nil {
+	switch {
+	case cfg.DialFunc != nil:
+		resilient = cfg.Resilient
+		c, err = cfg.DialFunc(connID)
+	case cfg.Dial != nil:
 		dc := *cfg.Dial
 		dc.Addr = cfg.Addr
 		if dc.Seed == 0 {
@@ -239,7 +264,7 @@ func driveConn(cfg LoadConfig, connID int, keys []uint64, rec *stats.LatencyReco
 		}
 		resilient = dc.MaxRetries > 0
 		c, err = DialWithConfig(dc)
-	} else {
+	default:
 		c, err = Dial(cfg.Addr)
 	}
 	if err != nil {

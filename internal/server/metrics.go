@@ -66,6 +66,20 @@ const (
 	MetricClientErrors     = "cache_client_errors_total"
 	MetricClientRetries    = "cache_client_retries_total"
 	MetricClientReconnects = "cache_client_reconnects_total"
+
+	// Cluster-tier families, reported by the router store
+	// (internal/cluster) when cacheserver runs in -route mode. Per-node
+	// families carry a node label (series appear as nodes join and persist
+	// across a remove/rejoin, Prometheus-style).
+	MetricClusterRouted          = "cache_cluster_routed_total"           // labels: node, op
+	MetricClusterForwardErrors   = "cache_cluster_forward_errors_total"   // labels: node
+	MetricClusterReplicaReads    = "cache_cluster_replica_reads_total"    // labels: node
+	MetricClusterReplicaWrites   = "cache_cluster_replica_writes_total"   // labels: node
+	MetricClusterNodes           = "cache_cluster_nodes"                  // gauge
+	MetricClusterHotKeys         = "cache_cluster_hot_keys"               // gauge
+	MetricClusterHotPromotions   = "cache_cluster_hot_promotions_total"   //
+	MetricClusterHotDemotions    = "cache_cluster_hot_demotions_total"    //
+	MetricClusterTopologyChanges = "cache_cluster_topology_changes_total" // labels: op
 )
 
 // opNames maps Op to its cmd label value.

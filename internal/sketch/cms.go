@@ -21,6 +21,7 @@ type CountMin struct {
 	table   [][]uint8 // 4-bit counters packed two per byte
 	adds    uint64
 	resetAt uint64
+	gen     uint64
 }
 
 // maxCount is the 4-bit counter ceiling (TinyLFU uses 4-bit counters; an
@@ -116,10 +117,16 @@ func (c *CountMin) age() {
 		}
 	}
 	c.adds /= 2
+	c.gen++
 }
 
 // Additions reports the adds since the last full reset (for tests).
 func (c *CountMin) Additions() uint64 { return c.adds }
+
+// Generation counts aging resets. A caller caching decisions derived from
+// estimates (a hot-key set, an admission threshold) compares generations to
+// learn that counters halved underneath it and its cache must revalidate.
+func (c *CountMin) Generation() uint64 { return c.gen }
 
 // String describes the sketch configuration.
 func (c *CountMin) String() string {

@@ -1,0 +1,124 @@
+package sketch
+
+import "sync"
+
+// HotKeys is the threshold API over the count-min sketch: it classifies
+// keys as hot once their estimated frequency reaches a threshold, and
+// tracks the current hot set so a consumer (the cluster router's hot-key
+// replicator) gets edge-triggered promote/demote signals rather than
+// re-deriving the set from raw estimates.
+//
+// Hotness decays with the sketch: when the CMS ages (halves its counters),
+// the hot set is revalidated and keys that fell below threshold are queued
+// as demotions. Because the CMS only overestimates, a key reported hot has
+// truly been seen at least threshold·(1/overestimate) times — the
+// overestimate-bound property tests pin how tight that is.
+//
+// HotKeys is safe for concurrent use; all methods take one internal mutex
+// (the sketch itself is not concurrency-safe).
+type HotKeys struct {
+	mu        sync.Mutex
+	cms       *CountMin
+	threshold uint8
+	gen       uint64
+	hot       map[uint64]struct{}
+	demoted   []uint64
+}
+
+// NewHotKeys returns a tracker sized for roughly n distinct keys that
+// classifies a key as hot once its CMS estimate reaches threshold.
+// threshold is clamped to [2, 15] (1 would make every key hot on first
+// touch; 15 is the 4-bit counter ceiling).
+func NewHotKeys(n, threshold int) *HotKeys {
+	if threshold < 2 {
+		threshold = 2
+	}
+	if threshold > maxCount {
+		threshold = maxCount
+	}
+	return &HotKeys{
+		cms:       NewCountMin(n),
+		threshold: uint8(threshold),
+		hot:       make(map[uint64]struct{}),
+	}
+}
+
+// Threshold reports the configured hot threshold.
+func (h *HotKeys) Threshold() int { return int(h.threshold) }
+
+// Touch records one access to key. hot reports whether the key is at or
+// above threshold after this access; promoted is true exactly once per
+// hot episode — the edge on which a consumer replicates the key.
+func (h *HotKeys) Touch(key uint64) (hot, promoted bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cms.Add(key)
+	if g := h.cms.Generation(); g != h.gen {
+		h.gen = g
+		h.revalidate()
+	}
+	if h.cms.Estimate(key) < h.threshold {
+		return false, false
+	}
+	if _, ok := h.hot[key]; !ok {
+		h.hot[key] = struct{}{}
+		promoted = true
+	}
+	return true, promoted
+}
+
+// IsHot reports whether key is currently in the hot set. It does not count
+// as an access.
+func (h *HotKeys) IsHot(key uint64) bool {
+	h.mu.Lock()
+	_, ok := h.hot[key]
+	h.mu.Unlock()
+	return ok
+}
+
+// Len reports the current hot-set size.
+func (h *HotKeys) Len() int {
+	h.mu.Lock()
+	n := len(h.hot)
+	h.mu.Unlock()
+	return n
+}
+
+// Demoted drains and returns the keys that fell out of the hot set since
+// the last call (aging decayed their counts below threshold). Order is
+// unspecified.
+func (h *HotKeys) Demoted() []uint64 {
+	h.mu.Lock()
+	d := h.demoted
+	h.demoted = nil
+	h.mu.Unlock()
+	return d
+}
+
+// Snapshot returns up to max current hot keys (all of them when max <= 0).
+func (h *HotKeys) Snapshot(max int) []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if max <= 0 || max > len(h.hot) {
+		max = len(h.hot)
+	}
+	out := make([]uint64, 0, max)
+	for k := range h.hot {
+		if len(out) == max {
+			break
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// revalidate re-checks every hot key against the aged sketch, queueing the
+// ones that dropped below threshold as demotions. Called with mu held.
+func (h *HotKeys) revalidate() {
+	for k := range h.hot {
+		if h.cms.Estimate(k) < h.threshold {
+			delete(h.hot, k)
+			h.demoted = append(h.demoted, k)
+		}
+	}
+}

@@ -137,3 +137,149 @@ func TestBloomFalsePositiveRate(t *testing.T) {
 		t.Fatalf("false positive rate %.4f too high", rate)
 	}
 }
+
+// Count-min property: the overestimate is bounded. For a sketch sized for
+// the workload, estimate − truth stays within a few counts for essentially
+// every key — the guarantee the cluster hot-key detector leans on (a key
+// reported hot really was touched close to threshold times).
+func TestCountMinOverestimateBound(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCountMin(4096)
+		truth := map[uint64]int{}
+		// Zipf-ish skew: a few hot keys, a long tail, under the aging
+		// threshold so no counters halve mid-test.
+		for i := 0; i < 4000; i++ {
+			var k uint64
+			if rng.Intn(4) == 0 {
+				k = uint64(rng.Intn(8)) // hot cluster
+			} else {
+				k = 100 + uint64(rng.Intn(2000))
+			}
+			if truth[k] < maxCount {
+				truth[k]++
+				c.Add(k)
+			}
+		}
+		over3 := 0
+		for k, n := range truth {
+			est := int(c.Estimate(k))
+			if est < n {
+				return false // count-min must never underestimate
+			}
+			if est > n+3 {
+				over3++
+			}
+		}
+		// At 4096 counters per row × 4 rows for ~2000 distinct keys, big
+		// overestimates must be rare.
+		return float64(over3)/float64(len(truth)) < 0.02
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Bloom property: the false-positive rate stays near design (~1% at 10
+// bits/key, 4 hashes) across random key sets, not just one fixed layout.
+func TestBloomFalsePositiveRateProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 4096
+		b := NewBloom(n)
+		inserted := make(map[uint64]bool, n)
+		for len(inserted) < n {
+			k := rng.Uint64() >> 1 // top-bit clear: probes use the top-bit-set space
+			if !inserted[k] {
+				inserted[k] = true
+				b.Add(k)
+			}
+		}
+		fp := 0
+		const probes = 10000
+		for i := 0; i < probes; i++ {
+			k := rng.Uint64() | 1<<63
+			if b.Contains(k) {
+				fp++
+			}
+		}
+		return float64(fp)/probes <= 0.03
+	}, &quick.Config{MaxCount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotKeysPromotion(t *testing.T) {
+	h := NewHotKeys(1024, 4)
+	if h.Threshold() != 4 {
+		t.Fatalf("threshold = %d", h.Threshold())
+	}
+	var promotions int
+	for i := 0; i < 10; i++ {
+		hot, promoted := h.Touch(42)
+		if promoted {
+			promotions++
+			if !hot {
+				t.Fatal("promoted but not hot")
+			}
+		}
+		if hot != (i >= 3) {
+			t.Fatalf("touch %d: hot = %v", i+1, hot)
+		}
+	}
+	if promotions != 1 {
+		t.Fatalf("promotions = %d, want exactly 1 per hot episode", promotions)
+	}
+	if !h.IsHot(42) || h.IsHot(43) {
+		t.Fatal("IsHot disagrees with touches")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if got := h.Snapshot(0); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Snapshot = %v", got)
+	}
+}
+
+// Aging decays hotness: once the CMS halves its counters, keys whose
+// counts fall below threshold leave the hot set and surface via Demoted.
+func TestHotKeysAgingDemotes(t *testing.T) {
+	h := NewHotKeys(16, 8) // CMS resetAt = 160 adds
+	for i := 0; i < 8; i++ {
+		h.Touch(7)
+	}
+	if !h.IsHot(7) {
+		t.Fatal("key did not become hot")
+	}
+	// Cold traffic until aging trips (twice, to halve 8 below threshold
+	// even if the first halving lands at exactly 4+).
+	for i := 0; i < 400; i++ {
+		h.Touch(uint64(1000 + i%100))
+	}
+	if h.IsHot(7) {
+		t.Fatal("aging never demoted the idle hot key")
+	}
+	demoted := h.Demoted()
+	found := false
+	for _, k := range demoted {
+		if k == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Demoted() = %v, want to include 7", demoted)
+	}
+	if again := h.Demoted(); len(again) != 0 {
+		t.Fatalf("Demoted did not drain: %v", again)
+	}
+}
+
+func TestHotKeysThresholdClamp(t *testing.T) {
+	if got := NewHotKeys(16, 0).Threshold(); got != 2 {
+		t.Fatalf("clamped low threshold = %d, want 2", got)
+	}
+	if got := NewHotKeys(16, 99).Threshold(); got != maxCount {
+		t.Fatalf("clamped high threshold = %d, want %d", got, maxCount)
+	}
+}

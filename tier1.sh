@@ -16,10 +16,11 @@ echo '== go build ./...'
 go build ./...
 echo '== go test ./...'
 go test ./...
-echo '== go test -race (concurrent + server + obs + chaos)'
-go test -race ./internal/concurrent/... ./internal/server/... ./internal/obs/... ./internal/chaos/...
-echo '== alloc guard (tracing disabled = 0 allocs, sampling on <= 1)'
+echo '== go test -race (concurrent + server + obs + chaos + cluster)'
+go test -race ./internal/concurrent/... ./internal/server/... ./internal/obs/... ./internal/chaos/... ./internal/cluster/...
+echo '== alloc guard (tracing disabled = 0 allocs, sampling on <= 1, ring lookup = 0)'
 go test -run 'TestServerGetHitPathZeroAllocsWithRecorder|TestServerGetHitPathAllocsWithSampling' ./internal/server/
+go test -run 'TestRingLookupZeroAllocs' ./internal/cluster/
 echo '== bench smoke (one iteration per benchmark)'
 go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
 echo '== throughput sweep smoke (one point)'
@@ -62,4 +63,40 @@ curl -fsS http://127.0.0.1:21312/metrics > "$tmpdir/metrics.txt"
 grep -q '^cache_server_panics_total 0$' "$tmpdir/metrics.txt" \
     || { echo "cache_server_panics_total != 0 after chaos soak" >&2; exit 1; }
 kill "$srv_pid"
+echo '== cluster smoke (3 nodes + router, healthz everywhere, routed counters move)'
+node_pids=""
+for n in 1 2 3; do
+    "$tmpdir/cacheserver" -addr 127.0.0.1:$((21320 + n)) -admin-addr 127.0.0.1:$((21330 + n)) \
+        -capacity 16384 -shards 8 -log-level warn > "$tmpdir/node$n.log" 2>&1 &
+    node_pids="$node_pids $!"
+done
+"$tmpdir/cacheserver" -addr 127.0.0.1:21320 -admin-addr 127.0.0.1:21330 \
+    -route 127.0.0.1:21321,127.0.0.1:21322,127.0.0.1:21323 \
+    -replicas 2 -hot-threshold 4 -log-level warn > "$tmpdir/router.log" 2>&1 &
+node_pids="$node_pids $!"
+trap 'kill $srv_pid $node_pids 2>/dev/null; rm -rf "$tmpdir"' EXIT
+for p in 21330 21331 21332 21333; do
+    i=0
+    until curl -fsS "http://127.0.0.1:$p/healthz" > /dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "cluster node admin :$p did not become healthy" >&2
+            cat "$tmpdir"/node*.log "$tmpdir/router.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+done
+"$tmpdir/cacheload" -addr 127.0.0.1:21320 -conns 2 -ops 20000 -keyspace 4096 > /dev/null
+curl -fsS http://127.0.0.1:21330/cluster > "$tmpdir/cluster.txt"
+grep -q 'routed_get=[1-9]' "$tmpdir/cluster.txt" \
+    || { echo "/cluster shows no routed gets after load" >&2; cat "$tmpdir/cluster.txt" >&2; exit 1; }
+grep -Eq 'cluster nodes=3' "$tmpdir/cluster.txt" \
+    || { echo "/cluster does not report 3 nodes" >&2; cat "$tmpdir/cluster.txt" >&2; exit 1; }
+"$tmpdir/cacheload" -servers 127.0.0.1:21321,127.0.0.1:21322,127.0.0.1:21323 \
+    -conns 2 -ops 10000 -keyspace 4096 > /dev/null
+for p in 21330 21331 21332 21333; do
+    curl -fsS "http://127.0.0.1:$p/healthz" > /dev/null \
+        || { echo "node admin :$p unhealthy after cluster load" >&2; exit 1; }
+done
 echo 'tier1: all green'
