@@ -227,18 +227,22 @@ func BenchmarkSizeAware(b *testing.B) {
 	}
 	const capacity = 6000 * 4096 / 10
 	for _, tc := range []struct {
-		name string
-		mk   func() sizeaware.Policy
+		name   string
+		policy string
 	}{
-		{"size-lru", func() sizeaware.Policy { return sizeaware.NewLRU(capacity) }},
-		{"gdsf", func() sizeaware.Policy { return sizeaware.NewGDSF(capacity) }},
-		{"size-qd-lp-fifo", func() sizeaware.Policy { return sizeaware.NewQDLP(capacity) }},
+		{"size-lru", "lru"},
+		{"gdsf", "gdsf"},
+		{"size-qd-lp-fifo", "qdlp"},
 	} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
 			var last float64
 			for i := 0; i < b.N; i++ {
-				last = sizeaware.Run(tc.mk(), mkTrace()).ByteMissRatio()
+				p, err := sizeaware.New(tc.policy, capacity)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = sizeaware.Run(p, mkTrace()).ByteMissRatio()
 			}
 			b.ReportMetric(last, "byte-missratio")
 		})

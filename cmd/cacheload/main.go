@@ -37,22 +37,23 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:11211", "cache server address")
-		servers  = flag.String("servers", "", "comma-separated cluster endpoints (host:port,...): each connection routes keys across the ring instead of hitting -addr")
-		conns    = flag.Int("conns", 4, "concurrent client connections")
-		ops      = flag.Int("ops", 1<<20, "total get operations across all connections")
-		keySpace = flag.Int("keyspace", 1<<17, "distinct keys in the load")
-		seed     = flag.Int64("seed", 1, "load generator seed")
-		family   = flag.String("family", "", "workload family name (empty = Zipf)")
-		valueLen = flag.Int("valuesize", 64, "value payload bytes")
-		metricsF = flag.String("metrics", "", `write client-side Prometheus exposition here after the run ("-" = stdout); families match the server's, labeled side="client"`)
-		jsonOut  = flag.String("json", "", `write the run as a bench JSON artifact here ("-" = stdout); same shape as BENCH_throughput.json, with wire latency percentiles`)
-		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
-		logFmt   = flag.String("log-format", "text", "log encoding: text|json")
+		addr      = flag.String("addr", "localhost:11211", "cache server address")
+		servers   = flag.String("servers", "", "comma-separated cluster endpoints (host:port,...): each connection routes keys across the ring instead of hitting -addr")
+		conns     = flag.Int("conns", 4, "concurrent client connections")
+		ops       = flag.Int("ops", 1<<20, "total get operations across all connections")
+		keySpace  = flag.Int("keyspace", 1<<17, "distinct keys in the load")
+		seed      = flag.Int64("seed", 1, "load generator seed")
+		family    = flag.String("family", "", "workload family name (empty = Zipf)")
+		valueLenF = flag.String("valuesize", "64", "value payload size, human-readable (64, 4kib, 1mib)")
+		metricsF  = flag.String("metrics", "", `write client-side Prometheus exposition here after the run ("-" = stdout); families match the server's, labeled side="client"`)
+		jsonOut   = flag.String("json", "", `write the run as a bench JSON artifact here ("-" = stdout); same shape as BENCH_throughput.json, with wire latency percentiles`)
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFmt    = flag.String("log-format", "text", "log encoding: text|json")
 
 		retries     = flag.Int("retries", 0, "per-op transport-failure retry budget (0 = fail fast); sets are replayed at most once")
 		opTimeout   = flag.Duration("op-timeout", 0, "per-operation read/write deadline (0 = none)")
@@ -71,6 +72,15 @@ func main() {
 		lg.Error(msg, "err", err)
 		os.Exit(1)
 	}
+
+	valueBytes, err := units.ParseBytes(*valueLenF)
+	if err != nil {
+		fatal("bad -valuesize", err)
+	}
+	if valueBytes <= 0 || valueBytes > int64(server.DefaultMaxValueLen) {
+		fatal("bad -valuesize", fmt.Errorf("value size %d outside (0, %d]", valueBytes, server.DefaultMaxValueLen))
+	}
+	valueLen := int(valueBytes)
 
 	// -chaos interposes the fault proxy between the clients and the server.
 	// A chaos run without a retry budget or op deadline would just measure
@@ -138,7 +148,7 @@ func main() {
 		KeySpace: *keySpace,
 		Seed:     *seed,
 		Family:   *family,
-		ValueLen: *valueLen,
+		ValueLen: valueLen,
 		Metrics:  reg,
 		Dial:     dial,
 		DialFunc: dialFunc,
@@ -152,7 +162,7 @@ func main() {
 		workloadName = "zipf"
 	}
 	fmt.Printf("workload=%s conns=%d keyspace=%d valuesize=%d\n",
-		workloadName, *conns, *keySpace, *valueLen)
+		workloadName, *conns, *keySpace, valueLen)
 	tb := stats.NewTable("metric", "value")
 	tb.AddRow("ops", res.Ops)
 	tb.AddRow("elapsed", res.Elapsed.Round(time.Millisecond).String())
@@ -194,7 +204,7 @@ func main() {
 			GoVersion:  runtime.Version(),
 			NumCPU:     runtime.NumCPU(),
 			KeySpace:   *keySpace,
-			ValueLen:   *valueLen,
+			ValueLen:   valueLen,
 			Regenerate: fmt.Sprintf("go run ./cmd/cacheload -addr %s -conns %d -ops %d -json <path>", *addr, *conns, *ops),
 			Entries: []stats.BenchEntry{{
 				Cache:       cacheName,

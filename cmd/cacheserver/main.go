@@ -4,8 +4,8 @@
 // argument as a runnable system. The eviction policy is selectable, so the
 // LRU-vs-lazy-promotion comparison carries over to served traffic:
 //
-//	cacheserver -addr :11211 -cache qdlp -capacity 1048576 -shards 64
-//	cacheserver -cache lru -admin-addr :8080
+//	cacheserver -addr :11211 -cache qdlp -max-bytes 512mib -shards 64
+//	cacheserver -cache lru -max-entries 1048576 -admin-addr :8080
 //
 // The admin listener serves Prometheus metrics at /metrics (per-command
 // request counters and latency histograms, per-policy hit/miss/eviction
@@ -39,13 +39,16 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/units"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":11211", "TCP listen address")
 		cache       = flag.String("cache", "qdlp", "eviction policy: "+strings.Join(concurrent.Names(), "|"))
-		capacity    = flag.Int("capacity", 1<<20, "cache capacity in objects")
+		maxBytesF   = flag.String("max-bytes", "", "cache capacity in bytes, human-readable (512mib, 4gib); mutually exclusive with -max-entries")
+		maxEntries  = flag.Int("max-entries", 0, "cache capacity in objects; mutually exclusive with -max-bytes")
+		capacity    = flag.Int("capacity", 1<<20, "deprecated alias for -max-entries")
 		shards      = flag.Int("shards", 64, "shard count (rounded up to a power of two)")
 		clockBits   = flag.Int("clock-bits", 0, "CLOCK counter bits for clock/qdlp (0 = policy default)")
 		maxConns    = flag.Int("max-conns", 1024, "max concurrent client connections")
@@ -115,7 +118,37 @@ func main() {
 			rec = obs.NewRecorder(*shards, *events/max(*shards, 1))
 			opts = append(opts, concurrent.WithRecorder(rec))
 		}
-		inner, err := concurrent.New(*cache, *capacity, opts...)
+		// Capacity flag resolution: -max-bytes and -max-entries are the
+		// surface; -capacity survives as a deprecated entry-count alias.
+		capacitySet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "capacity" {
+				capacitySet = true
+			}
+		})
+		capacityArg := 0
+		switch {
+		case *maxBytesF != "":
+			if capacitySet || *maxEntries != 0 {
+				fatal("flag conflict", fmt.Errorf("-max-bytes is mutually exclusive with -max-entries and -capacity"))
+			}
+			n, err := units.ParseBytes(*maxBytesF)
+			if err != nil {
+				fatal("bad -max-bytes", err)
+			}
+			opts = append(opts, concurrent.WithMaxBytes(n))
+		case *maxEntries != 0:
+			if capacitySet {
+				fatal("flag conflict", fmt.Errorf("-max-entries is mutually exclusive with -capacity (drop the deprecated flag)"))
+			}
+			opts = append(opts, concurrent.WithMaxEntries(*maxEntries))
+		default:
+			if capacitySet {
+				lg.Warn("flag -capacity is deprecated; use -max-entries (or -max-bytes for a byte budget)")
+			}
+			capacityArg = *capacity
+		}
+		inner, err := concurrent.New(*cache, capacityArg, opts...)
 		if err != nil {
 			fatal("cache construction failed", err)
 		}
@@ -123,6 +156,10 @@ func main() {
 		if rec != nil {
 			kv.SetRecorder(rec)
 		}
+		// The timer wheel ticks at 1s granularity; a matching ticker keeps
+		// proactive expiry within two ticks of every deadline.
+		stopExpiry := kv.StartExpiry(time.Second)
+		defer stopExpiry()
 		store = kv
 	}
 	slow := *slowReq
@@ -170,10 +207,18 @@ func main() {
 			"nodes", *route, "replicas", *replicas, "hot_threshold", *hotThresh, "vnodes", *vnodes,
 			slog.Group("obs", "events", *events, "trace_sample", *traceSample, "slow_request", slow.String()))
 	} else {
-		lg.Info("starting",
-			"cache", store.Name(), "addr", *addr,
-			"capacity", store.Capacity(), "shards", *shards,
-			slog.Group("obs", "events", *events, "trace_sample", *traceSample, "slow_request", slow.String()))
+		snap := store.Stats()
+		if snap.MaxBytes > 0 {
+			lg.Info("starting",
+				"cache", store.Name(), "addr", *addr,
+				"max_bytes", units.FormatBytes(snap.MaxBytes), "shards", *shards,
+				slog.Group("obs", "events", *events, "trace_sample", *traceSample, "slow_request", slow.String()))
+		} else {
+			lg.Info("starting",
+				"cache", store.Name(), "addr", *addr,
+				"capacity", store.Capacity(), "shards", *shards,
+				slog.Group("obs", "events", *events, "trace_sample", *traceSample, "slow_request", slow.String()))
+		}
 	}
 
 	select {

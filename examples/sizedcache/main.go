@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/sizeaware"
 	"repro/internal/stats"
@@ -44,14 +45,11 @@ func main() {
 		len(probe.Requests), len(seen), float64(footprint)/(1<<20), float64(capacity)/(1<<20))
 
 	tb := stats.NewTable("policy", "object miss ratio", "byte miss ratio")
-	for _, mk := range []func() sizeaware.Policy{
-		func() sizeaware.Policy { return sizeaware.NewFIFO(capacity) },
-		func() sizeaware.Policy { return sizeaware.NewLRU(capacity) },
-		func() sizeaware.Policy { return sizeaware.NewClock(capacity, 2) },
-		func() sizeaware.Policy { return sizeaware.NewGDSF(capacity) },
-		func() sizeaware.Policy { return sizeaware.NewQDLP(capacity) },
-	} {
-		p := mk()
+	for _, name := range []string{"fifo", "lru", "clock", "gdsf", "qdlp"} {
+		p, err := sizeaware.New(name, capacity)
+		if err != nil {
+			log.Fatalf("sizeaware.New(%q): %v", name, err)
+		}
 		res := sizeaware.Run(p, mkTrace())
 		tb.AddRow(res.Policy, res.MissRatio(), res.ByteMissRatio())
 	}

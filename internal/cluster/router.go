@@ -130,12 +130,18 @@ type Router struct {
 
 	rr atomic.Uint64 // replica-read round-robin cursor
 
-	hits, misses, sets, deletes   atomic.Int64
-	hotPromotions, hotDemotions   atomic.Int64
-	topologyAdds, topologyDrops   atomic.Int64
-	statsMu                       sync.Mutex
-	statsAt                       time.Time
-	statItems, statBytes, statCap int64
+	hits, misses, sets, deletes atomic.Int64
+	hotPromotions, hotDemotions atomic.Int64
+	topologyAdds, topologyDrops atomic.Int64
+	statsMu                     sync.Mutex
+	statsAt                     time.Time
+	statCache                   fleetStats
+}
+
+// fleetStats is the briefly-cached fleet-aggregate occupancy poll.
+type fleetStats struct {
+	items, bytes, capacity       int64
+	usedBytes, maxBytes, expired int64
 }
 
 // NewRouter validates cfg and connects the ring. Backends are dialed
@@ -289,8 +295,12 @@ func (r *Router) fetch(addr string, key []byte) (value []byte, flags uint32, cas
 	return value, flags, cas, found, nil
 }
 
-// send forwards one set to addr through its pool.
-func (r *Router) send(addr string, key, value []byte, flags uint32) error {
+// send forwards one set to addr through its pool. expireAt is the absolute
+// unix-seconds deadline (0 = never), forwarded on the wire as an absolute
+// exptime — always above memcached's 30-day relative threshold, so the
+// backend reads it back as absolute and every node agrees on the deadline
+// regardless of clock-skew-free forwarding latency.
+func (r *Router) send(addr string, key, value []byte, flags uint32, expireAt int64) error {
 	n := r.node(addr)
 	if n == nil {
 		return errNodeGone
@@ -301,7 +311,7 @@ func (r *Router) send(addr string, key, value []byte, flags uint32) error {
 		return err
 	}
 	n.ctr.routedSet.Add(1)
-	if err := c.Set(key, flags, value); err != nil {
+	if err := c.SetExp(key, flags, expireAt, value); err != nil {
 		n.ctr.forwardErrors.Add(1)
 		c.Close()
 		return err
@@ -337,7 +347,10 @@ func (r *Router) readTarget(id uint64, hot bool, scratch []string) (addr, primar
 }
 
 // replicate copies a freshly promoted hot key's value to every replica
-// owner except src (best effort; failures are per-node counted).
+// owner except src (best effort; failures are per-node counted). The wire
+// get that produced the value does not carry its TTL, so replicas store
+// the copy without one; the next write refreshes the whole replica set
+// with the client's deadline, and deletes fan everywhere regardless.
 func (r *Router) replicate(key, value []byte, flags uint32, id uint64, src string) {
 	var ob [8]string
 	owners := r.ring.LookupN(id, r.cfg.Replicas, ob[:0])
@@ -345,7 +358,7 @@ func (r *Router) replicate(key, value []byte, flags uint32, id uint64, src strin
 		if addr == src {
 			continue
 		}
-		if err := r.send(addr, key, value, flags); err == nil {
+		if err := r.send(addr, key, value, flags, 0); err == nil {
 			if n := r.node(addr); n != nil {
 				n.ctr.replicaWrites.Add(1)
 			}
@@ -477,14 +490,14 @@ func (r *Router) GetMulti(dst []byte, keys [][]byte, ids []uint64, out []concurr
 // whole replica set so replicas never serve stale values longer than one
 // write cycle. The returned cas is 0: the authoritative token lives on the
 // backend and is re-served on gets.
-func (r *Router) SetDigest(key, value []byte, flags uint32, id uint64) uint64 {
+func (r *Router) SetDigest(key, value []byte, flags uint32, id uint64, expireAt int64) uint64 {
 	hot, _ := r.touch(id)
 	r.sets.Add(1)
 	var ob [8]string
 	if hot && r.cfg.Replicas > 1 {
 		owners := r.ring.LookupN(id, r.cfg.Replicas, ob[:0])
 		for i, addr := range owners {
-			if err := r.send(addr, key, value, flags); err == nil && i > 0 {
+			if err := r.send(addr, key, value, flags, expireAt); err == nil && i > 0 {
 				if n := r.node(addr); n != nil {
 					n.ctr.replicaWrites.Add(1)
 				}
@@ -493,7 +506,7 @@ func (r *Router) SetDigest(key, value []byte, flags uint32, id uint64) uint64 {
 		return 0
 	}
 	if addr := r.ring.Lookup(id); addr != "" {
-		r.send(addr, key, value, flags)
+		r.send(addr, key, value, flags, expireAt)
 	}
 	return 0
 }
@@ -544,16 +557,20 @@ func (r *Router) ExpireDigest(key []byte, id uint64) bool {
 }
 
 // Stats reports the router's own operation counters (hits and misses as
-// served through the ring, not the backends' internal tallies).
+// served through the ring, not the backends' internal tallies) plus the
+// fleet-aggregate byte accounting and proactive-expiry totals.
 func (r *Router) Stats() concurrent.Snapshot {
-	items, _, capacity := r.aggregate()
+	fs := r.aggregate()
 	return concurrent.Snapshot{
-		Hits:     r.hits.Load(),
-		Misses:   r.misses.Load(),
-		Sets:     r.sets.Load(),
-		Deletes:  r.deletes.Load(),
-		Len:      int(items),
-		Capacity: int(capacity),
+		Hits:      r.hits.Load(),
+		Misses:    r.misses.Load(),
+		Sets:      r.sets.Load(),
+		Deletes:   r.deletes.Load(),
+		Expired:   fs.expired,
+		Len:       int(fs.items),
+		Capacity:  int(fs.capacity),
+		UsedBytes: fs.usedBytes,
+		MaxBytes:  fs.maxBytes,
 	}
 }
 
@@ -563,11 +580,11 @@ func (r *Router) ShardStats() []concurrent.Snapshot { return nil }
 
 // aggregate sums occupancy across backends via their stats command, cached
 // briefly so a scrape of several gauges costs one fleet poll.
-func (r *Router) aggregate() (items, bytes, capacity int64) {
+func (r *Router) aggregate() fleetStats {
 	r.statsMu.Lock()
 	defer r.statsMu.Unlock()
 	if time.Since(r.statsAt) < 2*time.Second {
-		return r.statItems, r.statBytes, r.statCap
+		return r.statCache
 	}
 	r.mu.RLock()
 	nodes := make([]*routerNode, 0, len(r.nodes))
@@ -575,7 +592,7 @@ func (r *Router) aggregate() (items, bytes, capacity int64) {
 		nodes = append(nodes, n)
 	}
 	r.mu.RUnlock()
-	items, bytes, capacity = 0, 0, 0
+	var fs fleetStats
 	for _, n := range nodes {
 		c, err := n.get()
 		if err != nil {
@@ -592,25 +609,32 @@ func (r *Router) aggregate() (items, bytes, capacity int64) {
 		for _, f := range []struct {
 			name string
 			dst  *int64
-		}{{"curr_items", &items}, {"curr_bytes", &bytes}, {"capacity_items", &capacity}} {
+		}{
+			{"curr_items", &fs.items},
+			{"curr_bytes", &fs.bytes},
+			{"capacity_items", &fs.capacity},
+			{"used_bytes", &fs.usedBytes},
+			{"max_bytes", &fs.maxBytes},
+			{"expired_proactive", &fs.expired},
+		} {
 			if v, err := server.StatInt(st, f.name); err == nil {
 				*f.dst += v
 			}
 		}
 	}
 	r.statsAt = time.Now()
-	r.statItems, r.statBytes, r.statCap = items, bytes, capacity
-	return items, bytes, capacity
+	r.statCache = fs
+	return fs
 }
 
 // Items reports the fleet-aggregate cached object count.
-func (r *Router) Items() int64 { i, _, _ := r.aggregate(); return i }
+func (r *Router) Items() int64 { return r.aggregate().items }
 
 // Bytes reports the fleet-aggregate cached value bytes.
-func (r *Router) Bytes() int64 { _, b, _ := r.aggregate(); return b }
+func (r *Router) Bytes() int64 { return r.aggregate().bytes }
 
 // Capacity reports the fleet-aggregate configured capacity.
-func (r *Router) Capacity() int { _, _, c := r.aggregate(); return int(c) }
+func (r *Router) Capacity() int { return int(r.aggregate().capacity) }
 
 // Name is the policy label the front server's metrics carry.
 func (r *Router) Name() string { return "router" }

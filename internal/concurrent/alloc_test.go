@@ -93,7 +93,7 @@ func TestKVSetAtMostOneAlloc(t *testing.T) {
 	id := Digest(key)
 	value := []byte("steady-state-overwrite-value-0123456789")
 	if avg := testing.AllocsPerRun(1000, func() {
-		kv.SetDigest(key, value, 3, id)
+		kv.SetDigest(key, value, 3, id, 0)
 	}); avg > 1 {
 		t.Fatalf("KV.SetDigest allocates %.2f/op, want <= 1", avg)
 	}

@@ -1,0 +1,670 @@
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dlist"
+	"repro/internal/obs"
+)
+
+// EntryOverhead is the fixed per-object byte cost added to
+// len(key)+len(value) when a byte-capped cache accounts an object: an
+// approximation of the map entry, pooled entry struct, buffer slack, and
+// policy node a cached object really costs beyond its payload.
+const EntryOverhead = 64
+
+// EntryCost is the accounted byte cost of one cached object — the value
+// the KV adapter feeds the inner policy's Set in byte mode.
+func EntryCost(keyLen, valueLen int) int64 {
+	return int64(keyLen) + int64(valueLen) + EntryOverhead
+}
+
+// minShardBytes is the smallest per-shard byte budget that still fits at
+// least one small object (cost = key+value+EntryOverhead).
+const minShardBytes = 2 * EntryOverhead
+
+// splitBytes divides a byte budget across shards exactly, mirroring
+// splitCapacity: remainder bytes go to the first shards, the per-shard
+// budgets sum to maxBytes, and every shard can hold at least one small
+// object.
+func splitBytes(maxBytes int64, shards int) ([]int64, error) {
+	if maxBytes < int64(shards)*minShardBytes {
+		return nil, fmt.Errorf("concurrent: byte budget %d below %d bytes per shard over %d shards (use fewer shards or a larger -max-bytes)",
+			maxBytes, minShardBytes, shards)
+	}
+	base, extra := maxBytes/int64(shards), maxBytes%int64(shards)
+	per := make([]int64, shards)
+	for i := range per {
+		per[i] = base
+		if int64(i) < extra {
+			per[i]++
+		}
+	}
+	return per, nil
+}
+
+// bentry is one object's policy metadata in a byte-capped cache: the key
+// digest, its accounted cost, and the CLOCK/SIEVE reference counter
+// (atomic so the shared-lock hit path can bump it, exactly like the
+// entry-capped rings). bentry lives inside a dlist.Node and is never
+// copied after insertion — nodes move between positions (and, in QDLP,
+// between lists) via Unlink/PushNode.
+type bentry struct {
+	key  uint64
+	cost int64
+	freq atomic.Uint32
+}
+
+// newBNode allocates a list node for one object. Built in place instead
+// of PushFront(value) because bentry carries an atomic.
+func newBNode(key uint64, cost int64) *dlist.Node[bentry] {
+	n := &dlist.Node[bentry]{}
+	n.Value.key = key
+	n.Value.cost = cost
+	return n
+}
+
+// ------------------------------------------------------------------ LRU
+
+// ByteLRU is the byte-capped counterpart of LRU: same sharding and same
+// exclusive-lock-per-hit recency discipline, but each shard evicts from
+// the cold tail until the accounted bytes fit the shard's budget, so one
+// large object displaces many small ones and vice versa.
+type ByteLRU struct {
+	shards   []byteLRUShard
+	mask     uint64
+	maxBytes int64
+	onEvict  func(uint64, obs.Reason)
+	rec      *obs.Recorder
+}
+
+type byteLRUShard struct {
+	mu    sync.Mutex
+	max   int64
+	byKey map[uint64]*dlist.Node[bentry]
+	list  dlist.List[bentry] // front = MRU
+	stats opStats
+	_     [24]byte
+}
+
+// NewByteLRU returns a sharded LRU cache capped at maxBytes accounted
+// bytes (see EntryCost).
+func NewByteLRU(maxBytes int64, shards int) (*ByteLRU, error) {
+	n := shardCount(shards)
+	per, err := splitBytes(maxBytes, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &ByteLRU{shards: make([]byteLRUShard, n), mask: uint64(n - 1), maxBytes: maxBytes}
+	for i := range c.shards {
+		c.shards[i].max = per[i]
+		c.shards[i].byKey = make(map[uint64]*dlist.Node[bentry])
+	}
+	return c, nil
+}
+
+// Name implements Cache.
+func (c *ByteLRU) Name() string { return "concurrent-byte-lru" }
+
+// Capacity implements Cache: byte-capped caches have no object capacity.
+func (c *ByteLRU) Capacity() int { return 0 }
+
+// MaxBytes returns the configured byte budget.
+func (c *ByteLRU) MaxBytes() int64 { return c.maxBytes }
+
+// Len implements Cache.
+func (c *ByteLRU) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.list.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+func (c *ByteLRU) shard(key uint64) *byteLRUShard {
+	return &c.shards[hash(key)&c.mask]
+}
+
+// Get implements Cache. As in the entry-capped LRU, the promotion needs
+// the exclusive lock.
+func (c *ByteLRU) Get(key uint64) (uint64, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	n, ok := s.byKey[key]
+	if !ok {
+		s.mu.Unlock()
+		s.stats.misses.Add(1)
+		return 0, false
+	}
+	s.list.MoveToFront(n)
+	v := uint64(n.Value.cost)
+	s.mu.Unlock()
+	s.stats.hits.Add(1)
+	return v, true
+}
+
+// Set implements Cache; value is the object's accounted byte cost. An
+// object that cannot fit the shard's budget at all is rejected: the
+// eviction hook fires immediately so the data plane reclaims its bytes.
+func (c *ByteLRU) Set(key, value uint64) {
+	cost := int64(value)
+	s := c.shard(key)
+	s.stats.sets.Add(1)
+	s.mu.Lock()
+	if n, ok := s.byKey[key]; ok {
+		if cost > s.max {
+			s.dropNode(c, n, obs.ReasonSizeAdmission)
+			s.mu.Unlock()
+			return
+		}
+		s.stats.usedBytes.Add(cost - n.Value.cost)
+		n.Value.cost = cost
+		s.list.MoveToFront(n)
+		for s.stats.usedBytes.Load() > s.max {
+			s.evictOne(c)
+		}
+		s.mu.Unlock()
+		return
+	}
+	if cost > s.max {
+		s.mu.Unlock()
+		c.rejectOversize(key)
+		return
+	}
+	for s.stats.usedBytes.Load()+cost > s.max {
+		s.evictOne(c)
+	}
+	s.byKey[key] = newBNode(key, cost)
+	s.list.PushNodeFront(s.byKey[key])
+	s.stats.usedBytes.Add(cost)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
+	s.mu.Unlock()
+}
+
+// evictOne removes the LRU tail. Caller holds the exclusive lock and
+// guarantees the list is non-empty.
+func (s *byteLRUShard) evictOne(c *ByteLRU) {
+	victim := s.list.Back()
+	s.dropNode(c, victim, obs.ReasonCapacity)
+}
+
+// dropNode removes a resident node for capacity reasons: unlink, account,
+// record, and fire the eviction hook. Caller holds the exclusive lock.
+func (s *byteLRUShard) dropNode(c *ByteLRU, n *dlist.Node[bentry], reason obs.Reason) {
+	key := n.Value.key
+	delete(s.byKey, key)
+	s.list.Unlink(n)
+	s.stats.usedBytes.Add(-n.Value.cost)
+	s.stats.evictions.Add(1)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvEvict, Reason: reason})
+	if c.onEvict != nil {
+		c.onEvict(key, reason)
+	}
+}
+
+// rejectOversize refuses admission of an object larger than a whole
+// shard budget. The hook must still fire — the KV adapter has already
+// stored the bytes and relies on the hook to drop them.
+func (c *ByteLRU) rejectOversize(key uint64) {
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvEvict, Reason: obs.ReasonSizeAdmission})
+	c.shard(key).stats.evictions.Add(1)
+	if c.onEvict != nil {
+		c.onEvict(key, obs.ReasonSizeAdmission)
+	}
+}
+
+// Delete implements Cache.
+func (c *ByteLRU) Delete(key uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(s.byKey, key)
+	s.list.Unlink(n)
+	s.stats.usedBytes.Add(-n.Value.cost)
+	s.stats.deletes.Add(1)
+	return true
+}
+
+// Stats implements Cache.
+func (c *ByteLRU) Stats() Snapshot { return sumSnapshots(c.ShardStats()) }
+
+// ShardStats implements Cache.
+func (c *ByteLRU) ShardStats() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n := s.list.Len()
+		s.mu.Unlock()
+		out[i] = s.stats.snapshot(n, 0, s.max)
+	}
+	return out
+}
+
+// SetEvictHook implements Cache.
+func (c *ByteLRU) SetEvictHook(fn func(uint64, obs.Reason)) { c.onEvict = fn }
+
+// SetRecorder implements Cache.
+func (c *ByteLRU) SetRecorder(rec *obs.Recorder) { c.rec = rec }
+
+// ---------------------------------------------------------------- CLOCK
+
+// ByteClock is the byte-capped CLOCK (FIFO-Reinsertion) cache: hits are
+// a shared lock plus one atomic counter store (the same lazy-promotion
+// hit path as the entry-capped ring); eviction pops the FIFO tail,
+// reinserting recently referenced objects at the head with a decremented
+// counter, until the shard's accounted bytes fit its budget.
+type ByteClock struct {
+	shards   []byteClockShard
+	mask     uint64
+	maxBytes int64
+	maxFreq  uint32
+	onEvict  func(uint64, obs.Reason)
+	rec      *obs.Recorder
+}
+
+type byteClockShard struct {
+	mu    sync.RWMutex
+	max   int64
+	byKey map[uint64]*dlist.Node[bentry]
+	list  dlist.List[bentry] // front = newest / reinserted
+	stats opStats
+	_     [24]byte
+}
+
+// NewByteClock returns a sharded k-bit CLOCK cache capped at maxBytes
+// accounted bytes.
+func NewByteClock(maxBytes int64, shards, bits int) (*ByteClock, error) {
+	if bits < 1 || bits > 6 {
+		return nil, fmt.Errorf("concurrent: clock bits %d outside [1, 6]", bits)
+	}
+	n := shardCount(shards)
+	per, err := splitBytes(maxBytes, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &ByteClock{
+		shards:   make([]byteClockShard, n),
+		mask:     uint64(n - 1),
+		maxBytes: maxBytes,
+		maxFreq:  uint32(1<<bits - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].max = per[i]
+		c.shards[i].byKey = make(map[uint64]*dlist.Node[bentry])
+	}
+	return c, nil
+}
+
+// Name implements Cache.
+func (c *ByteClock) Name() string { return "concurrent-byte-clock" }
+
+// Capacity implements Cache.
+func (c *ByteClock) Capacity() int { return 0 }
+
+// MaxBytes returns the configured byte budget.
+func (c *ByteClock) MaxBytes() int64 { return c.maxBytes }
+
+// Len implements Cache.
+func (c *ByteClock) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		total += s.list.Len()
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+func (c *ByteClock) shard(key uint64) *byteClockShard {
+	return &c.shards[hash(key)&c.mask]
+}
+
+// Get implements Cache: shared lock + one atomic store.
+func (c *ByteClock) Get(key uint64) (uint64, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	n, ok := s.byKey[key]
+	if !ok {
+		s.mu.RUnlock()
+		s.stats.misses.Add(1)
+		return 0, false
+	}
+	v := uint64(n.Value.cost)
+	if f := n.Value.freq.Load(); f < c.maxFreq {
+		n.Value.freq.Store(f + 1) // benign race: counter is a hint
+	}
+	s.mu.RUnlock()
+	s.stats.hits.Add(1)
+	return v, true
+}
+
+// Set implements Cache; value is the object's accounted byte cost.
+func (c *ByteClock) Set(key, value uint64) {
+	cost := int64(value)
+	s := c.shard(key)
+	s.stats.sets.Add(1)
+	s.mu.Lock()
+	if n, ok := s.byKey[key]; ok {
+		if cost > s.max {
+			s.dropNode(c, n, obs.ReasonSizeAdmission)
+			s.mu.Unlock()
+			return
+		}
+		s.stats.usedBytes.Add(cost - n.Value.cost)
+		n.Value.cost = cost
+		if f := n.Value.freq.Load(); f < c.maxFreq {
+			n.Value.freq.Store(f + 1)
+		}
+		for s.stats.usedBytes.Load() > s.max {
+			s.evictOne(c)
+		}
+		s.mu.Unlock()
+		return
+	}
+	if cost > s.max {
+		s.mu.Unlock()
+		c.rejectOversize(key)
+		return
+	}
+	for s.stats.usedBytes.Load()+cost > s.max {
+		s.evictOne(c)
+	}
+	s.byKey[key] = newBNode(key, cost)
+	s.list.PushNodeFront(s.byKey[key])
+	s.stats.usedBytes.Add(cost)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
+	s.mu.Unlock()
+}
+
+// evictOne runs the CLOCK sweep on the FIFO tail: referenced victims are
+// reinserted at the head with a decremented counter (each such pass is a
+// lazy-promotion decision, recorded like the ring's), the first
+// zero-counter victim is evicted. Terminates because every reinsertion
+// decrements a positive counter. Caller holds the exclusive lock and
+// guarantees the list is non-empty.
+func (s *byteClockShard) evictOne(c *ByteClock) {
+	for {
+		victim := s.list.Back()
+		if f := victim.Value.freq.Load(); f > 0 {
+			victim.Value.freq.Store(f - 1)
+			c.rec.Record(obs.Event{Key: victim.Value.key, Kind: obs.EvPromote, Freq: uint8(f)})
+			s.list.MoveToFront(victim)
+			continue
+		}
+		s.dropNode(c, victim, obs.ReasonMainClock)
+		return
+	}
+}
+
+func (s *byteClockShard) dropNode(c *ByteClock, n *dlist.Node[bentry], reason obs.Reason) {
+	key := n.Value.key
+	delete(s.byKey, key)
+	s.list.Unlink(n)
+	s.stats.usedBytes.Add(-n.Value.cost)
+	s.stats.evictions.Add(1)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvEvict, Reason: reason})
+	if c.onEvict != nil {
+		c.onEvict(key, reason)
+	}
+}
+
+func (c *ByteClock) rejectOversize(key uint64) {
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvEvict, Reason: obs.ReasonSizeAdmission})
+	c.shard(key).stats.evictions.Add(1)
+	if c.onEvict != nil {
+		c.onEvict(key, obs.ReasonSizeAdmission)
+	}
+}
+
+// Delete implements Cache.
+func (c *ByteClock) Delete(key uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(s.byKey, key)
+	s.list.Unlink(n)
+	s.stats.usedBytes.Add(-n.Value.cost)
+	s.stats.deletes.Add(1)
+	return true
+}
+
+// Stats implements Cache.
+func (c *ByteClock) Stats() Snapshot { return sumSnapshots(c.ShardStats()) }
+
+// ShardStats implements Cache.
+func (c *ByteClock) ShardStats() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n := s.list.Len()
+		s.mu.RUnlock()
+		out[i] = s.stats.snapshot(n, 0, s.max)
+	}
+	return out
+}
+
+// SetEvictHook implements Cache.
+func (c *ByteClock) SetEvictHook(fn func(uint64, obs.Reason)) { c.onEvict = fn }
+
+// SetRecorder implements Cache.
+func (c *ByteClock) SetRecorder(rec *obs.Recorder) { c.rec = rec }
+
+// ---------------------------------------------------------------- SIEVE
+
+// ByteSieve is the byte-capped SIEVE cache: shared-lock hit path with one
+// atomic visited-bit store, eviction sweeping from the tail toward the
+// head with a retained hand, evicting unvisited objects until the shard's
+// accounted bytes fit its budget.
+type ByteSieve struct {
+	shards   []byteSieveShard
+	mask     uint64
+	maxBytes int64
+	onEvict  func(uint64, obs.Reason)
+	rec      *obs.Recorder
+}
+
+type byteSieveShard struct {
+	mu    sync.RWMutex
+	max   int64
+	byKey map[uint64]*dlist.Node[bentry]
+	list  dlist.List[bentry] // front = newest
+	hand  *dlist.Node[bentry]
+	stats opStats
+	_     [24]byte
+}
+
+// NewByteSieve returns a sharded SIEVE cache capped at maxBytes
+// accounted bytes.
+func NewByteSieve(maxBytes int64, shards int) (*ByteSieve, error) {
+	n := shardCount(shards)
+	per, err := splitBytes(maxBytes, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &ByteSieve{shards: make([]byteSieveShard, n), mask: uint64(n - 1), maxBytes: maxBytes}
+	for i := range c.shards {
+		c.shards[i].max = per[i]
+		c.shards[i].byKey = make(map[uint64]*dlist.Node[bentry])
+	}
+	return c, nil
+}
+
+// Name implements Cache.
+func (c *ByteSieve) Name() string { return "concurrent-byte-sieve" }
+
+// Capacity implements Cache.
+func (c *ByteSieve) Capacity() int { return 0 }
+
+// MaxBytes returns the configured byte budget.
+func (c *ByteSieve) MaxBytes() int64 { return c.maxBytes }
+
+// Len implements Cache.
+func (c *ByteSieve) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		total += s.list.Len()
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+func (c *ByteSieve) shard(key uint64) *byteSieveShard {
+	return &c.shards[hash(key)&c.mask]
+}
+
+// Get implements Cache: shared lock + one atomic store (the visited bit).
+func (c *ByteSieve) Get(key uint64) (uint64, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	n, ok := s.byKey[key]
+	if !ok {
+		s.mu.RUnlock()
+		s.stats.misses.Add(1)
+		return 0, false
+	}
+	v := uint64(n.Value.cost)
+	n.Value.freq.Store(1)
+	s.mu.RUnlock()
+	s.stats.hits.Add(1)
+	return v, true
+}
+
+// Set implements Cache; value is the object's accounted byte cost.
+func (c *ByteSieve) Set(key, value uint64) {
+	cost := int64(value)
+	s := c.shard(key)
+	s.stats.sets.Add(1)
+	s.mu.Lock()
+	if n, ok := s.byKey[key]; ok {
+		if cost > s.max {
+			s.dropNode(c, n, obs.ReasonSizeAdmission)
+			s.mu.Unlock()
+			return
+		}
+		s.stats.usedBytes.Add(cost - n.Value.cost)
+		n.Value.cost = cost
+		n.Value.freq.Store(1)
+		for s.stats.usedBytes.Load() > s.max {
+			s.evictOne(c)
+		}
+		s.mu.Unlock()
+		return
+	}
+	if cost > s.max {
+		s.mu.Unlock()
+		c.rejectOversize(key)
+		return
+	}
+	for s.stats.usedBytes.Load()+cost > s.max {
+		s.evictOne(c)
+	}
+	s.byKey[key] = newBNode(key, cost)
+	s.list.PushNodeFront(s.byKey[key])
+	s.stats.usedBytes.Add(cost)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
+	s.mu.Unlock()
+}
+
+// evictOne runs the SIEVE sweep from the retained hand toward the head
+// (newer objects), sparing visited objects (recorded as lazy promotions)
+// and evicting the first unvisited one. Caller holds the exclusive lock
+// and guarantees the list is non-empty.
+func (s *byteSieveShard) evictOne(c *ByteSieve) {
+	n := s.hand
+	if n == nil {
+		n = s.list.Back()
+	}
+	for n.Value.freq.Load() > 0 {
+		n.Value.freq.Store(0)
+		c.rec.Record(obs.Event{Key: n.Value.key, Kind: obs.EvPromote, Freq: 1})
+		next := n.Prev() // toward the front (newer)
+		if next == nil {
+			next = s.list.Back() // wrap to the oldest
+		}
+		n = next
+	}
+	s.hand = n.Prev() // retain position for the next sweep
+	s.dropNode(c, n, obs.ReasonMainClock)
+}
+
+func (s *byteSieveShard) dropNode(c *ByteSieve, n *dlist.Node[bentry], reason obs.Reason) {
+	if s.hand == n {
+		s.hand = n.Prev()
+	}
+	key := n.Value.key
+	delete(s.byKey, key)
+	s.list.Unlink(n)
+	s.stats.usedBytes.Add(-n.Value.cost)
+	s.stats.evictions.Add(1)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvEvict, Reason: reason})
+	if c.onEvict != nil {
+		c.onEvict(key, reason)
+	}
+}
+
+func (c *ByteSieve) rejectOversize(key uint64) {
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvEvict, Reason: obs.ReasonSizeAdmission})
+	c.shard(key).stats.evictions.Add(1)
+	if c.onEvict != nil {
+		c.onEvict(key, obs.ReasonSizeAdmission)
+	}
+}
+
+// Delete implements Cache.
+func (c *ByteSieve) Delete(key uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.byKey[key]
+	if !ok {
+		return false
+	}
+	if s.hand == n {
+		s.hand = n.Prev()
+	}
+	delete(s.byKey, key)
+	s.list.Unlink(n)
+	s.stats.usedBytes.Add(-n.Value.cost)
+	s.stats.deletes.Add(1)
+	return true
+}
+
+// Stats implements Cache.
+func (c *ByteSieve) Stats() Snapshot { return sumSnapshots(c.ShardStats()) }
+
+// ShardStats implements Cache.
+func (c *ByteSieve) ShardStats() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n := s.list.Len()
+		s.mu.RUnlock()
+		out[i] = s.stats.snapshot(n, 0, s.max)
+	}
+	return out
+}
+
+// SetEvictHook implements Cache.
+func (c *ByteSieve) SetEvictHook(fn func(uint64, obs.Reason)) { c.onEvict = fn }
+
+// SetRecorder implements Cache.
+func (c *ByteSieve) SetRecorder(rec *obs.Recorder) { c.rec = rec }

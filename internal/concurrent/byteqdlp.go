@@ -1,0 +1,419 @@
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dlist"
+	"repro/internal/obs"
+)
+
+// ByteQDLP is the byte-capped QD-LP-FIFO cache: a probationary FIFO
+// holding a configurable fraction of each shard's byte budget, a CLOCK
+// main region holding the rest, and a metadata-only ghost. The hit path
+// is unchanged from the entry-capped variant — shared lock plus one
+// atomic counter store.
+//
+// Byte capacity adds one policy decision the entry-capped cache cannot
+// express: size-aware admission. A first-touch object costing more than
+// AdmitFrac of the probation budget is never admitted — it goes straight
+// to the ghost (quick demotion applied to bytes), so one giant one-hit
+// object cannot flush many small hot ones; a second touch while ghosted
+// earns it a main-region slot like any other quick-demotion mistake.
+type ByteQDLP struct {
+	shards   []bqShard
+	mask     uint64
+	maxBytes int64
+	maxFreq  uint32
+	ghostFac float64
+	onEvict  func(uint64, obs.Reason)
+	rec      *obs.Recorder
+}
+
+// bqEntry extends bentry with the region bit. Never copied after
+// insertion; nodes move from probation to main via Unlink/PushNodeFront.
+type bqEntry struct {
+	bentry
+	inMain bool
+}
+
+type bqShard struct {
+	mu    sync.RWMutex
+	byKey map[uint64]*dlist.Node[bqEntry]
+
+	small     dlist.List[bqEntry] // probationary FIFO: front = newest
+	smallMax  int64
+	smallUsed int64
+	admitMax  int64 // size-aware admission threshold (AdmitFrac × smallMax)
+
+	main     dlist.List[bqEntry] // CLOCK: front = newest / reinserted
+	mainMax  int64
+	mainUsed int64
+
+	ghost     map[uint64]struct{}
+	ghostQ    []uint64 // FIFO with tombstones; ghostHead indexes the oldest
+	ghostHead int
+
+	stats opStats
+	_     [24]byte
+}
+
+// NewByteQDLP returns a sharded QD-LP-FIFO cache capped at maxBytes
+// accounted bytes. Zero-valued options select the paper's parameters
+// plus AdmitFrac = 0.5.
+func NewByteQDLP(maxBytes int64, shards int, opts QDLPOptions) (*ByteQDLP, error) {
+	frac := opts.ProbationFrac
+	if frac == 0 {
+		frac = 0.1
+	}
+	if frac < 0 || frac >= 1 {
+		return nil, fmt.Errorf("concurrent: qdlp probation fraction %v outside (0, 1)", frac)
+	}
+	ghostFactor := opts.GhostFactor
+	if ghostFactor == 0 {
+		ghostFactor = 1
+	}
+	if ghostFactor < 0 {
+		return nil, fmt.Errorf("concurrent: qdlp ghost factor %v is negative", ghostFactor)
+	}
+	bits := opts.ClockBits
+	if bits == 0 {
+		bits = 2
+	}
+	if bits < 1 || bits > 6 {
+		return nil, fmt.Errorf("concurrent: qdlp clock bits %d outside [1, 6]", bits)
+	}
+	admitFrac := opts.AdmitFrac
+	if admitFrac == 0 {
+		admitFrac = 0.5
+	}
+	if admitFrac < 0 || admitFrac > 1 {
+		return nil, fmt.Errorf("concurrent: qdlp admit fraction %v outside (0, 1]", admitFrac)
+	}
+	n := shardCount(shards)
+	per, err := splitBytes(maxBytes, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &ByteQDLP{
+		shards:   make([]bqShard, n),
+		mask:     uint64(n - 1),
+		maxBytes: maxBytes,
+		maxFreq:  uint32(1<<bits - 1),
+		ghostFac: ghostFactor,
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.smallMax = int64(float64(per[i]) * frac)
+		if s.smallMax < EntryOverhead {
+			s.smallMax = EntryOverhead
+		}
+		if s.smallMax > per[i]-EntryOverhead {
+			s.smallMax = per[i] - EntryOverhead
+		}
+		s.mainMax = per[i] - s.smallMax
+		s.admitMax = int64(float64(s.smallMax) * admitFrac)
+		s.byKey = make(map[uint64]*dlist.Node[bqEntry])
+		s.ghost = make(map[uint64]struct{})
+	}
+	return c, nil
+}
+
+// Name implements Cache.
+func (c *ByteQDLP) Name() string { return "concurrent-byte-qdlp" }
+
+// Capacity implements Cache.
+func (c *ByteQDLP) Capacity() int { return 0 }
+
+// MaxBytes returns the configured byte budget.
+func (c *ByteQDLP) MaxBytes() int64 { return c.maxBytes }
+
+// Len implements Cache.
+func (c *ByteQDLP) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		total += s.small.Len() + s.main.Len()
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+func (c *ByteQDLP) shard(key uint64) *bqShard {
+	return &c.shards[hash(key)&c.mask]
+}
+
+// Get implements Cache: shared lock, one atomic store, no queue movement.
+func (c *ByteQDLP) Get(key uint64) (uint64, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	n, ok := s.byKey[key]
+	if !ok {
+		s.mu.RUnlock()
+		s.stats.misses.Add(1)
+		return 0, false
+	}
+	v := uint64(n.Value.cost)
+	if f := n.Value.freq.Load(); f < c.maxFreq {
+		n.Value.freq.Store(f + 1) // benign race: counter is a hint
+	}
+	s.mu.RUnlock()
+	s.stats.hits.Add(1)
+	return v, true
+}
+
+// Set implements Cache; value is the object's accounted byte cost.
+func (c *ByteQDLP) Set(key, value uint64) {
+	cost := int64(value)
+	s := c.shard(key)
+	s.stats.sets.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.byKey[key]; ok {
+		s.overwrite(c, n, cost)
+		return
+	}
+	if _, ok := s.ghost[key]; ok {
+		// Quick-demotion mistake: admit straight into the main region.
+		delete(s.ghost, key)
+		c.rec.Record(obs.Event{Key: key, Kind: obs.EvGhostReadmit})
+		if cost > s.mainMax {
+			s.reject(c, key)
+			return
+		}
+		for s.mainUsed+cost > s.mainMax {
+			s.evictMainOne(c)
+		}
+		n := &dlist.Node[bqEntry]{}
+		n.Value.key, n.Value.cost, n.Value.inMain = key, cost, true
+		s.main.PushNodeFront(n)
+		s.byKey[key] = n
+		s.mainUsed += cost
+		s.stats.usedBytes.Add(cost)
+		return
+	}
+	// First touch. Size-aware admission: an object too large for its
+	// probation share is demoted to the ghost without ever holding bytes.
+	if cost > s.admitMax {
+		s.ghostAdd(c, key)
+		s.stats.evictions.Add(1)
+		c.rec.Record(obs.Event{Key: key, Kind: obs.EvDemoteGhost, Reason: obs.ReasonSizeAdmission})
+		if c.onEvict != nil {
+			c.onEvict(key, obs.ReasonSizeAdmission)
+		}
+		return
+	}
+	for s.smallUsed+cost > s.smallMax {
+		s.evictSmallOne(c)
+	}
+	n := &dlist.Node[bqEntry]{}
+	n.Value.key, n.Value.cost = key, cost
+	s.small.PushNodeFront(n)
+	s.byKey[key] = n
+	s.smallUsed += cost
+	s.stats.usedBytes.Add(cost)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
+}
+
+// overwrite updates a resident object's cost in place and rebalances its
+// region. A cost that no longer fits the region at all drops the object
+// (hook fired so the data plane reclaims it).
+func (s *bqShard) overwrite(c *ByteQDLP, n *dlist.Node[bqEntry], cost int64) {
+	regionMax := s.smallMax
+	if n.Value.inMain {
+		regionMax = s.mainMax
+	}
+	if cost > regionMax {
+		s.dropNode(c, n, obs.ReasonSizeAdmission)
+		return
+	}
+	delta := cost - n.Value.cost
+	n.Value.cost = cost
+	s.stats.usedBytes.Add(delta)
+	if f := n.Value.freq.Load(); f < c.maxFreq {
+		n.Value.freq.Store(f + 1)
+	}
+	if n.Value.inMain {
+		s.mainUsed += delta
+		for s.mainUsed > s.mainMax {
+			s.evictMainOne(c)
+		}
+	} else {
+		s.smallUsed += delta
+		for s.smallUsed > s.smallMax {
+			s.evictSmallOne(c)
+		}
+	}
+}
+
+// evictSmallOne pops the probationary FIFO tail: referenced objects are
+// lazily promoted into the main region (which may evict there to make
+// room), untouched objects fall to the ghost — the quick demotion that
+// IS the eviction. Caller holds the exclusive lock and guarantees the
+// probation list is non-empty.
+func (s *bqShard) evictSmallOne(c *ByteQDLP) {
+	victim := s.small.Back()
+	key, cost := victim.Value.key, victim.Value.cost
+	s.small.Unlink(victim)
+	s.smallUsed -= cost
+	if f := victim.Value.freq.Load(); f > 0 {
+		// Lazy promotion: the object earned the main region while waiting.
+		c.rec.Record(obs.Event{Key: key, Kind: obs.EvPromote, Freq: uint8(f)})
+		if cost > s.mainMax {
+			// Too large for main even so: drop it, bytes and all.
+			delete(s.byKey, key)
+			s.stats.usedBytes.Add(-cost)
+			s.stats.evictions.Add(1)
+			c.rec.Record(obs.Event{Key: key, Kind: obs.EvEvict, Reason: obs.ReasonSizeAdmission})
+			if c.onEvict != nil {
+				c.onEvict(key, obs.ReasonSizeAdmission)
+			}
+			return
+		}
+		for s.mainUsed+cost > s.mainMax {
+			s.evictMainOne(c)
+		}
+		victim.Value.inMain = true
+		victim.Value.freq.Store(0)
+		s.main.PushNodeFront(victim)
+		s.mainUsed += cost
+		return
+	}
+	// Quick demotion: never re-requested — this is the eviction.
+	delete(s.byKey, key)
+	s.stats.usedBytes.Add(-cost)
+	s.ghostAdd(c, key)
+	s.stats.evictions.Add(1)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvDemoteGhost, Reason: obs.ReasonProbationOverflow})
+	if c.onEvict != nil {
+		c.onEvict(key, obs.ReasonProbationOverflow)
+	}
+}
+
+// evictMainOne runs the CLOCK sweep on the main region's tail. Caller
+// holds the exclusive lock and guarantees the main list is non-empty.
+func (s *bqShard) evictMainOne(c *ByteQDLP) {
+	for {
+		victim := s.main.Back()
+		if f := victim.Value.freq.Load(); f > 0 {
+			victim.Value.freq.Store(f - 1) // lazy promotion: second chances
+			c.rec.Record(obs.Event{Key: victim.Value.key, Kind: obs.EvPromote, Freq: uint8(f)})
+			s.main.MoveToFront(victim)
+			continue
+		}
+		s.dropNode(c, victim, obs.ReasonMainClock)
+		return
+	}
+}
+
+// dropNode removes a resident object for capacity reasons, firing the
+// eviction hook. Caller holds the exclusive lock.
+func (s *bqShard) dropNode(c *ByteQDLP, n *dlist.Node[bqEntry], reason obs.Reason) {
+	key, cost := n.Value.key, n.Value.cost
+	if n.Value.inMain {
+		s.main.Unlink(n)
+		s.mainUsed -= cost
+	} else {
+		s.small.Unlink(n)
+		s.smallUsed -= cost
+	}
+	delete(s.byKey, key)
+	s.stats.usedBytes.Add(-cost)
+	s.stats.evictions.Add(1)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvEvict, Reason: reason})
+	if c.onEvict != nil {
+		c.onEvict(key, reason)
+	}
+}
+
+// reject refuses admission entirely (the object fits nowhere); the hook
+// still fires because the KV adapter has already stored the bytes.
+func (s *bqShard) reject(c *ByteQDLP, key uint64) {
+	s.stats.evictions.Add(1)
+	c.rec.Record(obs.Event{Key: key, Kind: obs.EvEvict, Reason: obs.ReasonSizeAdmission})
+	if c.onEvict != nil {
+		c.onEvict(key, obs.ReasonSizeAdmission)
+	}
+}
+
+// ghostAdd remembers a demoted key. The ghost is bounded dynamically at
+// GhostFactor × the main region's object count (at least 16), mirroring
+// the entry-capped cache's "one main ring's worth" sizing without a
+// fixed ring: byte capacity makes the object count budget-dependent.
+func (s *bqShard) ghostAdd(c *ByteQDLP, key uint64) {
+	if _, ok := s.ghost[key]; ok {
+		return
+	}
+	limit := int(c.ghostFac * float64(s.main.Len()))
+	if limit < 16 {
+		limit = 16
+	}
+	for len(s.ghost) >= limit {
+		s.ghostPop()
+	}
+	s.ghost[key] = struct{}{}
+	s.ghostQ = append(s.ghostQ, key)
+}
+
+// ghostPop forgets the oldest remembered key, skipping tombstones left
+// by readmissions, and compacts the queue when the dead prefix dominates.
+func (s *bqShard) ghostPop() {
+	for s.ghostHead < len(s.ghostQ) {
+		k := s.ghostQ[s.ghostHead]
+		s.ghostHead++
+		if _, ok := s.ghost[k]; ok {
+			delete(s.ghost, k)
+			break
+		}
+	}
+	if s.ghostHead > 64 && s.ghostHead*2 > len(s.ghostQ) {
+		s.ghostQ = append(s.ghostQ[:0], s.ghostQ[s.ghostHead:]...)
+		s.ghostHead = 0
+	}
+}
+
+// Delete implements Cache.
+func (c *ByteQDLP) Delete(key uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.byKey[key]
+	if !ok {
+		return false
+	}
+	key, cost := n.Value.key, n.Value.cost
+	if n.Value.inMain {
+		s.main.Unlink(n)
+		s.mainUsed -= cost
+	} else {
+		s.small.Unlink(n)
+		s.smallUsed -= cost
+	}
+	delete(s.byKey, key)
+	s.stats.usedBytes.Add(-cost)
+	s.stats.deletes.Add(1)
+	return true
+}
+
+// Stats implements Cache.
+func (c *ByteQDLP) Stats() Snapshot { return sumSnapshots(c.ShardStats()) }
+
+// ShardStats implements Cache.
+func (c *ByteQDLP) ShardStats() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n := s.small.Len() + s.main.Len()
+		s.mu.RUnlock()
+		out[i] = s.stats.snapshot(n, 0, s.smallMax+s.mainMax)
+	}
+	return out
+}
+
+// SetEvictHook implements Cache.
+func (c *ByteQDLP) SetEvictHook(fn func(uint64, obs.Reason)) { c.onEvict = fn }
+
+// SetRecorder implements Cache.
+func (c *ByteQDLP) SetRecorder(rec *obs.Recorder) { c.rec = rec }

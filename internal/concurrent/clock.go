@@ -117,6 +117,7 @@ func (c *Clock) Set(key, value uint64) {
 	s.mu.Lock()
 	if idx, ok := s.byKey[key]; ok {
 		slot := &s.slots[idx]
+		s.stats.usedBytes.Add(int64(value) - int64(slot.value))
 		slot.value = value
 		if f := slot.freq.Load(); f < c.maxFreq {
 			slot.freq.Store(f + 1)
@@ -128,6 +129,7 @@ func (c *Clock) Set(key, value uint64) {
 	slot := &s.slots[idx]
 	if slot.live {
 		delete(s.byKey, slot.key)
+		s.stats.usedBytes.Add(-int64(slot.value))
 		s.stats.evictions.Add(1)
 		c.rec.Record(obs.Event{Key: slot.key, Kind: obs.EvEvict, Reason: obs.ReasonMainClock})
 		if c.onEvict != nil {
@@ -141,6 +143,7 @@ func (c *Clock) Set(key, value uint64) {
 	slot.value = value
 	slot.freq.Store(0)
 	s.byKey[key] = idx
+	s.stats.usedBytes.Add(int64(value))
 	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
 	s.mu.Unlock()
 }
@@ -157,6 +160,7 @@ func (c *Clock) Delete(key uint64) bool {
 	delete(s.byKey, key)
 	s.slots[idx].live = false
 	s.used--
+	s.stats.usedBytes.Add(-int64(s.slots[idx].value))
 	s.stats.deletes.Add(1)
 	return true
 }
@@ -172,7 +176,7 @@ func (c *Clock) ShardStats() []Snapshot {
 		s.mu.RLock()
 		n := s.used
 		s.mu.RUnlock()
-		out[i] = s.stats.snapshot(n, len(s.slots))
+		out[i] = s.stats.snapshot(n, len(s.slots), 0)
 	}
 	return out
 }

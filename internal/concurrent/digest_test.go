@@ -94,8 +94,8 @@ func FuzzDigestCollisionServedAsMiss(f *testing.F) {
 		// Collide on a digest derived from a (truncated to make the point:
 		// any shared id behaves the same).
 		id := Digest(a)
-		kv.SetDigest(a, []byte("value-of-a"), 1, id)
-		kv.SetDigest(b, []byte("value-of-b"), 2, id)
+		kv.SetDigest(a, []byte("value-of-a"), 1, id, 0)
+		kv.SetDigest(b, []byte("value-of-b"), 2, id, 0)
 		if v, _, _, ok := kv.GetDigest(nil, a, id); ok {
 			t.Fatalf("displaced key %q served as hit with %q", a, v)
 		}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/ttlwheel"
 )
 
 // KV is a byte-value, size-aware adapter over a sharded Cache: the inner
@@ -47,13 +49,32 @@ type KV struct {
 	items  atomic.Int64
 	casSeq atomic.Uint64
 	rec    *obs.Recorder
+
+	// nowSec is the coarse TTL clock (unix seconds) the shared-lock hit
+	// path compares expireAt against — one atomic load, no time syscall,
+	// no allocation. It advances via SetNow/AdvanceTTL (typically the
+	// StartExpiry ticker).
+	nowSec  atomic.Int64
+	expired atomic.Int64 // entries reclaimed proactively by the wheel
+	// ttlMu serializes AdvanceTTL (one ticker plus any manual calls) and
+	// guards ttlScratch, the reusable expired-digest batch buffer.
+	ttlMu      sync.Mutex
+	ttlScratch []uint64
 }
 
 type kvShard struct {
 	mu    sync.RWMutex
 	m     map[uint64]*kvEntry
+	wheel *ttlwheel.Wheel // guarded by mu, like m
 	stats opStats
 	_     [24]byte
+}
+
+// recycle unlinks e's TTL timer and returns e to the pools. Caller holds
+// the shard's exclusive lock and has unlinked e from the shard map.
+func (s *kvShard) recycle(e *kvEntry) {
+	s.wheel.Remove(&e.ttl)
+	recycleEntry(e)
 }
 
 // kvEntry is one cached object. key and value are subslices of *buf, a
@@ -70,10 +91,17 @@ type kvEntry struct {
 	value []byte
 	flags uint32
 	cas   uint64
+	// expireAt is the absolute expiry (unix seconds), 0 = never. Readers
+	// compare it against KV.nowSec under the shared lock; it is written
+	// only at entry construction, before the entry is published.
+	expireAt int64
+	// ttl is the entry's intrusive timer-wheel node, linked/unlinked only
+	// under the shard's exclusive lock.
+	ttl ttlwheel.Node
 }
 
 // newEntry builds a pooled entry holding private copies of key and value.
-func newEntry(key, value []byte, flags uint32, cas uint64) *kvEntry {
+func newEntry(key, value []byte, flags uint32, cas uint64, expireAt int64) *kvEntry {
 	e := entryPool.Get().(*kvEntry)
 	e.buf = getBuf(len(key) + len(value))
 	b := *e.buf
@@ -83,6 +111,7 @@ func newEntry(key, value []byte, flags uint32, cas uint64) *kvEntry {
 	e.value = b[len(key) : len(key)+len(value)]
 	e.flags = flags
 	e.cas = cas
+	e.expireAt = expireAt
 	return e
 }
 
@@ -103,8 +132,11 @@ func recycleEntry(e *kvEntry) {
 func NewKV(inner Cache, dataShards int) *KV {
 	n := shardCount(dataShards)
 	kv := &KV{inner: inner, shards: make([]kvShard, n), mask: uint64(n - 1)}
+	now := time.Now().Unix()
+	kv.nowSec.Store(now)
 	for i := range kv.shards {
 		kv.shards[i].m = make(map[uint64]*kvEntry)
+		kv.shards[i].wheel = ttlwheel.New(now)
 	}
 	inner.SetEvictHook(kv.dropEvicted)
 	return kv
@@ -135,7 +167,7 @@ func (kv *KV) dropEvicted(id uint64, _ obs.Reason) {
 	if e != nil {
 		delete(s.m, id)
 		n = len(e.value)
-		recycleEntry(e)
+		s.recycle(e)
 	}
 	s.mu.Unlock()
 	if e != nil {
@@ -158,6 +190,13 @@ func (kv *KV) GetDigest(dst, key []byte, id uint64) (value []byte, flags uint32,
 	s.mu.RLock()
 	e := s.m[id]
 	if e == nil || !bytes.Equal(e.key, key) {
+		s.mu.RUnlock()
+		s.stats.misses.Add(1)
+		return dst, 0, 0, false
+	}
+	if exp := e.expireAt; exp != 0 && exp <= kv.nowSec.Load() {
+		// Lazily expired: answer as a miss; the wheel reclaims the bytes
+		// on its next tick (no mutation under the shared lock).
 		s.mu.RUnlock()
 		s.stats.misses.Add(1)
 		return dst, 0, 0, false
@@ -196,6 +235,11 @@ func (kv *KV) AppendHit(dst, key []byte, id uint64, hdr HitHeaderFunc) (out []by
 	s.mu.RLock()
 	e := s.m[id]
 	if e == nil || !bytes.Equal(e.key, key) {
+		s.mu.RUnlock()
+		s.stats.misses.Add(1)
+		return dst, 0, false
+	}
+	if exp := e.expireAt; exp != 0 && exp <= kv.nowSec.Load() {
 		s.mu.RUnlock()
 		s.stats.misses.Add(1)
 		return dst, 0, false
@@ -263,6 +307,11 @@ func (kv *KV) GetMulti(dst []byte, keys [][]byte, ids []uint64, out []MultiHit) 
 				misses++
 				continue
 			}
+			if exp := e.expireAt; exp != 0 && exp <= kv.nowSec.Load() {
+				out[j] = MultiHit{}
+				misses++
+				continue
+			}
 			seq := e.seq.Load()
 			start := len(dst)
 			dst = append(dst, e.value...)
@@ -294,25 +343,33 @@ func (kv *KV) GetMulti(dst []byte, keys [][]byte, ids []uint64, out []MultiHit) 
 }
 
 // Set stores a private copy of key and value (in a pooled buffer) and
-// returns the cas token stamped on this version.
+// returns the cas token stamped on this version. The object never expires;
+// use SetDigest for a TTL.
 func (kv *KV) Set(key, value []byte, flags uint32) uint64 {
-	return kv.SetDigest(key, value, flags, Digest(key))
+	return kv.SetDigest(key, value, flags, Digest(key), 0)
 }
 
-// SetDigest is Set with the key's digest already computed.
-func (kv *KV) SetDigest(key, value []byte, flags uint32, id uint64) uint64 {
+// SetDigest is Set with the key's digest already computed and an absolute
+// expiry deadline in unix seconds (0 = never). The deadline is stamped on
+// the entry (for the lazy check on the hit path) and scheduled on the data
+// shard's timer wheel (for proactive reclaim via AdvanceTTL).
+func (kv *KV) SetDigest(key, value []byte, flags uint32, id uint64, expireAt int64) uint64 {
 	// The cas token lives in a local: once the shard lock is released a
 	// concurrent overwrite may recycle e, so e must not be read after that.
 	cas := kv.casSeq.Add(1)
-	e := newEntry(key, value, flags, cas)
+	e := newEntry(key, value, flags, cas, expireAt)
 	s := kv.shard(id)
 	s.mu.Lock()
 	old := s.m[id]
 	s.m[id] = e
+	if expireAt > 0 {
+		e.ttl.Key = id
+		s.wheel.Schedule(&e.ttl, expireAt)
+	}
 	var oldLen int
 	if old != nil {
 		oldLen = len(old.value)
-		recycleEntry(old)
+		s.recycle(old)
 	}
 	s.mu.Unlock()
 	s.stats.sets.Add(1)
@@ -325,8 +382,9 @@ func (kv *KV) SetDigest(key, value []byte, flags uint32, id uint64) uint64 {
 	kv.bytes.Add(delta)
 	// Admit after the data is in place so the eviction hook (fired under
 	// the inner lock if this insert displaces victims) always finds bytes
-	// to drop.
-	kv.inner.Set(id, uint64(len(value)))
+	// to drop. The policy cost is the full accounted footprint, not just
+	// the value length, so byte-capped policies bound real memory.
+	kv.inner.Set(id, uint64(EntryCost(len(key), len(value))))
 	return cas
 }
 
@@ -373,7 +431,7 @@ func (kv *KV) remove(key []byte, id uint64, kind obs.EventKind, reason obs.Reaso
 	if found {
 		delete(s.m, id)
 		n = len(e.value)
-		recycleEntry(e)
+		s.recycle(e)
 	}
 	s.mu.Unlock()
 	if !found {
@@ -384,6 +442,124 @@ func (kv *KV) remove(key []byte, id uint64, kind obs.EventKind, reason obs.Reaso
 	kv.bytes.Add(-int64(n))
 	kv.items.Add(-1)
 	return true
+}
+
+// SetNow moves the TTL clock without running the wheel — a test hook for
+// exercising the lazy-expiry path in isolation. AdvanceTTL both moves the
+// clock and reclaims; production callers want that.
+func (kv *KV) SetNow(now int64) { kv.nowSec.Store(now) }
+
+// AdvanceTTL moves the TTL clock to now (unix seconds) and proactively
+// reclaims every entry whose deadline has passed, returning how many were
+// dropped. Calls are serialized; the StartExpiry ticker is the usual
+// caller, but tests drive it directly with a synthetic clock.
+//
+// Per data shard the due digests are collected under one exclusive lock
+// acquisition (the wheel tick), then each is expired through the normal
+// two-plane removal path — policy entry first, data second — outside that
+// first critical section, so the per-shard pause is proportional to the
+// due count, not to the removal work.
+func (kv *KV) AdvanceTTL(now int64) int {
+	kv.ttlMu.Lock()
+	defer kv.ttlMu.Unlock()
+	if now > kv.nowSec.Load() {
+		kv.nowSec.Store(now)
+	}
+	total := 0
+	for i := range kv.shards {
+		s := &kv.shards[i]
+		due := kv.ttlScratch[:0]
+		s.mu.Lock()
+		s.wheel.Advance(now, func(key uint64) {
+			due = append(due, key)
+		})
+		s.mu.Unlock()
+		kv.ttlScratch = due
+		for _, id := range due {
+			if kv.expireID(id, now) {
+				total++
+			}
+		}
+	}
+	if total != 0 {
+		kv.expired.Add(int64(total))
+	}
+	return total
+}
+
+// expireID drops one wheel-reported digest if its entry is still due.
+// Ordering matches remove(): policy first, data second. The recheck under
+// the exclusive lock handles the race where a concurrent Set replaced the
+// entry between the wheel tick and this removal — the fresh entry stays,
+// but its policy entry may have been deleted by our inner.Delete, so it is
+// re-admitted to keep the two planes consistent (worst case the object
+// rejoins as a new arrival, losing its promotion state — acceptable for a
+// cache, unlike stranded bytes the hook would never reclaim).
+func (kv *KV) expireID(id uint64, now int64) bool {
+	s := kv.shard(id)
+	s.mu.RLock()
+	e := s.m[id]
+	due := e != nil && e.expireAt != 0 && e.expireAt <= now
+	s.mu.RUnlock()
+	if !due {
+		return false
+	}
+	kv.inner.Delete(id)
+	s.mu.Lock()
+	e = s.m[id]
+	due = e != nil && e.expireAt != 0 && e.expireAt <= now
+	var n int
+	var key, value []byte
+	if due {
+		delete(s.m, id)
+		n = len(e.value)
+		s.recycle(e)
+	} else if e != nil {
+		key, value = e.key, e.value
+	}
+	s.mu.Unlock()
+	if !due {
+		if value != nil {
+			kv.inner.Set(id, uint64(EntryCost(len(key), len(value))))
+		}
+		return false
+	}
+	kv.rec.Record(obs.Event{Key: id, Kind: obs.EvExpire, Reason: obs.ReasonExpired})
+	kv.bytes.Add(-int64(n))
+	kv.items.Add(-1)
+	return true
+}
+
+// StartExpiry launches the background ticker that advances the TTL clock
+// and wheel every interval (1s matches the wheel granularity). It returns
+// a stop function that halts the ticker and waits for an in-flight sweep
+// to finish; calling stop more than once is safe.
+func (kv *KV) StartExpiry(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case tick := <-t.C:
+				kv.AdvanceTTL(tick.Unix())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
 }
 
 // Items returns the number of cached objects.
@@ -406,7 +582,11 @@ func (kv *KV) Stats() Snapshot {
 		out.Sets += s.sets.Load()
 		out.Deletes += s.deletes.Load()
 	}
-	out.Evictions = kv.inner.Stats().Evictions
+	inner := kv.inner.Stats()
+	out.Evictions = inner.Evictions
+	out.UsedBytes = inner.UsedBytes
+	out.MaxBytes = inner.MaxBytes
+	out.Expired = kv.expired.Load()
 	out.Len = int(kv.items.Load())
 	out.Capacity = kv.inner.Capacity()
 	return out

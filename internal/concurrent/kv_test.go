@@ -124,8 +124,8 @@ func TestKVCollisionServedAsMiss(t *testing.T) {
 	for _, kv := range kvCaches(t, 1024, 4) {
 		t.Run(kv.Name(), func(t *testing.T) {
 			const id = uint64(42)
-			kv.SetDigest([]byte("alpha"), []byte("va"), 0, id)
-			kv.SetDigest([]byte("beta"), []byte("vb"), 0, id)
+			kv.SetDigest([]byte("alpha"), []byte("va"), 0, id, 0)
+			kv.SetDigest([]byte("beta"), []byte("vb"), 0, id, 0)
 			if _, _, _, ok := kv.GetDigest(nil, []byte("alpha"), id); ok {
 				t.Fatal("displaced colliding key served as a hit")
 			}

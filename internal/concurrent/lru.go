@@ -92,6 +92,7 @@ func (c *LRU) Set(key, value uint64) {
 	s.stats.sets.Add(1)
 	s.mu.Lock()
 	if n, ok := s.byKey[key]; ok {
+		s.stats.usedBytes.Add(int64(value) - int64(n.Value.value))
 		n.Value.value = value
 		s.list.MoveToFront(n)
 		s.mu.Unlock()
@@ -101,6 +102,7 @@ func (c *LRU) Set(key, value uint64) {
 		victim := s.list.Back()
 		delete(s.byKey, victim.Value.key)
 		s.list.Remove(victim)
+		s.stats.usedBytes.Add(-int64(victim.Value.value))
 		s.stats.evictions.Add(1)
 		c.rec.Record(obs.Event{Key: victim.Value.key, Kind: obs.EvEvict, Reason: obs.ReasonCapacity})
 		if c.onEvict != nil {
@@ -108,6 +110,7 @@ func (c *LRU) Set(key, value uint64) {
 		}
 	}
 	s.byKey[key] = s.list.PushFront(lruEntry{key: key, value: value})
+	s.stats.usedBytes.Add(int64(value))
 	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
 	s.mu.Unlock()
 }
@@ -123,6 +126,7 @@ func (c *LRU) Delete(key uint64) bool {
 	}
 	delete(s.byKey, key)
 	s.list.Remove(n)
+	s.stats.usedBytes.Add(-int64(n.Value.value))
 	s.stats.deletes.Add(1)
 	return true
 }
@@ -138,7 +142,7 @@ func (c *LRU) ShardStats() []Snapshot {
 		s.mu.Lock()
 		n := s.list.Len()
 		s.mu.Unlock()
-		out[i] = s.stats.snapshot(n, s.cap)
+		out[i] = s.stats.snapshot(n, s.cap, 0)
 	}
 	return out
 }

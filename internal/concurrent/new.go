@@ -13,12 +13,15 @@ import (
 // reject options that do not apply to its policy instead of silently
 // ignoring them — a misconfigured benchmark is worse than a loud error.
 type config struct {
-	shards       int
-	clockBits    int
-	clockBitsSet bool
-	qdlp         QDLPOptions
-	qdlpSet      bool
-	recorder     *obs.Recorder
+	shards        int
+	clockBits     int
+	clockBitsSet  bool
+	qdlp          QDLPOptions
+	qdlpSet       bool
+	recorder      *obs.Recorder
+	maxBytes      int64
+	maxEntries    int
+	maxEntriesSet bool
 }
 
 const defaultShards = 16
@@ -71,6 +74,36 @@ func WithQDLPOptions(opts QDLPOptions) Option {
 	}
 }
 
+// WithMaxBytes caps the cache by accounted bytes instead of object count
+// (cost = len(key)+len(value)+EntryOverhead per object when driven by
+// the KV adapter; see EntryCost). It applies to every policy, selecting
+// the policy's byte-capped implementation, and is mutually exclusive
+// with WithMaxEntries and with a nonzero positional capacity.
+func WithMaxBytes(n int64) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("concurrent: max bytes %d must be positive", n)
+		}
+		c.maxBytes = n
+		return nil
+	}
+}
+
+// WithMaxEntries caps the cache by object count — the named form of the
+// positional capacity argument, which remains as a deprecated alias.
+// Mutually exclusive with WithMaxBytes and with a nonzero positional
+// capacity.
+func WithMaxEntries(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("concurrent: max entries %d must be positive", n)
+		}
+		c.maxEntries = n
+		c.maxEntriesSet = true
+		return nil
+	}
+}
+
 // WithRecorder attaches a lifecycle-event recorder to the constructed cache
 // (see Cache.SetRecorder). It applies to every policy; a nil recorder is
 // allowed and leaves tracing disabled.
@@ -118,13 +151,30 @@ func Names() []string {
 // does not apply to the chosen policy is an error, as is an unknown policy
 // name:
 //
-//	c, err := concurrent.New("qdlp", 1<<20, concurrent.WithShards(64))
+//	c, err := concurrent.New("qdlp", 0, concurrent.WithMaxBytes(512<<20))
+//	c, err := concurrent.New("qdlp", 0, concurrent.WithMaxEntries(1<<20))
+//
+// The capacity argument is a deprecated positional alias for
+// WithMaxEntries: exactly one of {nonzero capacity, WithMaxEntries,
+// WithMaxBytes} must be given.
 func New(policy string, capacity int, opts ...Option) (Cache, error) {
 	cfg := defaultConfig()
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
+	}
+	switch {
+	case cfg.maxBytes > 0 && cfg.maxEntriesSet:
+		return nil, fmt.Errorf("concurrent: WithMaxBytes and WithMaxEntries are mutually exclusive")
+	case cfg.maxBytes > 0 && capacity != 0:
+		return nil, fmt.Errorf("concurrent: WithMaxBytes conflicts with the positional (entry) capacity %d", capacity)
+	case cfg.maxEntriesSet && capacity != 0:
+		return nil, fmt.Errorf("concurrent: WithMaxEntries conflicts with the positional capacity %d (drop one)", capacity)
+	case cfg.maxEntriesSet:
+		capacity = cfg.maxEntries
+	case cfg.maxBytes == 0 && capacity <= 0:
+		return nil, fmt.Errorf("concurrent: capacity must be set via WithMaxBytes, WithMaxEntries, or the positional argument")
 	}
 	regMu.RLock()
 	f, ok := factories[policy]
@@ -158,11 +208,17 @@ func init() {
 		if err := rejectOptions("lru", cfg, false, false); err != nil {
 			return nil, err
 		}
+		if cfg.maxBytes > 0 {
+			return NewByteLRU(cfg.maxBytes, cfg.shards)
+		}
 		return NewLRU(capacity, cfg.shards)
 	})
 	Register("clock", func(capacity int, cfg config) (Cache, error) {
 		if err := rejectOptions("clock", cfg, true, false); err != nil {
 			return nil, err
+		}
+		if cfg.maxBytes > 0 {
+			return NewByteClock(cfg.maxBytes, cfg.shards, cfg.clockBits)
 		}
 		return NewClock(capacity, cfg.shards, cfg.clockBits)
 	})
@@ -170,11 +226,17 @@ func init() {
 		if err := rejectOptions("sieve", cfg, false, false); err != nil {
 			return nil, err
 		}
+		if cfg.maxBytes > 0 {
+			return NewByteSieve(cfg.maxBytes, cfg.shards)
+		}
 		return NewSieve(capacity, cfg.shards)
 	})
 	Register("qdlp", func(capacity int, cfg config) (Cache, error) {
 		if err := rejectOptions("qdlp", cfg, true, true); err != nil {
 			return nil, err
+		}
+		if cfg.maxBytes > 0 {
+			return NewByteQDLP(cfg.maxBytes, cfg.shards, cfg.qdlp)
 		}
 		return NewQDLPWithOptions(capacity, cfg.shards, cfg.qdlp)
 	})

@@ -72,6 +72,13 @@ type QDLPOptions struct {
 	// ClockBits is the main ring's counter width in bits, 1–6
 	// (1 = FIFO-Reinsertion). 0 selects the paper's 2.
 	ClockBits int
+	// AdmitFrac is the size-aware admission threshold for byte-capped
+	// caches (WithMaxBytes), as a fraction of the probation byte budget
+	// in (0, 1]: a first-touch object costing more than
+	// AdmitFrac × probation-bytes goes straight to the ghost instead of
+	// flushing probation. 0 selects 0.5. Entry-capped caches have no
+	// byte budget to take a fraction of and reject a nonzero value.
+	AdmitFrac float64
 }
 
 // NewQDLP returns a sharded QD-LP-FIFO cache with the paper's sizing: the
@@ -106,6 +113,9 @@ func NewQDLPWithOptions(capacity, shards int, opts QDLPOptions) (*QDLP, error) {
 	}
 	if bits < 1 || bits > 6 {
 		return nil, fmt.Errorf("concurrent: qdlp clock bits %d outside [1, 6]", bits)
+	}
+	if opts.AdmitFrac != 0 {
+		return nil, fmt.Errorf("concurrent: qdlp admit fraction applies only to byte-capped caches (WithMaxBytes)")
 	}
 	n := shardCount(shards)
 	per, err := splitCapacity(capacity, n)
@@ -198,6 +208,7 @@ func (c *QDLP) Set(key, value uint64) {
 	defer s.mu.Unlock()
 	if l, ok := s.byKey[key]; ok {
 		slot := s.slot(l)
+		s.stats.usedBytes.Add(int64(value) - int64(slot.value))
 		slot.value = value
 		if f := slot.freq.Load(); f < c.maxFreq {
 			slot.freq.Store(f + 1)
@@ -208,6 +219,7 @@ func (c *QDLP) Set(key, value uint64) {
 		// Quick-demotion mistake: admit straight into the main ring.
 		delete(s.ghost, key)
 		c.rec.Record(obs.Event{Key: key, Kind: obs.EvGhostReadmit})
+		s.stats.usedBytes.Add(int64(value))
 		s.insertMain(c, key, value)
 		return
 	}
@@ -222,6 +234,7 @@ func (c *QDLP) Set(key, value uint64) {
 	s.smallCount++
 	s.smallLive++
 	s.byKey[key] = qdLoc{where: locSmall, idx: int32(idx)}
+	s.stats.usedBytes.Add(int64(value))
 	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
 }
 
@@ -250,6 +263,7 @@ func (s *qdShard) evictSmall(c *QDLP) {
 	// Quick demotion: never re-requested — this is the eviction.
 	c.rec.Record(obs.Event{Key: key, Kind: obs.EvDemoteGhost, Reason: obs.ReasonProbationOverflow})
 	s.ghostAdd(key)
+	s.stats.usedBytes.Add(-int64(slot.value))
 	s.stats.evictions.Add(1)
 	if c.onEvict != nil {
 		c.onEvict(key, obs.ReasonProbationOverflow)
@@ -263,6 +277,7 @@ func (s *qdShard) insertMain(c *QDLP, key, value uint64) {
 	slot := &s.main[idx]
 	if slot.live {
 		delete(s.byKey, slot.key)
+		s.stats.usedBytes.Add(-int64(slot.value))
 		s.stats.evictions.Add(1)
 		c.rec.Record(obs.Event{Key: slot.key, Kind: obs.EvEvict, Reason: obs.ReasonMainClock})
 		if c.onEvict != nil {
@@ -296,6 +311,7 @@ func (c *QDLP) Delete(key uint64) bool {
 	} else {
 		s.mainUsed--
 	}
+	s.stats.usedBytes.Add(-int64(slot.value))
 	s.stats.deletes.Add(1)
 	return true
 }
@@ -311,7 +327,7 @@ func (c *QDLP) ShardStats() []Snapshot {
 		s.mu.RLock()
 		n := s.smallLive + s.mainUsed
 		s.mu.RUnlock()
-		out[i] = s.stats.snapshot(n, len(s.small)+len(s.main))
+		out[i] = s.stats.snapshot(n, len(s.small)+len(s.main), 0)
 	}
 	return out
 }

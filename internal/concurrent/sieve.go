@@ -101,6 +101,7 @@ func (c *Sieve) Set(key, value uint64) {
 	s.stats.sets.Add(1)
 	s.mu.Lock()
 	if n, ok := s.byKey[key]; ok {
+		s.stats.usedBytes.Add(int64(value) - int64(n.value))
 		n.value = value
 		n.visited.Store(true)
 		s.mu.Unlock()
@@ -125,6 +126,7 @@ func (c *Sieve) Set(key, value uint64) {
 	}
 	s.byKey[key] = n
 	s.size++
+	s.stats.usedBytes.Add(int64(value))
 	c.rec.Record(obs.Event{Key: key, Kind: obs.EvAdmit})
 	s.mu.Unlock()
 }
@@ -151,6 +153,7 @@ func (s *sieveShard) evict(rec *obs.Recorder) uint64 {
 	s.unlink(n)
 	delete(s.byKey, n.key)
 	s.size--
+	s.stats.usedBytes.Add(-int64(n.value))
 	return n.key
 }
 
@@ -170,6 +173,7 @@ func (c *Sieve) Delete(key uint64) bool {
 	s.unlink(n)
 	delete(s.byKey, key)
 	s.size--
+	s.stats.usedBytes.Add(-int64(n.value))
 	s.stats.deletes.Add(1)
 	return true
 }
@@ -185,7 +189,7 @@ func (c *Sieve) ShardStats() []Snapshot {
 		s.mu.RLock()
 		n := s.size
 		s.mu.RUnlock()
-		out[i] = s.stats.snapshot(n, s.cap)
+		out[i] = s.stats.snapshot(n, s.cap, 0)
 	}
 	return out
 }

@@ -18,9 +18,22 @@ type Snapshot struct {
 	// Evictions counts objects evicted to make room (not overwrites or
 	// Deletes).
 	Evictions int64
-	// Len is the number of cached objects; Capacity the configured bound.
+	// Expired counts objects the timer wheel reclaimed proactively
+	// (client-driven expiry via ExpireDigest counts into Deletes, as
+	// before). Policies leave it zero; the KV adapter owns TTLs and
+	// fills it in.
+	Expired int64
+	// Len is the number of cached objects; Capacity the configured bound
+	// in objects (0 for byte-capped caches).
 	Len      int
 	Capacity int
+	// UsedBytes is the accounted cost of the cached objects
+	// (len(key)+len(value)+EntryOverhead per object, as fed to Set by the
+	// KV adapter; a simulation driving a policy directly with non-size
+	// values makes this a plain sum of those values). MaxBytes is the
+	// byte budget, 0 for entry-capped caches.
+	UsedBytes int64
+	MaxBytes  int64
 }
 
 // HitRatio returns Hits/(Hits+Misses), or 0 before any Get.
@@ -42,10 +55,16 @@ type opStats struct {
 	sets      atomic.Int64
 	deletes   atomic.Int64
 	evictions atomic.Int64
+	// usedBytes is the shard's accounted byte occupancy (the sum of the
+	// values currently stored, which the KV adapter feeds as object
+	// costs). Maintained under the shard's exclusive lock but read by
+	// lock-free scrapes, hence atomic.
+	usedBytes atomic.Int64
 }
 
-// snapshot renders the counter block plus the caller-supplied occupancy.
-func (o *opStats) snapshot(length, capacity int) Snapshot {
+// snapshot renders the counter block plus the caller-supplied occupancy
+// and byte budget (0 for entry-capped shards).
+func (o *opStats) snapshot(length, capacity int, maxBytes int64) Snapshot {
 	return Snapshot{
 		Hits:      o.hits.Load(),
 		Misses:    o.misses.Load(),
@@ -54,6 +73,8 @@ func (o *opStats) snapshot(length, capacity int) Snapshot {
 		Evictions: o.evictions.Load(),
 		Len:       length,
 		Capacity:  capacity,
+		UsedBytes: o.usedBytes.Load(),
+		MaxBytes:  maxBytes,
 	}
 }
 
@@ -66,8 +87,11 @@ func sumSnapshots(shards []Snapshot) Snapshot {
 		out.Sets += s.Sets
 		out.Deletes += s.Deletes
 		out.Evictions += s.Evictions
+		out.Expired += s.Expired
 		out.Len += s.Len
 		out.Capacity += s.Capacity
+		out.UsedBytes += s.UsedBytes
+		out.MaxBytes += s.MaxBytes
 	}
 	return out
 }

@@ -92,8 +92,11 @@ func TestKVStats(t *testing.T) {
 			kv.Delete([]byte("b")) // second delete: not counted
 
 			st := kv.Stats()
+			// Only "a"/"va" survives the delete; entry-capped policies still
+			// account its cost informationally.
 			want := Snapshot{Hits: 1, Misses: 1, Sets: 2, Deletes: 1,
-				Len: int(kv.Items()), Capacity: kv.Capacity()}
+				Len: int(kv.Items()), Capacity: kv.Capacity(),
+				UsedBytes: EntryCost(len("a"), len("va"))}
 			if st != want {
 				t.Errorf("Stats = %+v, want %+v", st, want)
 			}

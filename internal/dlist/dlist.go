@@ -132,6 +132,18 @@ func (l *List[T]) Remove(n *Node[T]) T {
 	return n.Value
 }
 
+// Unlink removes n from the list without returning its value — the
+// companion to PushNodeFront/PushNodeBack for moving nodes between lists
+// when T contains atomics and must never be copied.
+func (l *List[T]) Unlink(n *Node[T]) {
+	if n.list != l {
+		panic("dlist: Unlink called with node of a different list")
+	}
+	l.unlink(n)
+	n.prev = nil
+	n.next = nil
+}
+
 // MoveToFront moves n to the front of the list. n must be a node of this
 // list.
 func (l *List[T]) MoveToFront(n *Node[T]) {

@@ -110,6 +110,11 @@ const (
 	ReasonExpired
 	// ReasonDeleted is an explicit client delete.
 	ReasonDeleted
+	// ReasonSizeAdmission is a size-aware admission rejection: the object
+	// was larger than the configured fraction of the probation byte budget,
+	// so it was never admitted past probation on first touch (quick
+	// demotion applied to bytes).
+	ReasonSizeAdmission
 )
 
 // String returns the reason's wire name, used by /debug/events.
@@ -125,6 +130,8 @@ func (r Reason) String() string {
 		return "expired"
 	case ReasonDeleted:
 		return "deleted"
+	case ReasonSizeAdmission:
+		return "size-admission"
 	}
 	return "none"
 }

@@ -386,17 +386,26 @@ func (c *Client) getMultiOnce(keys [][]byte, out []MultiValue) error {
 	}
 }
 
-// Set stores value under key.
+// Set stores value under key with no expiry.
 func (c *Client) Set(key []byte, flags uint32, value []byte) error {
-	return c.do(c.mutateAttempts(), func() error { return c.setOnce(key, flags, value) })
+	return c.SetExp(key, flags, 0, value)
 }
 
-func (c *Client) setOnce(key []byte, flags uint32, value []byte) error {
+// SetExp stores value under key with a wire exptime, per the memcached
+// contract: 0 never expires, up to 30 days is a relative TTL in seconds,
+// larger values are absolute unix timestamps.
+func (c *Client) SetExp(key []byte, flags uint32, exptime int64, value []byte) error {
+	return c.do(c.mutateAttempts(), func() error { return c.setOnce(key, flags, exptime, value) })
+}
+
+func (c *Client) setOnce(key []byte, flags uint32, exptime int64, value []byte) error {
 	c.buf = append(c.buf[:0], "set "...)
 	c.buf = append(c.buf, key...)
 	c.buf = append(c.buf, ' ')
 	c.buf = strconv.AppendUint(c.buf, uint64(flags), 10)
-	c.buf = append(c.buf, " 0 "...)
+	c.buf = append(c.buf, ' ')
+	c.buf = strconv.AppendInt(c.buf, exptime, 10)
+	c.buf = append(c.buf, ' ')
 	c.buf = strconv.AppendInt(c.buf, int64(len(value)), 10)
 	c.buf = append(c.buf, "\r\n"...)
 	if _, err := c.bw.Write(c.buf); err != nil {

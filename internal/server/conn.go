@@ -226,27 +226,20 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 	case OpSet:
 		s.counters.Sets.Add(1)
 		s.counters.BytesRead.Add(int64(len(req.Value)))
-		switch {
-		case req.Exptime < 0:
-			// Memcached semantics: a negative exptime stores an
-			// already-expired item. The store is acknowledged but the value
-			// is never visible — and any previous version was logically
-			// overwritten, so it is dropped too, surfacing as an expire
-			// (not a delete) in the lifecycle event stream.
+		expireAt, expired := resolveExptime(req.Exptime, time.Now().Unix())
+		if expired {
+			// Memcached semantics: a store that is already expired (negative
+			// exptime, or an absolute timestamp in the past) is acknowledged
+			// but the value is never visible — and any previous version was
+			// logically overwritten, so it is dropped too, surfacing as an
+			// expire (not a delete) in the lifecycle event stream.
 			s.cfg.Store.ExpireDigest(req.Keys[0], req.Digests[0])
 			req.outcome = OutcomeStored
 			if !req.NoReply {
 				writeStored(bw)
 			}
-		case req.Exptime > 0:
-			// TTL expiry is not implemented; storing the value forever
-			// would silently violate the client's contract. Errors are
-			// reported even to noreply clients, matching memcached.
-			s.counters.BadCommands.Add(1)
-			req.outcome = OutcomeError
-			writeClientError(bw, "exptime must be 0 (TTL expiry not supported)")
-		default:
-			s.cfg.Store.SetDigest(req.Keys[0], req.Value, req.Flags, req.Digests[0])
+		} else {
+			s.cfg.Store.SetDigest(req.Keys[0], req.Value, req.Flags, req.Digests[0], expireAt)
 			req.outcome = OutcomeStored
 			if !req.NoReply {
 				writeStored(bw)
@@ -276,16 +269,45 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 	return true
 }
 
+// exptimeAbsThreshold is memcached's 30-day boundary: a positive exptime up
+// to this value is a relative TTL in seconds; anything larger is an
+// absolute unix timestamp.
+const exptimeAbsThreshold = 60 * 60 * 24 * 30
+
+// resolveExptime maps a wire exptime to an absolute expiry deadline in unix
+// seconds (0 = never), per the memcached contract: 0 never expires, a
+// negative value (or an absolute timestamp at/before now) is already
+// expired, 1..30 days is relative to now, and larger values are absolute
+// unix timestamps.
+func resolveExptime(exptime, now int64) (expireAt int64, expired bool) {
+	switch {
+	case exptime == 0:
+		return 0, false
+	case exptime < 0:
+		return 0, true
+	case exptime <= exptimeAbsThreshold:
+		return now + exptime, false
+	case exptime <= now:
+		return 0, true
+	default:
+		return exptime, false
+	}
+}
+
 // writeStats renders the stats response: server counters plus the store's
 // gauges. The snapshot is not atomic across counters, but each counter is
 // itself exact.
 func (s *Server) writeStats(bw *bufio.Writer) {
+	snap := s.cfg.Store.Stats()
 	writeStatString(bw, "cache", s.cfg.Store.Name())
 	writeStat(bw, "uptime_seconds", int64(time.Since(s.start).Seconds()))
 	writeStat(bw, "capacity_items", int64(s.cfg.Store.Capacity()))
 	writeStat(bw, "curr_items", s.cfg.Store.Items())
 	writeStat(bw, "curr_bytes", s.cfg.Store.Bytes())
-	writeStat(bw, "evictions", s.cfg.Store.Stats().Evictions)
+	writeStat(bw, "used_bytes", snap.UsedBytes)
+	writeStat(bw, "max_bytes", snap.MaxBytes)
+	writeStat(bw, "expired_proactive", snap.Expired)
+	writeStat(bw, "evictions", snap.Evictions)
 	writeStat(bw, "cmd_get", s.counters.Gets.Load())
 	writeStat(bw, "get_hits", s.counters.GetHits.Load())
 	writeStat(bw, "get_misses", s.counters.GetMisses.Load())

@@ -29,10 +29,16 @@ const (
 	// MetricEvictions counts capacity evictions (server only).
 	MetricEvictions = "cache_evictions_total"
 
-	// Server-only occupancy gauges.
-	MetricItems         = "cache_items"
-	MetricValueBytes    = "cache_value_bytes"
-	MetricCapacityItems = "cache_capacity_items"
+	// Server-only occupancy gauges. UsedBytes/MaxBytes are the accounted
+	// byte budget (key+value+EntryOverhead per object; MaxBytes is 0 for
+	// entry-capped caches), as opposed to MetricValueBytes which is raw
+	// value payload.
+	MetricItems            = "cache_items"
+	MetricValueBytes       = "cache_value_bytes"
+	MetricCapacityItems    = "cache_capacity_items"
+	MetricUsedBytes        = "cache_used_bytes"
+	MetricMaxBytes         = "cache_max_bytes"
+	MetricExpiredProactive = "cache_expired_proactive_total"
 
 	// Per-shard policy-plane balance (labels: policy, shard).
 	MetricShardItems     = "cache_shard_items"
@@ -174,6 +180,9 @@ func RegisterStoreMetrics(reg *metrics.Registry, store Store) {
 	reg.CounterFunc(MetricEvictions, "Objects evicted to make room.",
 		stat(func(s concurrent.Snapshot) int64 { return s.Evictions }),
 		"side", "server", "policy", policy)
+	reg.CounterFunc(MetricExpiredProactive, "Objects reclaimed proactively by the TTL timer wheel.",
+		stat(func(s concurrent.Snapshot) int64 { return s.Expired }),
+		"side", "server", "policy", policy)
 
 	reg.GaugeFunc(MetricItems, "Objects currently cached.",
 		func() float64 { return float64(store.Items()) }, "policy", policy)
@@ -181,6 +190,10 @@ func RegisterStoreMetrics(reg *metrics.Registry, store Store) {
 		func() float64 { return float64(store.Bytes()) }, "policy", policy)
 	reg.GaugeFunc(MetricCapacityItems, "Configured capacity in objects.",
 		func() float64 { return float64(store.Capacity()) }, "policy", policy)
+	reg.GaugeFunc(MetricUsedBytes, "Accounted bytes currently cached (key+value+overhead).",
+		func() float64 { return float64(store.Stats().UsedBytes) }, "policy", policy)
+	reg.GaugeFunc(MetricMaxBytes, "Configured byte budget (0 when capped by entries).",
+		func() float64 { return float64(store.Stats().MaxBytes) }, "policy", policy)
 
 	for i := range store.ShardStats() {
 		shard := strconv.Itoa(i)

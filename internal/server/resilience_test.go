@@ -41,11 +41,11 @@ type panicStore struct {
 	Store
 }
 
-func (p *panicStore) SetDigest(key, value []byte, flags uint32, id uint64) uint64 {
+func (p *panicStore) SetDigest(key, value []byte, flags uint32, id uint64, expireAt int64) uint64 {
 	if string(key) == "boom" {
 		panic("injected store fault")
 	}
-	return p.Store.SetDigest(key, value, flags, id)
+	return p.Store.SetDigest(key, value, flags, id, expireAt)
 }
 
 // TestPanicIsolatedToConnection is the fault-isolation contract: a handler

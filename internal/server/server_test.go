@@ -336,12 +336,12 @@ func TestServerGracefulShutdownDrains(t *testing.T) {
 }
 
 // TestServerExptimeSemantics pins the memcached exptime contract: negative
-// exptime means "store already expired" (acknowledged, value never visible,
-// any prior version dropped), and positive exptimes are rejected loudly
-// because TTL expiry is not implemented — silently storing forever would
-// violate the client's contract.
+// exptime (or an absolute timestamp in the past) means "store already
+// expired" — acknowledged, value never visible, any prior version dropped —
+// while a positive exptime stores with a deadline: relative seconds up to
+// 30 days, absolute unix timestamps beyond.
 func TestServerExptimeSemantics(t *testing.T) {
-	srv, addr := startServer(t, nil)
+	_, addr := startServer(t, nil)
 	rc := dialRaw(t, addr)
 
 	// Negative exptime on a fresh key: STORED, but the value is absent.
@@ -358,20 +358,66 @@ func TestServerExptimeSemantics(t *testing.T) {
 	rc.send("get k\r\n")
 	rc.expect("END")
 
-	// Positive exptime: CLIENT_ERROR, value not stored, connection stays up.
+	// Relative TTL well in the future: stored and immediately visible.
 	rc.send("set ttl 0 60 3\r\nabc\r\n")
-	rc.expect("CLIENT_ERROR exptime must be 0 (TTL expiry not supported)")
+	rc.expect("STORED")
 	rc.send("get ttl\r\n")
+	rc.expect("VALUE ttl 0 3")
+	rc.expect("abc")
 	rc.expect("END")
 
-	// noreply suppresses STORED acks but not errors (memcached behavior):
-	// the noreply negative-exptime set is silent, the noreply positive-
-	// exptime set still answers CLIENT_ERROR.
+	// Absolute timestamp in the future (> 30 days on the wire): visible.
+	future := time.Now().Unix() + 3600
+	rc.send(fmt.Sprintf("set abs 0 %d 3\r\nfut\r\n", future))
+	rc.expect("STORED")
+	rc.send("get abs\r\n")
+	rc.expect("VALUE abs 0 3")
+	rc.expect("fut")
+	rc.expect("END")
+
+	// Absolute timestamp in the past: already expired, same as negative.
+	rc.send("set past 0 2592001 3\r\nold\r\n")
+	rc.expect("STORED")
+	rc.send("get past\r\n")
+	rc.expect("END")
+
+	// noreply suppresses STORED acks for both the already-expired and the
+	// TTL store (memcached behavior).
 	rc.send("set q1 0 -1 1 noreply\r\na\r\nset q2 0 9 1 noreply\r\nb\r\nget q1 q2\r\n")
-	rc.expect("CLIENT_ERROR exptime must be 0 (TTL expiry not supported)")
+	rc.expect("VALUE q2 0 1")
+	rc.expect("b")
 	rc.expect("END")
+}
 
-	if bad := srv.counters.BadCommands.Load(); bad != 2 {
-		t.Errorf("BadCommands = %d, want 2 (the two positive-exptime sets)", bad)
+// TestResolveExptime pins the wire-exptime → absolute-deadline mapping at
+// the 30-day boundary, where relative seconds hand over to absolute unix
+// timestamps.
+func TestResolveExptime(t *testing.T) {
+	const now = int64(1_700_000_000) // far above the 30-day threshold
+	const month = int64(exptimeAbsThreshold)
+	cases := []struct {
+		name     string
+		exptime  int64
+		expireAt int64
+		expired  bool
+	}{
+		{"zero never expires", 0, 0, false},
+		{"negative already expired", -1, 0, true},
+		{"very negative already expired", -1 << 40, 0, true},
+		{"one second relative", 1, now + 1, false},
+		{"boundary is still relative", month, now + month, false},
+		{"past boundary is absolute", month + 1, 0, true}, // 1971: long past
+		{"absolute now is expired", now, 0, true},
+		{"absolute future", now + 1, now + 1, false},
+		{"absolute far future", now + 86400, now + 86400, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gotAt, gotExpired := resolveExptime(tc.exptime, now)
+			if gotAt != tc.expireAt || gotExpired != tc.expired {
+				t.Errorf("resolveExptime(%d, now) = (%d, %v), want (%d, %v)",
+					tc.exptime, gotAt, gotExpired, tc.expireAt, tc.expired)
+			}
+		})
 	}
 }

@@ -13,8 +13,9 @@ type Store interface {
 	AppendHit(dst, key []byte, id uint64, hdr concurrent.HitHeaderFunc) (out []byte, valueLen int, ok bool)
 	// GetMulti is the shard-batched multi-key lookup (see KV.GetMulti).
 	GetMulti(dst []byte, keys [][]byte, ids []uint64, out []concurrent.MultiHit) []byte
-	// SetDigest stores value under key, returning the new cas token.
-	SetDigest(key, value []byte, flags uint32, id uint64) uint64
+	// SetDigest stores value under key with an absolute expiry deadline in
+	// unix seconds (0 = never), returning the new cas token.
+	SetDigest(key, value []byte, flags uint32, id uint64, expireAt int64) uint64
 	// DeleteDigest removes key, reporting whether it was present.
 	DeleteDigest(key []byte, id uint64) bool
 	// ExpireDigest drops key, surfacing as an expiry in the event stream.

@@ -44,9 +44,11 @@ func (h *gdsfHeap) Pop() any {
 }
 
 // NewGDSF returns a byte-capacity GDSF cache.
-func NewGDSF(capacityBytes int64) *GDSF {
-	validateCapacity(capacityBytes)
-	return &GDSF{capacity: capacityBytes, byKey: make(map[uint64]*gdsfEntry)}
+func NewGDSF(capacityBytes int64) (*GDSF, error) {
+	if err := validateCapacity(capacityBytes); err != nil {
+		return nil, err
+	}
+	return &GDSF{capacity: capacityBytes, byKey: make(map[uint64]*gdsfEntry)}, nil
 }
 
 // Name implements Policy.

@@ -36,8 +36,10 @@ type probEntry struct {
 
 // NewQDLP returns a size-aware QD-LP-FIFO with the paper's 10% probation
 // share.
-func NewQDLP(capacityBytes int64) *QDLP {
-	validateCapacity(capacityBytes)
+func NewQDLP(capacityBytes int64) (*QDLP, error) {
+	if err := validateCapacity(capacityBytes); err != nil {
+		return nil, err
+	}
 	probCap := capacityBytes / 10
 	if probCap < 1 {
 		probCap = 1
@@ -46,15 +48,19 @@ func NewQDLP(capacityBytes int64) *QDLP {
 	if mainCap < 1 {
 		mainCap = 1
 	}
+	main, err := NewClock(mainCap, 2)
+	if err != nil {
+		return nil, err
+	}
 	return &QDLP{
 		capacity:  capacityBytes,
 		probCap:   probCap,
 		probByKey: make(map[uint64]*dlist.Node[probEntry]),
-		main:      NewClock(mainCap, 2),
+		main:      main,
 		// Upper-bound the ghost generously; the effective bound is
 		// enforced dynamically against the main cache's population.
 		ghost: ghost.New(1 << 20),
-	}
+	}, nil
 }
 
 // Name implements Policy.

@@ -1,6 +1,8 @@
 package sizeaware
 
 import (
+	"fmt"
+
 	"repro/internal/dlist"
 	"repro/internal/trace"
 )
@@ -22,30 +24,34 @@ type FIFO struct {
 }
 
 // NewFIFO returns a byte-capacity FIFO.
-func NewFIFO(capacityBytes int64) *FIFO {
-	validateCapacity(capacityBytes)
+func NewFIFO(capacityBytes int64) (*FIFO, error) {
+	if err := validateCapacity(capacityBytes); err != nil {
+		return nil, err
+	}
 	return &FIFO{
 		name:     "size-fifo",
 		capacity: capacityBytes,
 		byKey:    make(map[uint64]*dlist.Node[entry]),
-	}
+	}, nil
 }
 
 // NewClock returns a byte-capacity k-bit CLOCK: size-aware Lazy Promotion.
 // Reinsertion is unchanged by object size — a requested object earns a
 // second traversal whatever its footprint, so large cold objects leave as
 // fast as small ones.
-func NewClock(capacityBytes int64, bits int) *FIFO {
-	validateCapacity(capacityBytes)
+func NewClock(capacityBytes int64, bits int) (*FIFO, error) {
+	if err := validateCapacity(capacityBytes); err != nil {
+		return nil, err
+	}
 	if bits < 1 || bits > 6 {
-		panic("sizeaware: clock bits must be in [1,6]")
+		return nil, fmt.Errorf("sizeaware: clock bits %d outside [1, 6]", bits)
 	}
 	return &FIFO{
 		name:     "size-clock",
 		capacity: capacityBytes,
 		byKey:    make(map[uint64]*dlist.Node[entry]),
 		maxFreq:  uint8(1<<bits - 1),
-	}
+	}, nil
 }
 
 // Name implements Policy.
@@ -110,9 +116,11 @@ type LRU struct {
 }
 
 // NewLRU returns a byte-capacity LRU.
-func NewLRU(capacityBytes int64) *LRU {
-	validateCapacity(capacityBytes)
-	return &LRU{capacity: capacityBytes, byKey: make(map[uint64]*dlist.Node[entry])}
+func NewLRU(capacityBytes int64) (*LRU, error) {
+	if err := validateCapacity(capacityBytes); err != nil {
+		return nil, err
+	}
+	return &LRU{capacity: capacityBytes, byKey: make(map[uint64]*dlist.Node[entry])}, nil
 }
 
 // Name implements Policy.

@@ -81,8 +81,9 @@ func Run(p Policy, tr *trace.Trace) Result {
 	return res
 }
 
-func validateCapacity(capacityBytes int64) {
+func validateCapacity(capacityBytes int64) error {
 	if capacityBytes <= 0 {
-		panic(fmt.Sprintf("sizeaware: capacity must be positive, got %d", capacityBytes))
+		return fmt.Errorf("sizeaware: capacity must be positive, got %d", capacityBytes)
 	}
+	return nil
 }

@@ -13,21 +13,34 @@ func sizedTrace(seed int64) *trace.Trace {
 	return tr
 }
 
-func policies(capacity int64) []Policy {
-	return []Policy{
-		NewFIFO(capacity),
-		NewClock(capacity, 2),
-		NewLRU(capacity),
-		NewGDSF(capacity),
-		NewQDLP(capacity),
+// mustPolicy panics on a constructor error — the helper every test with a
+// known-good capacity uses (its multi-value argument must be the call's
+// only one, so no *testing.T parameter).
+func mustPolicy[P Policy](p P, err error) P {
+	if err != nil {
+		panic(err)
 	}
+	return p
+}
+
+func policies(t *testing.T, capacity int64) []Policy {
+	t.Helper()
+	out := make([]Policy, 0, len(Names()))
+	for _, name := range Names() {
+		p, err := New(name, capacity)
+		if err != nil {
+			t.Fatalf("New(%q, %d): %v", name, capacity, err)
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // Shared contract: byte usage never exceeds capacity, hits iff resident,
 // per-key sizes consistent.
 func TestContract(t *testing.T) {
 	tr := sizedTrace(1)
-	for _, p := range policies(1 << 22) {
+	for _, p := range policies(t, 1<<22) {
 		t.Run(p.Name(), func(t *testing.T) {
 			for i := range tr.Requests {
 				r := &tr.Requests[i]
@@ -51,7 +64,7 @@ func TestContract(t *testing.T) {
 }
 
 func TestOversizedObjectBypassed(t *testing.T) {
-	for _, p := range policies(1000) {
+	for _, p := range policies(t, 1000) {
 		r := trace.Request{Key: 1, Size: 5000}
 		if p.Access(&r) {
 			t.Fatalf("%s: hit on first access", p.Name())
@@ -63,7 +76,7 @@ func TestOversizedObjectBypassed(t *testing.T) {
 }
 
 func TestEvictionFreesEnoughBytes(t *testing.T) {
-	p := NewLRU(1000)
+	p := mustPolicy(NewLRU(1000))
 	reqs := []trace.Request{
 		{Key: 1, Size: 400}, {Key: 2, Size: 400},
 		{Key: 3, Size: 900}, // must evict both
@@ -82,7 +95,7 @@ func TestEvictionFreesEnoughBytes(t *testing.T) {
 // Size-aware CLOCK gives requested objects a second chance regardless of
 // size.
 func TestClockSizeAwareReinsertion(t *testing.T) {
-	p := NewClock(1000, 1)
+	p := mustPolicy(NewClock(1000, 1))
 	reqs := []trace.Request{
 		{Key: 1, Size: 400}, {Key: 2, Size: 400},
 		{Key: 1, Size: 400},            // hit: sets freq
@@ -101,7 +114,7 @@ func TestClockSizeAwareReinsertion(t *testing.T) {
 
 // GDSF prefers evicting large objects at equal frequency.
 func TestGDSFPrefersEvictingLarge(t *testing.T) {
-	p := NewGDSF(1000)
+	p := mustPolicy(NewGDSF(1000))
 	reqs := []trace.Request{
 		{Key: 1, Size: 100}, {Key: 2, Size: 800},
 		{Key: 3, Size: 500},
@@ -119,7 +132,7 @@ func TestGDSFPrefersEvictingLarge(t *testing.T) {
 
 // The QDLP probation filters one-hit wonders before they reach main.
 func TestQDLPFiltersOneHitWonders(t *testing.T) {
-	p := NewQDLP(1 << 16)
+	p := mustPolicy(NewQDLP(1 << 16))
 	for i := 0; i < 2000; i++ {
 		r := trace.Request{Key: uint64(i), Size: 256, Time: int64(i)}
 		p.Access(&r)
@@ -131,7 +144,7 @@ func TestQDLPFiltersOneHitWonders(t *testing.T) {
 
 // Ghost readmission works in the size-aware wrapper too.
 func TestQDLPGhostReadmission(t *testing.T) {
-	p := NewQDLP(10000) // probation 1000 bytes
+	p := mustPolicy(NewQDLP(10000)) // probation 1000 bytes
 	reqs := []trace.Request{
 		{Key: 1, Size: 400}, {Key: 2, Size: 400},
 		{Key: 3, Size: 400}, {Key: 4, Size: 400}, // push 1,2 into ghost
@@ -153,10 +166,10 @@ func TestSizedWorkloadOrdering(t *testing.T) {
 	run := func(p Policy) Result {
 		return Run(p, sizedTrace(3))
 	}
-	lru := run(NewLRU(capacity))
-	qdlp := run(NewQDLP(capacity))
-	fifo := run(NewFIFO(capacity))
-	gdsf := run(NewGDSF(capacity))
+	lru := run(mustPolicy(NewLRU(capacity)))
+	qdlp := run(mustPolicy(NewQDLP(capacity)))
+	fifo := run(mustPolicy(NewFIFO(capacity)))
+	gdsf := run(mustPolicy(NewGDSF(capacity)))
 	if qdlp.ByteMissRatio() >= lru.ByteMissRatio() {
 		t.Errorf("size-qd-lp-fifo (%.4f) not better than size-lru (%.4f) on byte miss ratio",
 			qdlp.ByteMissRatio(), lru.ByteMissRatio())
@@ -167,23 +180,62 @@ func TestSizedWorkloadOrdering(t *testing.T) {
 	}
 }
 
-func TestBadCapacityPanics(t *testing.T) {
-	for name, f := range map[string]func(){
-		"fifo":  func() { NewFIFO(0) },
-		"clock": func() { NewClock(-1, 2) },
-		"bits":  func() { NewClock(100, 0) },
-		"lru":   func() { NewLRU(0) },
-		"gdsf":  func() { NewGDSF(0) },
-		"qdlp":  func() { NewQDLP(0) },
+func TestBadCapacityErrors(t *testing.T) {
+	for name, f := range map[string]func() error{
+		"fifo":  func() error { _, err := NewFIFO(0); return err },
+		"clock": func() error { _, err := NewClock(-1, 2); return err },
+		"bits":  func() error { _, err := NewClock(100, 0); return err },
+		"lru":   func() error { _, err := NewLRU(0); return err },
+		"gdsf":  func() error { _, err := NewGDSF(0); return err },
+		"qdlp":  func() error { _, err := NewQDLP(0); return err },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: bad capacity did not panic", name)
-				}
-			}()
-			f()
-		}()
+		if f() == nil {
+			t.Errorf("%s: bad argument did not error", name)
+		}
+	}
+}
+
+// TestNewRegistry pins the registry surface: every registered name
+// constructs, unknown names and irrelevant options error, and clock bits
+// flow through.
+func TestNewRegistry(t *testing.T) {
+	want := []string{"clock", "fifo", "gdsf", "lru", "qdlp"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		p, err := New(name, 1<<20)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.CapacityBytes() != 1<<20 {
+			t.Errorf("New(%q): capacity %d, want %d", name, p.CapacityBytes(), 1<<20)
+		}
+	}
+	if _, err := New("nope", 1<<20); err == nil {
+		t.Error("unknown policy did not error")
+	}
+	if _, err := New("clock", 0); err == nil {
+		t.Error("zero capacity did not error")
+	}
+	if _, err := New("lru", 1<<20, WithClockBits(2)); err == nil {
+		t.Error("irrelevant WithClockBits did not error")
+	}
+	if _, err := New("clock", 1<<20, WithClockBits(7)); err == nil {
+		t.Error("out-of-range clock bits did not error")
+	}
+	p, err := New("clock", 1<<20, WithClockBits(1))
+	if err != nil {
+		t.Fatalf("New(clock, bits=1): %v", err)
+	}
+	if f, ok := p.(*FIFO); !ok || f.maxFreq != 1 {
+		t.Errorf("WithClockBits(1) not applied: %+v", p)
 	}
 }
 

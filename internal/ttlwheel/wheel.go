@@ -1,0 +1,188 @@
+// Package ttlwheel implements a hashed hierarchical timer wheel for
+// coarse (1-second) TTL expiry. The design follows Varghese & Lauck's
+// hashed-and-hierarchical timing wheels: four levels of 64 slots each
+// cover spans of 64 s, ~68 min, ~3 days, and ~194 days; a timer lands in
+// the coarsest level whose slot width still resolves it, and cascades
+// down one level each time the wheel's clock crosses that level's slot
+// boundary. Schedule, Remove, and Advance are all O(1) amortized — no
+// heap, no per-tick scan of pending timers, no allocation (nodes are
+// intrusive and owned by the caller).
+//
+// The wheel is NOT thread-safe: the caller serializes access, typically
+// by embedding one wheel per cache shard and advancing it under that
+// shard's existing exclusive lock, so the shared-lock hit path never
+// sees the wheel at all.
+package ttlwheel
+
+const (
+	slotBits = 6
+	numSlots = 1 << slotBits // 64
+	levels   = 4
+
+	// maxSpan is the widest future interval the wheel can place exactly
+	// (level 3's full range, ~194 days). Timers farther out are parked at
+	// the wheel's horizon and re-cascaded until their real deadline is in
+	// range, so arbitrarily long TTLs still fire — just with extra
+	// (cheap) relink work every ~194 days.
+	maxSpan = int64(1) << (levels * slotBits)
+)
+
+// Node is one scheduled expiry, embedded by value in the caller's entry
+// struct so scheduling never allocates. Key carries the caller's handle
+// (the cache key digest) back through Advance's callback. A zero Node is
+// ready to use.
+type Node struct {
+	Key      uint64
+	expireAt int64
+	prev     *Node
+	next     *Node
+}
+
+// ExpireAt returns the deadline the node was last scheduled for, in the
+// wheel's tick units (unix seconds for the cache), or 0 if never
+// scheduled.
+func (n *Node) ExpireAt() int64 { return n.expireAt }
+
+// linked reports whether the node is currently on a wheel slot list.
+func (n *Node) linked() bool { return n.next != nil }
+
+// Wheel is a hierarchical timer wheel. The zero value is unusable; use
+// New.
+type Wheel struct {
+	now   int64 // current tick (unix seconds); timers fire when now >= expireAt
+	count int
+	// slots[l][i] is a circular list threaded through its sentinel, so
+	// unlink needs no slot lookup.
+	slots [levels][numSlots]Node
+}
+
+// New returns a wheel whose clock starts at now (unix seconds).
+func New(now int64) *Wheel {
+	w := &Wheel{now: now}
+	for l := range w.slots {
+		for i := range w.slots[l] {
+			s := &w.slots[l][i]
+			s.prev, s.next = s, s
+		}
+	}
+	return w
+}
+
+// Now returns the wheel's current tick.
+func (w *Wheel) Now() int64 { return w.now }
+
+// Len returns the number of scheduled timers.
+func (w *Wheel) Len() int { return w.count }
+
+// Schedule (re)arms n to fire at expireAt. A deadline at or before the
+// current tick fires on the next Advance. Scheduling an already-linked
+// node moves it.
+func (w *Wheel) Schedule(n *Node, expireAt int64) {
+	if n.linked() {
+		w.unlink(n)
+		w.count--
+	}
+	n.expireAt = expireAt
+	w.link(n)
+	w.count++
+}
+
+// Remove disarms n if it is scheduled. Safe to call on an unscheduled
+// node.
+func (w *Wheel) Remove(n *Node) {
+	if !n.linked() {
+		return
+	}
+	w.unlink(n)
+	w.count--
+}
+
+// link places n in the coarsest level whose resolution still separates
+// n's deadline from the current tick. Slot indexing uses the deadline's
+// own digits (hashed wheel), so no per-level cursor state is needed:
+// level l's slot for time t is bits [l*6, l*6+6) of t.
+func (w *Wheel) link(n *Node) {
+	at := n.expireAt
+	if at <= w.now {
+		at = w.now + 1 // already due: fire on the next tick
+	}
+	if at-w.now >= maxSpan {
+		at = w.now + maxSpan - 1 // beyond the horizon: park and re-cascade
+	}
+	d := at - w.now
+	lvl := 0
+	for lvl < levels-1 && d >= int64(1)<<uint((lvl+1)*slotBits) {
+		lvl++
+	}
+	idx := (at >> uint(lvl*slotBits)) & (numSlots - 1)
+	head := &w.slots[lvl][idx]
+	n.prev = head.prev
+	n.next = head
+	head.prev.next = n
+	head.prev = n
+}
+
+func (w *Wheel) unlink(n *Node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}
+
+// Advance moves the clock to now, one tick at a time, calling expire for
+// every timer whose deadline has arrived and returning how many fired.
+// Expired nodes are unlinked before the callback runs, so the callback
+// may immediately reschedule them. Advancing to a past or current tick
+// is a no-op.
+func (w *Wheel) Advance(now int64, expire func(key uint64)) int {
+	fired := 0
+	for w.now < now {
+		w.now++
+		t := w.now
+		fired += w.expireSlot(&w.slots[0][t&(numSlots-1)], expire)
+		// When the tick crosses a level-l slot boundary (its low l*6 bits
+		// just wrapped to zero), that level's current slot covers the
+		// window starting now: cascade its timers down.
+		for l := 1; l < levels; l++ {
+			if t&(int64(1)<<uint(l*slotBits)-1) != 0 {
+				break
+			}
+			idx := (t >> uint(l*slotBits)) & (numSlots - 1)
+			fired += w.cascade(&w.slots[l][idx], expire)
+		}
+	}
+	return fired
+}
+
+// expireSlot fires every timer in a level-0 slot. Timers here were
+// placed within 64 ticks of their deadline, so landing on the slot means
+// the deadline has arrived.
+func (w *Wheel) expireSlot(head *Node, expire func(key uint64)) int {
+	fired := 0
+	for head.next != head {
+		n := head.next
+		w.unlink(n)
+		w.count--
+		fired++
+		expire(n.Key)
+	}
+	return fired
+}
+
+// cascade relinks a higher-level slot's timers relative to the new
+// current tick: due timers fire, the rest drop to a finer level (or stay
+// parked at the horizon).
+func (w *Wheel) cascade(head *Node, expire func(key uint64)) int {
+	fired := 0
+	for head.next != head {
+		n := head.next
+		w.unlink(n)
+		if n.expireAt <= w.now {
+			w.count--
+			fired++
+			expire(n.Key)
+			continue
+		}
+		w.link(n)
+	}
+	return fired
+}

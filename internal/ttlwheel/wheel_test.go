@@ -1,0 +1,182 @@
+package ttlwheel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collect returns an Advance callback that appends fired keys to *got.
+func collect(got *[]uint64) func(uint64) {
+	return func(key uint64) { *got = append(*got, key) }
+}
+
+// A timer within the level-0 span must fire on exactly its deadline
+// tick, not a tick early or late.
+func TestExactExpiry(t *testing.T) {
+	w := New(100)
+	n := &Node{Key: 7}
+	w.Schedule(n, 142)
+	var got []uint64
+	if fired := w.Advance(141, collect(&got)); fired != 0 {
+		t.Fatalf("fired %d before deadline (got %v)", fired, got)
+	}
+	if fired := w.Advance(142, collect(&got)); fired != 1 || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("at deadline: fired=%d got=%v", fired, got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after expiry", w.Len())
+	}
+}
+
+// Deadlines at or before the current tick fire on the next Advance — the
+// wheel never drops an already-due timer.
+func TestPastDeadlineFiresNextTick(t *testing.T) {
+	w := New(50)
+	n := &Node{Key: 1}
+	w.Schedule(n, 3) // long past
+	var got []uint64
+	if fired := w.Advance(51, collect(&got)); fired != 1 {
+		t.Fatalf("past-due timer did not fire on next tick (fired=%d)", fired)
+	}
+}
+
+// Timers beyond level 0 must cascade down and still fire on exactly
+// their deadline tick. Covers level 1 (64 s–68 min) and level 2
+// (68 min–3 days) placements, including level boundaries.
+func TestCascadeExactness(t *testing.T) {
+	for _, delta := range []int64{64, 65, 100, 4095, 4096, 5000, 1 << 17} {
+		w := New(1000)
+		n := &Node{Key: uint64(delta)}
+		deadline := 1000 + delta
+		w.Schedule(n, deadline)
+		var got []uint64
+		if fired := w.Advance(deadline-1, collect(&got)); fired != 0 {
+			t.Fatalf("delta=%d: fired %d early", delta, fired)
+		}
+		if fired := w.Advance(deadline, collect(&got)); fired != 1 || got[0] != uint64(delta) {
+			t.Fatalf("delta=%d: at deadline fired=%d got=%v", delta, fired, got)
+		}
+	}
+}
+
+// A deadline past the wheel's ~194-day horizon parks at the horizon and
+// re-cascades until in range — it must fire at its true deadline, not at
+// the horizon.
+func TestRolloverBeyondHorizon(t *testing.T) {
+	w := New(0)
+	deadline := maxSpan + maxSpan/2
+	n := &Node{Key: 9}
+	w.Schedule(n, deadline)
+	var got []uint64
+	// Jump near (but before) the horizon: nothing fires.
+	if fired := w.Advance(maxSpan-1, collect(&got)); fired != 0 {
+		t.Fatalf("fired %d at horizon", fired)
+	}
+	if fired := w.Advance(deadline-1, collect(&got)); fired != 0 {
+		t.Fatalf("fired %d before true deadline", fired)
+	}
+	if fired := w.Advance(deadline, collect(&got)); fired != 1 || got[0] != 9 {
+		t.Fatalf("at true deadline: fired=%d got=%v", fired, got)
+	}
+}
+
+// Remove disarms; re-Schedule moves the deadline (the old one must not
+// fire).
+func TestRemoveAndReschedule(t *testing.T) {
+	w := New(0)
+	a, b := &Node{Key: 1}, &Node{Key: 2}
+	w.Schedule(a, 10)
+	w.Schedule(b, 10)
+	w.Remove(a)
+	w.Remove(a) // double-remove is safe
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d after remove", w.Len())
+	}
+	w.Schedule(b, 20) // move
+	var got []uint64
+	if fired := w.Advance(15, collect(&got)); fired != 0 {
+		t.Fatalf("old deadline fired after reschedule: %v", got)
+	}
+	if fired := w.Advance(20, collect(&got)); fired != 1 || got[0] != 2 {
+		t.Fatalf("moved deadline: fired=%d got=%v", fired, got)
+	}
+}
+
+// The callback may reschedule the node it just fired (periodic-timer
+// shape); the wheel must accept it mid-Advance.
+func TestRescheduleFromCallback(t *testing.T) {
+	w := New(0)
+	n := &Node{Key: 5}
+	w.Schedule(n, 1)
+	fires := 0
+	w.Advance(3, func(key uint64) {
+		fires++
+		if fires < 3 {
+			w.Schedule(n, w.Now()+1)
+		}
+	})
+	if fires != 3 {
+		t.Fatalf("periodic reschedule fired %d times, want 3", fires)
+	}
+}
+
+// Randomized agreement with a reference model: every scheduled timer
+// fires exactly once, at exactly its deadline, across random schedules,
+// removes, and uneven Advance steps.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := New(0)
+	nodes := make([]*Node, 512)
+	deadline := map[uint64]int64{} // reference: key → pending deadline
+	for i := range nodes {
+		nodes[i] = &Node{Key: uint64(i)}
+	}
+	now := int64(0)
+	firedAt := map[uint64]int64{}
+	expire := func(key uint64) { firedAt[key] = now }
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // schedule/reschedule a random node
+			n := nodes[rng.Intn(len(nodes))]
+			d := now + 1 + rng.Int63n(6000) // spans levels 0–2
+			w.Schedule(n, d)
+			deadline[n.Key] = d
+			delete(firedAt, n.Key)
+		case 2: // remove a random node
+			n := nodes[rng.Intn(len(nodes))]
+			w.Remove(n)
+			delete(deadline, n.Key)
+		case 3: // advance by a random (sometimes large) step
+			now += 1 + rng.Int63n(200)
+			w.Advance(now, expire)
+			for key, d := range deadline {
+				if d <= now {
+					at, ok := firedAt[key]
+					if !ok {
+						t.Fatalf("step %d: key %d (deadline %d) missed by now=%d", step, key, d, now)
+					}
+					if at < d {
+						t.Fatalf("key %d fired at %d before deadline %d", key, at, d)
+					}
+					delete(deadline, key)
+				}
+			}
+			for key := range firedAt {
+				if d, pending := deadline[key]; pending && d > now {
+					t.Fatalf("key %d fired early (deadline %d, now %d)", key, d, now)
+				}
+			}
+		}
+	}
+	if got := w.Len(); got != len(deadline) {
+		t.Fatalf("Len = %d, reference has %d pending", got, len(deadline))
+	}
+}
+
+// Advancing an empty wheel across many ticks is cheap and fires nothing.
+func TestIdleAdvance(t *testing.T) {
+	w := New(0)
+	if fired := w.Advance(1<<20, func(uint64) { t.Fatal("fired on empty wheel") }); fired != 0 {
+		t.Fatalf("fired = %d", fired)
+	}
+}

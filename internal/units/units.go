@@ -1,0 +1,87 @@
+// Package units parses and formats human-readable byte sizes for the
+// byte-capacity flags (-max-bytes, -valuesize): "512mib", "4gib",
+// "65536". All suffixes are binary (powers of 1024) regardless of the
+// "i" — a cache capacity flag has no use for the 2.4% decimal/binary
+// gap, and treating "kb" as 1000 would only invite off-by-24 surprises.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+const (
+	kib = int64(1) << 10
+	mib = int64(1) << 20
+	gib = int64(1) << 30
+	tib = int64(1) << 40
+)
+
+var suffixes = map[string]int64{
+	"":    1,
+	"b":   1,
+	"k":   kib,
+	"kb":  kib,
+	"kib": kib,
+	"m":   mib,
+	"mb":  mib,
+	"mib": mib,
+	"g":   gib,
+	"gb":  gib,
+	"gib": gib,
+	"t":   tib,
+	"tb":  tib,
+	"tib": tib,
+}
+
+// ParseBytes parses a byte size: an integer with an optional
+// case-insensitive binary suffix (b, k/kb/kib, m/mb/mib, g/gb/gib,
+// t/tb/tib). The value must be non-negative and fit in int64.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	if t == "" {
+		return 0, fmt.Errorf("units: empty byte size")
+	}
+	digits := t
+	suffix := ""
+	for i, r := range t {
+		if r < '0' || r > '9' {
+			digits, suffix = t[:i], t[i:]
+			break
+		}
+	}
+	mult, ok := suffixes[suffix]
+	if !ok {
+		return 0, fmt.Errorf("units: %q has unknown size suffix %q (known: b, kib, mib, gib, tib)", s, suffix)
+	}
+	if digits == "" {
+		return 0, fmt.Errorf("units: %q has no digits", s)
+	}
+	n, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: %q: %v", s, err)
+	}
+	if n != 0 && n > (int64(1)<<62)/mult {
+		return 0, fmt.Errorf("units: %q overflows", s)
+	}
+	return n * mult, nil
+}
+
+// FormatBytes renders n with the largest binary suffix that divides it
+// exactly, so the output round-trips through ParseBytes losslessly
+// ("536870912" → "512mib", "1000" → "1000").
+func FormatBytes(n int64) string {
+	if n < 0 {
+		return strconv.FormatInt(n, 10)
+	}
+	for _, u := range []struct {
+		mult   int64
+		suffix string
+	}{{tib, "tib"}, {gib, "gib"}, {mib, "mib"}, {kib, "kib"}} {
+		if n >= u.mult && n%u.mult == 0 {
+			return strconv.FormatInt(n/u.mult, 10) + u.suffix
+		}
+	}
+	return strconv.FormatInt(n, 10)
+}

@@ -1,0 +1,74 @@
+package units
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{"0", 0, false},
+		{"65536", 65536, false},
+		{"1b", 1, false},
+		{"512k", 512 << 10, false},
+		{"512kb", 512 << 10, false},
+		{"512kib", 512 << 10, false},
+		{"512mib", 512 << 20, false},
+		{"512MiB", 512 << 20, false}, // case-insensitive
+		{"4gib", 4 << 30, false},
+		{"4GB", 4 << 30, false}, // decimal suffixes are binary too
+		{"2tib", 2 << 40, false},
+		{" 64mib ", 64 << 20, false}, // surrounding space tolerated
+		{"", 0, true},
+		{"mib", 0, true},         // no digits
+		{"12qib", 0, true},       // unknown suffix
+		{"1.5gib", 0, true},      // fractions not supported
+		{"-1kib", 0, true},       // negative
+		{"12 mib", 0, true},      // interior space
+		{"99999999tib", 0, true}, // overflow
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseBytes(%q) = %d, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFormatBytesRoundTrips(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0"},
+		{1000, "1000"},
+		{1 << 10, "1kib"},
+		{512 << 20, "512mib"},
+		{4 << 30, "4gib"},
+		{(1 << 30) + 1, strconv.FormatInt((1<<30)+1, 10)},
+	}
+	for _, tc := range cases {
+		got := FormatBytes(tc.in)
+		if got != tc.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+		back, err := ParseBytes(got)
+		if err != nil || back != tc.in {
+			t.Errorf("round trip %d → %q → %d (%v)", tc.in, got, back, err)
+		}
+	}
+}

@@ -21,6 +21,8 @@ go test -race ./internal/concurrent/... ./internal/server/... ./internal/obs/...
 echo '== alloc guard (tracing disabled = 0 allocs, sampling on <= 1, ring lookup = 0)'
 go test -run 'TestServerGetHitPathZeroAllocsWithRecorder|TestServerGetHitPathAllocsWithSampling' ./internal/server/
 go test -run 'TestRingLookupZeroAllocs' ./internal/cluster/
+echo '== alloc guard (byte accounting + TTL wheel keep the hit paths at 0 allocs)'
+go test -run 'TestKVGetZeroAllocs|TestKVAppendHitZeroAllocs|TestKVGetMultiZeroAllocs|TestKVByteModeTTLZeroAllocs' ./internal/concurrent/
 echo '== bench smoke (one iteration per benchmark)'
 go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
 echo '== throughput sweep smoke (one point)'
@@ -31,7 +33,7 @@ trap 'kill $srv_pid 2>/dev/null; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/cacheserver" ./cmd/cacheserver
 go build -o "$tmpdir/cacheload" ./cmd/cacheload
 "$tmpdir/cacheserver" -addr 127.0.0.1:21311 -admin-addr 127.0.0.1:21312 \
-    -capacity 16384 -shards 8 -events 16384 -trace-sample 8 \
+    -max-entries 16384 -shards 8 -events 16384 -trace-sample 8 \
     -log-level warn > "$tmpdir/server.log" 2>&1 &
 srv_pid=$!
 i=0
@@ -67,7 +69,7 @@ echo '== cluster smoke (3 nodes + router, healthz everywhere, routed counters mo
 node_pids=""
 for n in 1 2 3; do
     "$tmpdir/cacheserver" -addr 127.0.0.1:$((21320 + n)) -admin-addr 127.0.0.1:$((21330 + n)) \
-        -capacity 16384 -shards 8 -log-level warn > "$tmpdir/node$n.log" 2>&1 &
+        -max-entries 16384 -shards 8 -log-level warn > "$tmpdir/node$n.log" 2>&1 &
     node_pids="$node_pids $!"
 done
 "$tmpdir/cacheserver" -addr 127.0.0.1:21320 -admin-addr 127.0.0.1:21330 \
@@ -99,4 +101,46 @@ for p in 21330 21331 21332 21333; do
     curl -fsS "http://127.0.0.1:$p/healthz" > /dev/null \
         || { echo "node admin :$p unhealthy after cluster load" >&2; exit 1; }
 done
+echo '== memory-pressure soak (byte-capped server: used <= max, heap stable)'
+"$tmpdir/cacheserver" -addr 127.0.0.1:21341 -admin-addr 127.0.0.1:21342 \
+    -cache qdlp -max-bytes 8mib -shards 8 -log-level warn > "$tmpdir/bytecap.log" 2>&1 &
+bytes_pid=$!
+trap 'kill $srv_pid $node_pids $bytes_pid 2>/dev/null; rm -rf "$tmpdir"' EXIT
+i=0
+until curl -fsS http://127.0.0.1:21342/healthz > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "byte-capped cacheserver did not become healthy" >&2
+        cat "$tmpdir/bytecap.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+heap_alloc() {
+    curl -fsS http://127.0.0.1:21342/debug/vars \
+        | tr ',' '\n' | sed -n 's/.*"HeapAlloc": *\([0-9][0-9]*\).*/\1/p' | head -1
+}
+# Footprint well past the 8 MiB budget: 16384 keys x 4 KiB values = 64 MiB.
+"$tmpdir/cacheload" -addr 127.0.0.1:21341 -conns 2 -ops 20000 -keyspace 16384 \
+    -valuesize 4kib > /dev/null
+heap1=$(heap_alloc)
+"$tmpdir/cacheload" -addr 127.0.0.1:21341 -conns 2 -ops 40000 -keyspace 16384 \
+    -valuesize 4kib > /dev/null
+heap2=$(heap_alloc)
+curl -fsS http://127.0.0.1:21342/metrics > "$tmpdir/bytecap_metrics.txt"
+used=$(awk '$1 ~ /^cache_used_bytes/ {sum += $2} END {printf "%.0f", sum}' "$tmpdir/bytecap_metrics.txt")
+max=$(awk '$1 ~ /^cache_max_bytes/ {sum += $2} END {printf "%.0f", sum}' "$tmpdir/bytecap_metrics.txt")
+[ -n "$used" ] && [ -n "$max" ] && [ "$max" -gt 0 ] \
+    || { echo "byte gauges missing from /metrics" >&2; cat "$tmpdir/bytecap_metrics.txt" >&2; exit 1; }
+[ "$used" -le "$max" ] \
+    || { echo "cache_used_bytes $used exceeds cache_max_bytes $max" >&2; exit 1; }
+grep -q '^cache_expired_proactive_total' "$tmpdir/bytecap_metrics.txt" \
+    || { echo "cache_expired_proactive_total missing from /metrics" >&2; exit 1; }
+# Heap must plateau once the cache is full: the second (longer) round may
+# not balloon past a generous multiple of the first.
+[ -n "$heap1" ] && [ -n "$heap2" ] \
+    || { echo "HeapAlloc missing from /debug/vars" >&2; exit 1; }
+[ "$heap2" -le $((heap1 * 4 + 33554432)) ] \
+    || { echo "heap grew from $heap1 to $heap2 across soak rounds" >&2; exit 1; }
+kill "$bytes_pid"
 echo 'tier1: all green'
