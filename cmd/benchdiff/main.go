@@ -1,0 +1,110 @@
+// Command benchdiff compares two benchmark artifacts (the JSON shape
+// cmd/throughput and cmd/cacheload emit, e.g. BENCH_throughput.json) and
+// prints per-configuration ops/s deltas, so a perf PR can show its
+// before/after as one table instead of two files to eyeball.
+//
+// Entries are matched on (cache, cores, goroutines, conns, listeners);
+// entries present on only one side are listed, not silently dropped.
+//
+//	benchdiff BENCH_before.json BENCH_after.json
+//	scripts/benchdiff old.json new.json   # same thing via go run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff <before.json> <after.json>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	before, err := stats.ReadBenchFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := stats.ReadBenchFile(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if before.Bench != after.Bench {
+		log.Printf("warning: comparing different benches (%s vs %s)", before.Bench, after.Bench)
+	}
+	if before.NumCPU != after.NumCPU || before.GoVersion != after.GoVersion {
+		log.Printf("warning: environments differ (%s/%d CPUs vs %s/%d CPUs)",
+			before.GoVersion, before.NumCPU, after.GoVersion, after.NumCPU)
+	}
+
+	old := make(map[string]stats.BenchEntry, len(before.Entries))
+	for _, e := range before.Entries {
+		old[entryKey(e)] = e
+	}
+	seen := make(map[string]bool, len(before.Entries))
+
+	tb := stats.NewTable("config", "before ops/s", "after ops/s", "delta", "delta %")
+	var missing []string
+	for _, e := range after.Entries {
+		k := entryKey(e)
+		b, ok := old[k]
+		if !ok {
+			missing = append(missing, fmt.Sprintf("only in %s: %s", flag.Arg(1), k))
+			continue
+		}
+		seen[k] = true
+		d := e.OpsPerSec - b.OpsPerSec
+		pct := "n/a"
+		if b.OpsPerSec > 0 {
+			pct = fmt.Sprintf("%+.1f%%", 100*d/b.OpsPerSec)
+		}
+		tb.AddRow(k,
+			fmt.Sprintf("%.0f", b.OpsPerSec),
+			fmt.Sprintf("%.0f", e.OpsPerSec),
+			fmt.Sprintf("%+.0f", d),
+			pct)
+	}
+	for _, e := range before.Entries {
+		if k := entryKey(e); !seen[k] {
+			missing = append(missing, fmt.Sprintf("only in %s: %s", flag.Arg(0), k))
+		}
+	}
+	fmt.Print(tb)
+	for _, m := range missing {
+		fmt.Println(m)
+	}
+}
+
+// entryKey names one measured configuration; every dimension a sweep can
+// vary over is part of the identity so a 2-listener point never diffs
+// against a 1-listener one.
+func entryKey(e stats.BenchEntry) string {
+	k := e.Cache
+	if k == "" {
+		k = "?"
+	}
+	if e.Cores > 0 {
+		k += fmt.Sprintf(" cores=%d", e.Cores)
+	}
+	if e.Goroutines > 0 {
+		k += fmt.Sprintf(" g=%d", e.Goroutines)
+	}
+	if e.Conns > 0 {
+		k += fmt.Sprintf(" conns=%d", e.Conns)
+	}
+	if e.Listeners > 0 {
+		k += fmt.Sprintf(" listeners=%d", e.Listeners)
+	}
+	return k
+}

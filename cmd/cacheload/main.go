@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -185,10 +186,12 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		// The served cache's policy name comes from the server itself, so
-		// the artifact records what was actually measured (best-effort: a
-		// server without the stat leaves it empty).
+		// The served cache's config comes from the server itself — policy
+		// name, shard count, listener count — so the artifact records what
+		// was actually measured and perf trajectories are diffable across
+		// PRs (best-effort: a server without a stat leaves it zero).
 		cacheName := ""
+		srvShards, srvListeners, srvProcs := 0, 0, 0
 		statsAddr := *addr
 		if *servers != "" {
 			statsAddr = splitEndpoints(*servers)[0]
@@ -196,6 +199,9 @@ func main() {
 		if c, err := server.Dial(statsAddr); err == nil {
 			if st, err := c.Stats(); err == nil {
 				cacheName = st["cache"]
+				srvShards = atoiStat(st, "data_shards")
+				srvListeners = atoiStat(st, "listeners")
+				srvProcs = atoiStat(st, "gomaxprocs")
 			}
 			c.Close()
 		}
@@ -203,12 +209,16 @@ func main() {
 			Bench:      "cacheload",
 			GoVersion:  runtime.Version(),
 			NumCPU:     runtime.NumCPU(),
+			GoMaxProcs: srvProcs,
+			Shards:     srvShards,
+			Listeners:  srvListeners,
 			KeySpace:   *keySpace,
 			ValueLen:   valueLen,
 			Regenerate: fmt.Sprintf("go run ./cmd/cacheload -addr %s -conns %d -ops %d -json <path>", *addr, *conns, *ops),
 			Entries: []stats.BenchEntry{{
 				Cache:       cacheName,
 				Conns:       *conns,
+				Listeners:   srvListeners,
 				Ops:         res.Ops,
 				OpsPerSec:   res.OpsPerSecond(),
 				NsPerOp:     float64(res.Elapsed.Nanoseconds()) / float64(max(res.Ops, 1)),
@@ -240,6 +250,16 @@ func main() {
 			fatal("metrics write failed", err)
 		}
 	}
+}
+
+// atoiStat reads an integer STAT value, zero when absent or malformed —
+// older servers simply don't report the newer config stats.
+func atoiStat(st map[string]string, key string) int {
+	n, err := strconv.Atoi(st[key])
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // splitEndpoints parses -servers, trimming blanks so trailing commas are

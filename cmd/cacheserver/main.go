@@ -1,5 +1,5 @@
 // Command cacheserver serves a memcached-compatible text protocol subset
-// (get/gets multi-key, set, delete, stats, quit) over the sharded
+// (get/gets multi-key, set, delete, stats, noop, version, quit) over the sharded
 // thread-safe caches in internal/concurrent — the paper's §5–§6 deployment
 // argument as a runnable system. The eviction policy is selectable, so the
 // LRU-vs-lazy-promotion comparison carries over to served traffic:
@@ -55,6 +55,9 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this long")
 		writeTO     = flag.Duration("write-timeout", 30*time.Second, "close connections whose reads stall a response flush this long")
 		maxItemSize = flag.Int("max-item-size", server.DefaultMaxValueLen, "max value size in bytes")
+		listeners   = flag.Int("listeners", 0, "SO_REUSEPORT listeners, one accept loop and shard partition each (0 = GOMAXPROCS)")
+		pinShards   = flag.Bool("pin-shards", false, "pin each connection handler's OS thread to its partition's core (Linux; costs a thread per connection)")
+		batchIO     = flag.Bool("batch-io", true, "merge pipelined gets into shard-batched lookups and flush responses with writev")
 		adminAddr   = flag.String("admin-addr", "", "optional HTTP admin address (/metrics, /healthz, /debug/vars, /debug/events, /debug/trace, /debug/pprof)")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
@@ -178,6 +181,9 @@ func main() {
 		Events:       rec,
 		TraceSample:  *traceSample,
 		SlowRequest:  slow,
+		Listeners:    *listeners,
+		PinShards:    *pinShards,
+		NoBatch:      !*batchIO,
 	})
 	if err != nil {
 		fatal("server construction failed", err)

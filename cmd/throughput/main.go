@@ -5,22 +5,33 @@
 // cache kind, reporting ops/s, ns/op, allocs/op, and hit ratio, and can
 // write the sweep as a JSON artifact (see BENCH_throughput.json).
 //
+// With -served the sweep moves to the served path: per listener count an
+// in-process cacheserver is started on a loopback port (SO_REUSEPORT
+// listener-per-core when the count is >1) and driven with the same
+// closed-loop load cacheload uses, so the artifact captures how the full
+// parse–dispatch–writev pipeline scales with accept loops rather than how
+// the bare cache scales with cores.
+//
 // Usage:
 //
 //	throughput                                   # full core sweep, text table
 //	throughput -cores 2 -caches sieve            # one point
 //	throughput -json BENCH_throughput.json       # regenerate the artifact
+//	throughput -served -listeners 1,2 -json BENCH_served.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/concurrent"
+	"repro/internal/server"
 	"repro/internal/stats"
 )
 
@@ -37,8 +48,19 @@ func main() {
 		ops      = flag.Int("ops", 1<<20, "total operations per measurement")
 		seed     = flag.Int64("seed", 1, "load generator seed")
 		jsonOut  = flag.String("json", "", `write the sweep as a bench JSON artifact here ("-" = stdout)`)
+
+		served     = flag.Bool("served", false, "sweep the served path: start an in-process server per -listeners point and drive closed-loop TCP load")
+		listenersF = flag.String("listeners", "1,2", "comma-separated listener counts for -served")
+		conns      = flag.Int("conns", 4, "client connections per measurement for -served")
+		valueLen   = flag.Int("valuesize", 64, "value payload size in bytes for -served")
+		note       = flag.String("note", "", "measurement caveat recorded in the artifact (e.g. a single-core runner)")
 	)
 	flag.Parse()
+
+	if *served {
+		runServed(*caches, *listenersF, *conns, *capacity, *shards, *keySpace, *ops, *valueLen, *seed, *note, *jsonOut)
+		return
+	}
 
 	cores, err := parseCores(*coresF)
 	if err != nil {
@@ -52,10 +74,12 @@ func main() {
 		Bench:      "throughput",
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Capacity:   *capacity,
 		Shards:     *shards,
 		KeySpace:   *keySpace,
 		Regenerate: "go run ./cmd/throughput -json BENCH_throughput.json",
+		Note:       *note,
 	}
 
 	tb := stats.NewTable("cache", "cores", "goroutines", "ops", "Mops/s", "ns/op", "allocs/op", "hit ratio")
@@ -101,6 +125,139 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runServed sweeps listener counts over the served path: per point it
+// binds an in-process server on a loopback port with that many
+// SO_REUSEPORT accept loops and replays the same deterministic closed
+// loop cacheload uses. Entries carry wire latency percentiles instead of
+// allocs/op (the heap is not observable across a socket, even a loopback
+// one).
+func runServed(caches, listenersF string, conns, capacity, shards, keySpace, ops, valueLen int, seed int64, note, jsonOut string) {
+	listeners, err := parseCounts(listenersF)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("served path: NumCPU=%d GOMAXPROCS=%d capacity=%d shards=%d keyspace=%d ops=%d conns=%d valuesize=%d\n\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), capacity, shards, keySpace, ops, conns, valueLen)
+
+	file := &stats.BenchFile{
+		Bench:      "throughput-served",
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Capacity:   capacity,
+		Shards:     shards,
+		KeySpace:   keySpace,
+		ValueLen:   valueLen,
+		Regenerate: fmt.Sprintf("go run ./cmd/throughput -served -listeners %s -conns %d -ops %d -keyspace %d -json <path>", listenersF, conns, ops, keySpace),
+		Note:       note,
+	}
+
+	tb := stats.NewTable("cache", "listeners", "conns", "ops", "Kops/s", "hit ratio", "p50", "p99")
+	for _, n := range listeners {
+		for _, kind := range strings.Split(caches, ",") {
+			kind = strings.TrimSpace(kind)
+			res := measureServed(kind, n, conns, capacity, shards, keySpace, ops, valueLen, seed)
+			tb.AddRow(kind, n, conns, res.Ops,
+				fmt.Sprintf("%.0f", res.OpsPerSecond()/1e3),
+				fmt.Sprintf("%.3f", res.HitRatio()),
+				res.Latency.Percentile(50).String(),
+				res.Latency.Percentile(99).String())
+			file.Entries = append(file.Entries, stats.BenchEntry{
+				Cache:     kind,
+				Listeners: n,
+				Conns:     conns,
+				Ops:       res.Ops,
+				OpsPerSec: res.OpsPerSecond(),
+				NsPerOp:   float64(res.Elapsed.Nanoseconds()) / float64(max(res.Ops, 1)),
+				HitRatio:  res.HitRatio(),
+				P50Ns:     float64(res.Latency.Percentile(50).Nanoseconds()),
+				P99Ns:     float64(res.Latency.Percentile(99).Nanoseconds()),
+				P999Ns:    float64(res.Latency.Percentile(99.9).Nanoseconds()),
+			})
+		}
+	}
+	fmt.Print(tb)
+
+	if jsonOut != "" {
+		if err := stats.WriteBenchFile(jsonOut, file); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// measureServed runs one (cache kind, listener count) point: fresh cache,
+// fresh server, warm-up pass, measured pass, drained shutdown.
+func measureServed(kind string, listeners, conns, capacity, shards, keySpace, ops, valueLen int, seed int64) *server.LoadResult {
+	inner, err := concurrent.New(kind, capacity, concurrent.WithShards(shards))
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv := concurrent.NewKV(inner, shards)
+	srv, err := server.New(server.Config{
+		Addr:      "127.0.0.1:0",
+		Store:     kv,
+		MaxConns:  conns + 8,
+		Listeners: listeners,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		select {
+		case err := <-errc:
+			log.Fatalf("server failed to start: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("server did not start within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	addr := srv.Addr().String()
+
+	run := func(total int) *server.LoadResult {
+		res, err := server.RunLoad(server.LoadConfig{
+			Addr:     addr,
+			Conns:    conns,
+			TotalOps: total,
+			KeySpace: keySpace,
+			Seed:     seed,
+			ValueLen: valueLen,
+		})
+		if err != nil {
+			log.Fatalf("load run failed: %v", err)
+		}
+		return res
+	}
+	run(keySpace) // warm-up: fill the cache and the allocator's size classes
+	res := run(ops)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown failed: %v", err)
+	}
+	<-errc
+	return res
+}
+
+// parseCounts parses a comma-separated list of positive ints (-listeners).
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad listener count %q", f)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // parseCores parses -cores; empty selects the power-of-two ladder

@@ -50,7 +50,7 @@ func runRequests(t *testing.T, s *Server, payload []byte) float64 {
 			if err := ParseRequest(br, &req, 0); err != nil {
 				t.Fatal(err)
 			}
-			if !s.dispatch(bw, &req) {
+			if !s.dispatch(bw, &req, 0) {
 				t.Fatal("connection closed")
 			}
 		}
@@ -121,7 +121,7 @@ func TestServerGetHitPathZeroAllocsWithRecorder(t *testing.T) {
 			t.Fatal(err)
 		}
 		start := time.Now()
-		s.dispatch(bw, &req)
+		s.dispatch(bw, &req, 0)
 		tr.observe(&req, pStart, start, time.Now())
 		fs := tr.preFlush()
 		bw.Flush()
@@ -158,7 +158,7 @@ func TestServerGetHitPathAllocsWithSampling(t *testing.T) {
 			t.Fatal(err)
 		}
 		start := time.Now()
-		s.dispatch(bw, &req)
+		s.dispatch(bw, &req, 0)
 		tr.observe(&req, pStart, start, time.Now())
 		fs := tr.preFlush()
 		bw.Flush()

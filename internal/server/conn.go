@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"runtime/debug"
 	"time"
 
@@ -53,13 +54,18 @@ func (s *Server) waitData(nc net.Conn, br *bufio.Reader) error {
 	}
 }
 
-// flush writes buffered responses to the socket under the write deadline.
-// A deadline miss means a reader that stopped draining while the server
-// holds its responses in memory; the slow client is counted and its
+// flushOut writes buffered responses to the socket under the write
+// deadline. A deadline miss means a reader that stopped draining while the
+// server holds its responses in memory; the slow client is counted and its
 // connection closed (by the caller, via the returned error).
-func (s *Server) flush(nc net.Conn, bw *bufio.Writer) error {
+func (s *Server) flushOut(nc net.Conn, out connWriter) error {
+	if _, legacy := out.(*bufio.Writer); legacy && out.Buffered() > 0 {
+		// multiBuf counts its own writevs (including intra-batch
+		// auto-flushes); the legacy buffered writer is counted here.
+		s.counters.Flushes.Add(1)
+	}
 	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	err := bw.Flush()
+	err := out.Flush()
 	if err != nil {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
@@ -73,16 +79,25 @@ func (s *Server) flush(nc net.Conn, bw *bufio.Writer) error {
 	return err
 }
 
-// handleConn runs one connection's request loop. Responses accumulate in
-// the write buffer and are flushed only when no further pipelined request
-// is already buffered — the flush-batching that makes request bursts cost
-// one syscall each way instead of one per request.
+// handleConn runs one connection's request loop. part is the index of the
+// listener that accepted the connection — the shard partition whose locks
+// this connection's traffic is expected to stay on.
+//
+// Responses accumulate in the connection's writer (the batched multiBuf,
+// or a bufio.Writer with Config.NoBatch) and are delivered only when no
+// further pipelined request is already buffered — the flush-batching that
+// makes request bursts cost one syscall each way instead of one per
+// request. In batched mode, consecutive fully-buffered get/gets requests
+// additionally accumulate in a connBatch and are serviced as one merged
+// shard-batched lookup; any other command — or any line not yet fully
+// buffered — is a barrier that dispatches the pending run first, so
+// responses always come back in request order.
 //
 // A panic anywhere below — a store bug, a parser edge the fuzzer missed —
 // is confined to this connection: it is counted, logged with its stack,
 // and the deferred cleanup closes only this conn while the rest of the
 // server keeps serving.
-func (s *Server) handleConn(nc net.Conn) {
+func (s *Server) handleConn(nc net.Conn, part int) {
 	defer s.wg.Done()
 	defer func() {
 		s.removeConn(nc)
@@ -97,14 +112,32 @@ func (s *Server) handleConn(nc net.Conn) {
 				"stack", string(debug.Stack()))
 		}
 	}()
+	if s.cfg.PinShards {
+		// Opt-in hard affinity: the handler goroutine gets its own OS
+		// thread, bound to its partition's core. Costs one thread per
+		// connection; buys cache-resident shard locks.
+		runtime.LockOSThread()
+		pinToCore(part)
+		defer runtime.UnlockOSThread()
+	}
 	br := bufio.NewReaderSize(nc, readBufSize)
-	bw := bufio.NewWriterSize(nc, writeBufSize)
+	var out connWriter
+	var mb *multiBuf
+	var bt *connBatch
+	if s.cfg.NoBatch {
+		out = bufio.NewWriterSize(nc, writeBufSize)
+	} else {
+		mb = newMultiBuf(nc, &s.counters.Flushes)
+		bt = newConnBatch()
+		out = mb
+	}
 	tr := s.newConnTracer()
 	var req Request
 	for {
 		if br.Buffered() == 0 {
+			s.dispatchPending(mb, bt, &tr, part)
 			fs := tr.preFlush()
-			if err := s.flush(nc, bw); err != nil {
+			if err := s.flushOut(nc, out); err != nil {
 				return
 			}
 			tr.flushed(fs)
@@ -117,6 +150,30 @@ func (s *Server) handleConn(nc net.Conn) {
 		// that bypass the buffer (values larger than it) stay bounded.
 		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if bt != nil {
+			handled, berr := s.tryBatchParse(br, bt, &tr)
+			if handled {
+				continue
+			}
+			if berr != nil {
+				// A complete get line that failed validation. Earlier
+				// pipelined responses must precede the error line.
+				s.dispatchPending(mb, bt, &tr, part)
+				s.counters.BadCommands.Add(1)
+				var cerr ClientError
+				if errors.As(berr, &cerr) {
+					writeClientError(out, string(cerr))
+					continue
+				}
+				writeServerError(out, "internal parse error")
+				s.flushOut(nc, out)
+				return
+			}
+			// Not batchable (a mutation, an incomplete line, a full batch):
+			// the normal parse below may refill the read buffer, which would
+			// invalidate pending requests' keys — dispatch them first.
+			s.dispatchPending(mb, bt, &tr, part)
+		}
 		pStart := tr.begin()
 		err := ParseRequest(br, &req, s.cfg.MaxValueLen)
 		var cerr ClientError
@@ -130,7 +187,7 @@ func (s *Server) handleConn(nc net.Conn) {
 			if s.metrics != nil || tr.enabled() {
 				start = time.Now()
 			}
-			alive := s.dispatch(bw, &req)
+			alive := s.dispatch(out, &req, part)
 			if m := s.metrics; m != nil && req.Op != OpInvalid {
 				m.requests[req.Op].Inc()
 				m.duration[req.Op].ObserveDuration(time.Since(start))
@@ -140,35 +197,39 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 			if !alive {
 				fs := tr.preFlush()
-				s.flush(nc, bw)
+				s.flushOut(nc, out)
 				tr.flushed(fs)
 				return
 			}
 		case errors.As(err, &cerr):
 			s.counters.BadCommands.Add(1)
-			writeClientError(bw, string(cerr))
+			writeClientError(out, string(cerr))
 		case errors.Is(err, ErrUnknownCommand):
 			s.counters.BadCommands.Add(1)
-			bw.WriteString("ERROR\r\n")
+			out.WriteString("ERROR\r\n")
 		case errors.Is(err, ErrValueTooLarge):
 			// The oversized body was not consumed: report and close.
 			s.counters.BadCommands.Add(1)
-			writeServerError(bw, "object too large for cache")
-			s.flush(nc, bw)
+			writeServerError(out, "object too large for cache")
+			s.flushOut(nc, out)
 			return
 		default:
 			// I/O error, a client that stalled mid-request, or client gone.
-			s.flush(nc, bw)
+			s.flushOut(nc, out)
 			return
 		}
 	}
 }
 
-// dispatch executes one parsed request, writing the response. It returns
-// false when the connection should close (quit). Besides the response it
-// stamps req.outcome, which the connection tracer copies into the
-// request's span.
-func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
+// dispatch executes one parsed request, writing the response. part is the
+// accepting listener's shard partition, used only for locality accounting.
+// It returns false when the connection should close (quit). Besides the
+// response it stamps req.outcome, which the connection tracer copies into
+// the request's span.
+func (s *Server) dispatch(bw respWriter, req *Request, part int) bool {
+	if len(req.Digests) > 0 {
+		s.countLocality(part, req.Digests)
+	}
 	req.outcome = OutcomeNone
 	switch req.Op {
 	case OpGet, OpGets:
@@ -263,10 +324,43 @@ func (s *Server) dispatch(bw *bufio.Writer, req *Request) bool {
 		}
 	case OpStats:
 		s.writeStats(bw)
+	case OpNoop:
+		// Fixed-size response with no key access: pipelining clients send it
+		// to delimit a batch and know when everything before it has landed.
+		bw.WriteString("NOOP\r\n")
+	case OpVersion:
+		bw.WriteString("VERSION " + Version + "\r\n")
 	case OpQuit:
 		return false
 	}
 	return true
+}
+
+// countLocality attributes the keys of one request (or merged batch) to
+// the accepting listener's shard partition: keys whose data shard the
+// partition owns are local (their locks are only ever taken from this
+// core's connections), the rest crossed a partition boundary and may
+// contend. Disabled — both counters stay 0 — when the store exposes no
+// shard topology (cluster router mode) or the server runs one listener.
+func (s *Server) countLocality(part int, ids []uint64) {
+	owners := s.owners
+	if owners == nil {
+		return
+	}
+	var local, cross int64
+	for _, id := range ids {
+		if int(owners[s.topo.DataShardIndex(id)]) == part {
+			local++
+		} else {
+			cross++
+		}
+	}
+	if local != 0 {
+		s.counters.LocalOps.Add(local)
+	}
+	if cross != 0 {
+		s.counters.CrossCoreOps.Add(cross)
+	}
 }
 
 // exptimeAbsThreshold is memcached's 30-day boundary: a positive exptime up
@@ -297,10 +391,19 @@ func resolveExptime(exptime, now int64) (expireAt int64, expired bool) {
 // writeStats renders the stats response: server counters plus the store's
 // gauges. The snapshot is not atomic across counters, but each counter is
 // itself exact.
-func (s *Server) writeStats(bw *bufio.Writer) {
+func (s *Server) writeStats(bw respWriter) {
 	snap := s.cfg.Store.Stats()
 	writeStatString(bw, "cache", s.cfg.Store.Name())
+	writeStatString(bw, "version", Version)
 	writeStat(bw, "uptime_seconds", int64(time.Since(s.start).Seconds()))
+	writeStat(bw, "listeners", int64(s.numListeners()))
+	writeStat(bw, "gomaxprocs", int64(runtime.GOMAXPROCS(0)))
+	writeStat(bw, "data_shards", int64(s.numDataShards()))
+	if s.cfg.NoBatch {
+		writeStat(bw, "batch_io", 0)
+	} else {
+		writeStat(bw, "batch_io", 1)
+	}
 	writeStat(bw, "capacity_items", int64(s.cfg.Store.Capacity()))
 	writeStat(bw, "curr_items", s.cfg.Store.Items())
 	writeStat(bw, "curr_bytes", s.cfg.Store.Bytes())
@@ -323,5 +426,10 @@ func (s *Server) writeStats(bw *bufio.Writer) {
 	writeStat(bw, "conns_slow_closed", s.counters.SlowConnsClosed.Load())
 	writeStat(bw, "accept_retries", s.counters.AcceptRetries.Load())
 	writeStat(bw, "panics", s.counters.Panics.Load())
+	writeStat(bw, "flushes", s.counters.Flushes.Load())
+	writeStat(bw, "batches", s.counters.Batches.Load())
+	writeStat(bw, "batched_requests", s.counters.BatchedReqs.Load())
+	writeStat(bw, "local_ops", s.counters.LocalOps.Load())
+	writeStat(bw, "cross_core_ops", s.counters.CrossCoreOps.Load())
 	writeEnd(bw)
 }

@@ -18,6 +18,9 @@ func FuzzParseRequest(f *testing.F) {
 	f.Add([]byte("set k 0 0 2 noreply\r\nhi\r\n"))
 	f.Add([]byte("delete k noreply\r\n"))
 	f.Add([]byte("stats\r\nquit\r\n"))
+	f.Add([]byte("noop\r\n"))
+	f.Add([]byte("version\r\n"))
+	f.Add([]byte("get a\r\nnoop\r\nget b\r\nversion\r\n"))
 	f.Add([]byte("set k 0 0 99999999999\r\n"))
 	f.Add([]byte("get " + string(bytes.Repeat([]byte("k"), 300)) + "\r\n"))
 	f.Add([]byte("\r\n\x00\x01\x02"))
@@ -62,7 +65,10 @@ func FuzzParseRequest(f *testing.F) {
 				if len(req.Keys) != 1 {
 					t.Fatalf("accepted delete with %d keys", len(req.Keys))
 				}
-			case OpStats, OpQuit:
+			case OpStats, OpQuit, OpNoop, OpVersion:
+				if len(req.Keys) != 0 {
+					t.Fatalf("accepted keyless op %d with %d keys", req.Op, len(req.Keys))
+				}
 			default:
 				t.Fatalf("accepted request with invalid op %d", req.Op)
 			}

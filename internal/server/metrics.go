@@ -67,6 +67,16 @@ const (
 	MetricAcceptRetries   = "cache_server_accept_retries_total"
 	MetricConnsSlowClosed = "cache_server_connections_slow_closed_total"
 
+	// Batched data-plane families. batched_requests / flushes is the
+	// syscall-amortization ratio the per-core data plane optimizes;
+	// local/cross_core partition key traffic by whether the accepting
+	// listener's partition owned the key's data shard.
+	MetricFlushes      = "cache_server_flushes_total"
+	MetricBatches      = "cache_server_batches_total"
+	MetricBatchedReqs  = "cache_server_batched_requests_total"
+	MetricLocalOps     = "cache_server_local_ops_total"
+	MetricCrossCoreOps = "cache_server_cross_core_ops_total"
+
 	// Client-side resilience counters (side="client" families reported by
 	// RunLoad's self-healing dialer).
 	MetricClientErrors     = "cache_client_errors_total"
@@ -97,6 +107,8 @@ var opNames = [...]string{
 	OpDelete:  "delete",
 	OpStats:   "stats",
 	OpQuit:    "quit",
+	OpNoop:    "noop",
+	OpVersion: "version",
 }
 
 // serverMetrics holds the direct (non-func-backed) instruments the request
@@ -141,6 +153,16 @@ func (s *Server) initMetrics(reg *metrics.Registry) {
 		s.counters.AcceptRetries.Load)
 	reg.CounterFunc(MetricConnsSlowClosed, "Slow readers evicted at the write deadline.",
 		s.counters.SlowConnsClosed.Load)
+	reg.CounterFunc(MetricFlushes, "Response deliveries to the socket (writev calls in batched mode).",
+		s.counters.Flushes.Load)
+	reg.CounterFunc(MetricBatches, "Merged get dispatches (one shard-batched lookup each).",
+		s.counters.Batches.Load)
+	reg.CounterFunc(MetricBatchedReqs, "Pipelined requests covered by merged dispatches.",
+		s.counters.BatchedReqs.Load)
+	reg.CounterFunc(MetricLocalOps, "Keys served by the shard partition that owns them.",
+		s.counters.LocalOps.Load)
+	reg.CounterFunc(MetricCrossCoreOps, "Keys that crossed shard-partition boundaries.",
+		s.counters.CrossCoreOps.Load)
 
 	if ev := s.cfg.Events; ev != nil {
 		reg.CounterFunc(MetricObsEvents, "Lifecycle events recorded.", ev.Total)

@@ -1,0 +1,29 @@
+//go:build linux
+
+package server
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// pinToCore binds the calling OS thread (the caller must hold
+// runtime.LockOSThread) to one CPU, chosen as part modulo the machine's
+// CPU count so partitions wrap on small machines. Best-effort: a kernel
+// that refuses the affinity call (containers with restricted cpusets)
+// leaves the thread floating, which is the unpinned behavior anyway.
+func pinToCore(part int) {
+	ncpu := runtime.NumCPU()
+	if ncpu <= 1 {
+		return
+	}
+	cpu := part % ncpu
+	// A 1024-bit CPU mask, the kernel's historical CPU_SETSIZE.
+	var mask [1024 / 64]uint64
+	mask[(cpu/64)%len(mask)] = 1 << (cpu % 64)
+	// Thread id 0 = calling thread. RawSyscall: no scheduler interaction
+	// needed for a call this short.
+	syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY, 0,
+		unsafe.Sizeof(mask), uintptr(unsafe.Pointer(&mask)))
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package server
+
+// pinToCore is a no-op off Linux: Config.PinShards degrades to plain
+// LockOSThread (a dedicated thread per connection, floating freely).
+func pinToCore(part int) {}

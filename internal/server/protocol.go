@@ -1,5 +1,5 @@
 // Package server is a TCP cache server speaking a memcached-compatible
-// text-protocol subset (get/gets with multi-key, set, delete, stats, quit)
+// text-protocol subset (get/gets with multi-key, set, delete, stats, noop, version, quit)
 // over the sharded thread-safe caches in internal/concurrent. It exists to
 // carry the paper's LRU-vs-lazy-promotion comparison from in-process
 // microbenchmarks to served network traffic: the hit path stays exactly the
@@ -29,6 +29,10 @@ const (
 	DefaultMaxValueLen = 1 << 20
 )
 
+// Version identifies this server implementation in `version` responses and
+// the stats output.
+const Version = "repro-cache/0.8"
+
 // Op is a parsed command kind.
 type Op uint8
 
@@ -41,6 +45,8 @@ const (
 	OpDelete
 	OpStats
 	OpQuit
+	OpNoop
+	OpVersion
 )
 
 // ClientError is a recoverable protocol error: the connection stays in sync
@@ -97,6 +103,8 @@ var (
 	tokDelete  = []byte("delete")
 	tokStats   = []byte("stats")
 	tokQuit    = []byte("quit")
+	tokNoop    = []byte("noop")
+	tokVersion = []byte("version")
 	tokNoReply = []byte("noreply")
 )
 
@@ -176,6 +184,16 @@ func ParseRequest(br *bufio.Reader, req *Request, maxValueLen int) error {
 
 	case bytes.Equal(cmd, tokQuit):
 		req.Op = OpQuit
+		return nil
+
+	case bytes.Equal(cmd, tokNoop):
+		// Answered with NOOP: a fixed-size response pipelining clients can
+		// use to delimit a batch without touching any key.
+		req.Op = OpNoop
+		return nil
+
+	case bytes.Equal(cmd, tokVersion):
+		req.Op = OpVersion
 		return nil
 	}
 	return ErrUnknownCommand
@@ -301,16 +319,28 @@ func parseUint(b []byte, limit uint64) (uint64, bool) {
 	return v, true
 }
 
-// Response writers. All write into the connection's bufio.Writer; numbers
-// are appended via the writer's AvailableBuffer so the hit path allocates
-// nothing.
+// respWriter is the response sink dispatch writes into: the legacy
+// per-connection bufio.Writer, or the batched multiBuf assembler that
+// flushes with writev. Both honor the bufio AvailableBuffer contract
+// (appending into the returned slice and Writing the result extends the
+// buffer in place), which is what keeps the hit path allocation-free.
+type respWriter interface {
+	io.Writer
+	io.StringWriter
+	io.ByteWriter
+	AvailableBuffer() []byte
+}
 
-func writeUint(bw *bufio.Writer, v uint64) {
+// Response writers. All write into the connection's response writer;
+// numbers are appended via the writer's AvailableBuffer so the hit path
+// allocates nothing.
+
+func writeUint(bw respWriter, v uint64) {
 	bw.Write(strconv.AppendUint(bw.AvailableBuffer(), v, 10))
 }
 
 // writeValue emits one VALUE stanza of a get/gets response.
-func writeValue(bw *bufio.Writer, key []byte, flags uint32, value []byte, cas uint64, withCAS bool) {
+func writeValue(bw respWriter, key []byte, flags uint32, value []byte, cas uint64, withCAS bool) {
 	bw.WriteString("VALUE ")
 	bw.Write(key)
 	bw.WriteByte(' ')
@@ -353,23 +383,23 @@ func appendGetsHeader(dst, key []byte, vlen int, flags uint32, cas uint64) []byt
 	return appendValueHeader(dst, key, flags, vlen, cas, true)
 }
 
-func writeEnd(bw *bufio.Writer)    { bw.WriteString("END\r\n") }
-func writeStored(bw *bufio.Writer) { bw.WriteString("STORED\r\n") }
+func writeEnd(bw respWriter)    { bw.WriteString("END\r\n") }
+func writeStored(bw respWriter) { bw.WriteString("STORED\r\n") }
 
-func writeClientError(bw *bufio.Writer, msg string) {
+func writeClientError(bw respWriter, msg string) {
 	bw.WriteString("CLIENT_ERROR ")
 	bw.WriteString(msg)
 	bw.WriteString("\r\n")
 }
 
-func writeServerError(bw *bufio.Writer, msg string) {
+func writeServerError(bw respWriter, msg string) {
 	bw.WriteString("SERVER_ERROR ")
 	bw.WriteString(msg)
 	bw.WriteString("\r\n")
 }
 
 // writeStat emits one STAT line of a stats response.
-func writeStat(bw *bufio.Writer, name string, v int64) {
+func writeStat(bw respWriter, name string, v int64) {
 	bw.WriteString("STAT ")
 	bw.WriteString(name)
 	bw.WriteByte(' ')
@@ -377,7 +407,7 @@ func writeStat(bw *bufio.Writer, name string, v int64) {
 	bw.WriteString("\r\n")
 }
 
-func writeStatString(bw *bufio.Writer, name, v string) {
+func writeStatString(bw respWriter, name, v string) {
 	bw.WriteString("STAT ")
 	bw.WriteString(name)
 	bw.WriteByte(' ')

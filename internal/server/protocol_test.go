@@ -150,6 +150,21 @@ func TestParseRequestTable(t *testing.T) {
 				t.Fatalf("req=%+v err=%v", req, err)
 			}
 		}},
+		{"noop", "noop\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpNoop || len(req.Keys) != 0 {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"version", "version\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpVersion || len(req.Keys) != 0 {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"noop is not a get", "noopx\r\n", func(t *testing.T, req *Request, err error) {
+			if !errors.Is(err, ErrUnknownCommand) {
+				t.Fatalf("want ErrUnknownCommand, got %v", err)
+			}
+		}},
 		{"unknown command", "incr k 1\r\n", func(t *testing.T, req *Request, err error) {
 			if !errors.Is(err, ErrUnknownCommand) {
 				t.Fatalf("want ErrUnknownCommand, got %v", err)

@@ -1,0 +1,36 @@
+//go:build linux
+
+package server
+
+import (
+	"net"
+	"syscall"
+)
+
+// reusePortAvailable gates the listener-per-core bind strategy: on Linux,
+// N sockets bound to one address with SO_REUSEPORT get kernel-level
+// connection spreading (each accept loop drains its own backlog, no
+// thundering herd and no shared accept lock).
+const reusePortAvailable = true
+
+// soReusePort is Linux's SO_REUSEPORT. The syscall package predates the
+// option and never grew the constant; it is spelled here so the server
+// stays dependency-free (no golang.org/x/sys).
+const soReusePort = 0xf
+
+// reusePortListenConfig returns a ListenConfig whose sockets set
+// SO_REUSEPORT before bind.
+func reusePortListenConfig() net.ListenConfig {
+	return net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package server
+
+import "net"
+
+// Without SO_REUSEPORT the server falls back to N accept loops sharing one
+// listener: the same serving topology (per-loop shard partitions, batched
+// I/O), minus kernel-level accept spreading.
+const reusePortAvailable = false
+
+func reusePortListenConfig() net.ListenConfig { return net.ListenConfig{} }

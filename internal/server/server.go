@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/concurrent"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -60,6 +62,23 @@ type Config struct {
 	// SlowRequest, when positive, always records a span for requests whose
 	// parse+dispatch time crosses it, regardless of sampling.
 	SlowRequest time.Duration
+	// Listeners is how many listeners ListenAndServe opens on Addr via
+	// SO_REUSEPORT — one accept loop per listener, each owning a shard
+	// partition (when the Store exposes ShardTopology) so a connection's
+	// partition-local keys never take a lock contended from another core.
+	// <=0 means GOMAXPROCS. On platforms without SO_REUSEPORT (or when the
+	// reuseport bind fails) the same count of accept loops shares one
+	// listener: partitioning still applies, kernel-level accept spreading
+	// doesn't.
+	Listeners int
+	// PinShards additionally binds each connection handler's OS thread to
+	// its partition's core (sched_setaffinity; Linux only, no-op
+	// elsewhere). Opt-in: it costs one OS thread per connection.
+	PinShards bool
+	// NoBatch disables batched request dispatch and writev response
+	// assembly, restoring the per-request bufio path. For A/B measurement
+	// and as an escape hatch.
+	NoBatch bool
 }
 
 // Server serves the memcached text protocol over a KV store. Each
@@ -74,8 +93,16 @@ type Server struct {
 	spans    *obs.SpanBuffer // nil unless tracing was enabled
 	start    time.Time
 
+	// Shard-partition ownership, built by ServeListeners when the store
+	// exposes ShardTopology and more than one listener serves: owners[i] is
+	// the partition (listener index) owning data shard i. nil disables
+	// locality accounting. Written once before the accept loops start, read
+	// lock-free on the hit path.
+	topo   ShardTopology
+	owners []int32
+
 	mu    sync.Mutex
-	ln    net.Listener
+	lns   []net.Listener
 	conns map[net.Conn]struct{}
 
 	draining atomic.Bool
@@ -101,6 +128,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.TraceSample < 0 {
 		return nil, fmt.Errorf("server: Config.TraceSample %d must be >= 0", cfg.TraceSample)
+	}
+	if cfg.Listeners <= 0 {
+		cfg.Listeners = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -139,23 +169,96 @@ func (s *Server) Spans() *obs.SpanBuffer { return s.spans }
 // embed them elsewhere).
 func (s *Server) Counters() *Counters { return &s.counters }
 
-// Addr returns the bound listen address, or nil before Serve.
+// Addr returns the bound listen address (the first listener's), or nil
+// before Serve.
 func (s *Server) Addr() net.Addr {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ln == nil {
+	if len(s.lns) == 0 {
 		return nil
 	}
-	return s.ln.Addr()
+	return s.lns[0].Addr()
 }
 
-// ListenAndServe listens on cfg.Addr and serves until Shutdown.
+// numListeners reports how many accept loops are serving (0 before Serve).
+func (s *Server) numListeners() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lns)
+}
+
+// numDataShards reports the store's data-shard count, or 0 when the store
+// exposes no topology.
+func (s *Server) numDataShards() int {
+	if topo, ok := s.cfg.Store.(ShardTopology); ok {
+		return topo.NumDataShards()
+	}
+	return 0
+}
+
+// ListenAndServe opens cfg.Listeners listeners on cfg.Addr and serves
+// until Shutdown. With more than one listener it binds each with
+// SO_REUSEPORT so the kernel spreads incoming connections across the
+// accept loops; where that isn't available (non-Linux, or a kernel that
+// refuses the option) the loops share a single listener instead — same
+// serving topology, without kernel-level accept spreading.
 func (s *Server) ListenAndServe() error {
-	ln, err := net.Listen("tcp", s.cfg.Addr)
+	lns, err := s.listenAll()
 	if err != nil {
 		return err
 	}
-	return s.Serve(ln)
+	return s.ServeListeners(lns)
+}
+
+func (s *Server) listenAll() ([]net.Listener, error) {
+	n := s.cfg.Listeners
+	if n <= 1 || !reusePortAvailable {
+		ln, err := net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 1 {
+			return []net.Listener{ln}, nil
+		}
+		// Shared-listener fallback: n accept loops, one socket. Accept is
+		// safe concurrently; each loop keeps its own partition index.
+		lns := make([]net.Listener, n)
+		for i := range lns {
+			lns[i] = ln
+		}
+		return lns, nil
+	}
+	lc := reusePortListenConfig()
+	lns := make([]net.Listener, 0, n)
+	addr := s.cfg.Addr
+	for i := 0; i < n; i++ {
+		ln, err := lc.Listen(context.Background(), "tcp", addr)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			if i == 0 {
+				// The very first reuseport bind failing usually means the
+				// kernel rejects the option; fall back to one shared socket.
+				s.log.Warn("SO_REUSEPORT bind failed, sharing one listener",
+					"err", err, "listeners", n)
+				ln, err := net.Listen("tcp", s.cfg.Addr)
+				if err != nil {
+					return nil, err
+				}
+				shared := make([]net.Listener, n)
+				for j := range shared {
+					shared[j] = ln
+				}
+				return shared, nil
+			}
+			return nil, err
+		}
+		lns = append(lns, ln)
+		// ":0" resolves on the first bind; the rest must join the same port.
+		addr = ln.Addr().String()
+	}
+	return lns, nil
 }
 
 // Accept-retry backoff bounds: transient accept errors (fd exhaustion, a
@@ -193,10 +296,59 @@ func isTransientAcceptErr(err error) bool {
 // or a non-transient listener error. Transient accept errors back off and
 // retry — one slow moment must not take down every established session.
 func (s *Server) Serve(ln net.Listener) error {
+	return s.ServeListeners([]net.Listener{ln})
+}
+
+// ServeListeners runs one accept loop per listener (listener i owns shard
+// partition i) until Shutdown or a non-transient error on any loop; the
+// first such error closes every listener and is returned. Entries may
+// repeat — the shared-listener fallback passes the same listener N times —
+// in which case the loops share its accept queue.
+func (s *Server) ServeListeners(lns []net.Listener) error {
+	if len(lns) == 0 {
+		return errors.New("server: ServeListeners needs at least one listener")
+	}
 	s.mu.Lock()
-	s.ln = ln
+	s.lns = append(s.lns[:0], lns...)
 	s.mu.Unlock()
-	s.log.Info("serving", "addr", ln.Addr().String(), "cache", s.cfg.Store.Name())
+	// Partition the store's data shards across the accept loops — built
+	// before the loops start so connection handlers read it race-free.
+	if topo, ok := s.cfg.Store.(ShardTopology); ok && len(lns) > 1 {
+		owners := concurrent.PartitionShards(topo.NumDataShards(), len(lns))
+		s.topo = topo
+		s.owners = make([]int32, len(owners))
+		for i, o := range owners {
+			s.owners[i] = int32(o)
+		}
+	}
+	s.log.Info("serving", "addr", lns[0].Addr().String(),
+		"listeners", len(lns), "batch_io", !s.cfg.NoBatch,
+		"cache", s.cfg.Store.Name())
+	if len(lns) == 1 {
+		return s.acceptLoop(lns[0], 0)
+	}
+	errc := make(chan error, len(lns))
+	for i, ln := range lns {
+		go func(part int, ln net.Listener) { errc <- s.acceptLoop(ln, part) }(i, ln)
+	}
+	var first error
+	for range lns {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+			// One listener died for real: take the rest down with it rather
+			// than serving on a random subset of cores.
+			s.mu.Lock()
+			for _, l := range s.lns {
+				l.Close()
+			}
+			s.mu.Unlock()
+		}
+	}
+	return first
+}
+
+// acceptLoop accepts connections on ln for shard partition part.
+func (s *Server) acceptLoop(ln net.Listener, part int) error {
 	var backoff time.Duration
 	for {
 		nc, err := ln.Accept()
@@ -238,7 +390,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.counters.CurrConns.Add(1)
 		s.wg.Add(1)
-		go s.handleConn(nc)
+		go s.handleConn(nc, part)
 	}
 }
 
@@ -250,8 +402,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.log.Info("draining", "open_conns", s.counters.CurrConns.Load())
 	s.mu.Lock()
-	if s.ln != nil {
-		s.ln.Close()
+	for _, ln := range s.lns {
+		ln.Close()
 	}
 	// Wake connections parked in a blocking read; their handlers observe
 	// draining and exit cleanly after serving anything already buffered.

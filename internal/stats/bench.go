@@ -17,6 +17,7 @@ type BenchEntry struct {
 	Cores      int    `json:"cores,omitempty"`
 	Goroutines int    `json:"goroutines,omitempty"`
 	Conns      int    `json:"conns,omitempty"`
+	Listeners  int    `json:"listeners,omitempty"`
 	Ops        int64  `json:"ops"`
 
 	OpsPerSec   float64 `json:"ops_per_sec"`
@@ -37,13 +38,31 @@ type BenchFile struct {
 	Bench      string `json:"bench"`
 	GoVersion  string `json:"go_version"`
 	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
 	Capacity   int    `json:"capacity,omitempty"`
 	Shards     int    `json:"shards,omitempty"`
+	Listeners  int    `json:"listeners,omitempty"`
 	KeySpace   int    `json:"key_space,omitempty"`
 	ValueLen   int    `json:"value_len,omitempty"`
 	Regenerate string `json:"regenerate"`
+	// Note records measurement caveats the numbers alone can't carry —
+	// e.g. a single-core runner flattening a listener-scaling sweep.
+	Note string `json:"note,omitempty"`
 
 	Entries []BenchEntry `json:"entries"`
+}
+
+// ReadBenchFile reads a benchmark artifact written by WriteBenchFile.
+func ReadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("stats: read bench file: %w", err)
+	}
+	f := new(BenchFile)
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("stats: parse bench file %s: %w", path, err)
+	}
+	return f, nil
 }
 
 // WriteBenchFile writes f as indented JSON to path ("-" means stdout).

@@ -143,4 +143,33 @@ grep -q '^cache_expired_proactive_total' "$tmpdir/bytecap_metrics.txt" \
 [ "$heap2" -le $((heap1 * 4 + 33554432)) ] \
     || { echo "heap grew from $heap1 to $heap2 across soak rounds" >&2; exit 1; }
 kill "$bytes_pid"
+echo '== per-core data plane smoke (2 listeners: healthz, cross-core + writev counters move)'
+"$tmpdir/cacheserver" -addr 127.0.0.1:21351 -admin-addr 127.0.0.1:21352 \
+    -max-entries 16384 -shards 8 -listeners 2 -log-level warn > "$tmpdir/percore.log" 2>&1 &
+percore_pid=$!
+trap 'kill $srv_pid $node_pids $bytes_pid $percore_pid 2>/dev/null; rm -rf "$tmpdir"' EXIT
+i=0
+until curl -fsS http://127.0.0.1:21352/healthz > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "2-listener cacheserver did not become healthy" >&2
+        cat "$tmpdir/percore.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$tmpdir/cacheload" -addr 127.0.0.1:21351 -conns 4 -ops 20000 -keyspace 8192 \
+    -json "$tmpdir/percore_bench.json" > /dev/null
+curl -fsS http://127.0.0.1:21352/metrics > "$tmpdir/percore_metrics.txt"
+for counter in cache_server_cross_core_ops_total cache_server_flushes_total cache_server_batches_total; do
+    grep -Eq "^$counter [1-9]" "$tmpdir/percore_metrics.txt" \
+        || { echo "$counter did not move under 2-listener load" >&2; cat "$tmpdir/percore_metrics.txt" >&2; exit 1; }
+done
+grep -q '"listeners": 2' "$tmpdir/percore_bench.json" \
+    || { echo "bench artifact missing server listener count" >&2; cat "$tmpdir/percore_bench.json" >&2; exit 1; }
+kill "$percore_pid"
+echo '== benchdiff smoke (artifact diffed against itself is all-zero)'
+scripts/benchdiff "$tmpdir/percore_bench.json" "$tmpdir/percore_bench.json" > "$tmpdir/benchdiff.txt"
+grep -q '+0.0%' "$tmpdir/benchdiff.txt" \
+    || { echo "benchdiff self-diff did not report zero delta" >&2; cat "$tmpdir/benchdiff.txt" >&2; exit 1; }
 echo 'tier1: all green'
