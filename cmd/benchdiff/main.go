@@ -84,6 +84,56 @@ func main() {
 	for _, m := range missing {
 		fmt.Println(m)
 	}
+
+	// When either side carried capacity-planning signals (a cacheload run
+	// against -mrc-sample), print the hit-headroom diff too: measured hit
+	// ratio plus the estimator's predicted hit at 1x and 2x capacity. Runs
+	// without the estimator skip this table entirely, so plain perf diffs
+	// stay one table.
+	if hasMRC(before.Entries) || hasMRC(after.Entries) {
+		ht := stats.NewTable("config",
+			"hit before", "hit after",
+			"1x before", "1x after",
+			"2x before", "2x after", "2x headroom")
+		for _, e := range after.Entries {
+			k := entryKey(e)
+			b, ok := old[k]
+			if !ok {
+				continue
+			}
+			headroom := "n/a"
+			if e.PredictedHit2x > 0 {
+				headroom = fmt.Sprintf("%+.4f", e.PredictedHit2x-e.PredictedHit1x)
+			}
+			ht.AddRow(k,
+				fmt.Sprintf("%.4f", b.HitRatio), fmt.Sprintf("%.4f", e.HitRatio),
+				mrcCell(b.PredictedHit1x), mrcCell(e.PredictedHit1x),
+				mrcCell(b.PredictedHit2x), mrcCell(e.PredictedHit2x),
+				headroom)
+		}
+		fmt.Println()
+		fmt.Println("hit headroom (measured vs predicted at capacity multiples):")
+		fmt.Print(ht)
+	}
+}
+
+// hasMRC reports whether any entry carries online miss-ratio signals.
+func hasMRC(entries []stats.BenchEntry) bool {
+	for _, e := range entries {
+		if e.MRCSampleRate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// mrcCell formats a predicted hit ratio, "n/a" for a run without the
+// estimator (the zero value).
+func mrcCell(v float64) string {
+	if v == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", v)
 }
 
 // entryKey names one measured configuration; every dimension a sweep can

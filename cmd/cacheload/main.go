@@ -192,6 +192,7 @@ func main() {
 		// PRs (best-effort: a server without a stat leaves it zero).
 		cacheName := ""
 		srvShards, srvListeners, srvProcs := 0, 0, 0
+		var mrcStats map[string]string
 		statsAddr := *addr
 		if *servers != "" {
 			statsAddr = splitEndpoints(*servers)[0]
@@ -202,6 +203,14 @@ func main() {
 				srvShards = atoiStat(st, "data_shards")
 				srvListeners = atoiStat(st, "listeners")
 				srvProcs = atoiStat(st, "gomaxprocs")
+			}
+			// A server running with -mrc-sample carries capacity-planning
+			// signals; one without (or an older one answering CLIENT_ERROR)
+			// simply leaves them zero in the artifact.
+			if st, err := c.StatsArg("mrc"); err == nil {
+				if enabled, err := server.StatInt(st, "enabled"); err == nil && enabled == 1 {
+					mrcStats = st
+				}
 			}
 			c.Close()
 		}
@@ -228,6 +237,15 @@ func main() {
 				P999Ns:      float64(res.Latency.Percentile(99.9).Nanoseconds()),
 				AllocsPerOp: 0, // not observable across the wire
 			}},
+		}
+		if mrcStats != nil {
+			e := &file.Entries[0]
+			e.MRCSampleRate = floatStat(mrcStats, "rate")
+			e.PredictedHit05x = floatStat(mrcStats, "predicted_hit_0.5x")
+			e.PredictedHit1x = floatStat(mrcStats, "predicted_hit_1x")
+			e.PredictedHit2x = floatStat(mrcStats, "predicted_hit_2x")
+			e.PredictedHit4x = floatStat(mrcStats, "predicted_hit_4x")
+			e.MarginalHitPerMiB = floatStat(mrcStats, "marginal_hit_per_mib")
 		}
 		if err := stats.WriteBenchFile(*jsonOut, file); err != nil {
 			fatal("bench artifact write failed", err)
@@ -260,6 +278,15 @@ func atoiStat(st map[string]string, key string) int {
 		return 0
 	}
 	return n
+}
+
+// floatStat reads a float STAT value, zero when absent or malformed.
+func floatStat(st map[string]string, key string) float64 {
+	v, err := strconv.ParseFloat(st[key], 64)
+	if err != nil {
+		return 0
+	}
+	return v
 }
 
 // splitEndpoints parses -servers, trimming blanks so trailing commas are

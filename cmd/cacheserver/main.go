@@ -37,6 +37,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/concurrent"
 	"repro/internal/metrics"
+	"repro/internal/mrc"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/units"
@@ -58,10 +59,12 @@ func main() {
 		listeners   = flag.Int("listeners", 0, "SO_REUSEPORT listeners, one accept loop and shard partition each (0 = GOMAXPROCS)")
 		pinShards   = flag.Bool("pin-shards", false, "pin each connection handler's OS thread to its partition's core (Linux; costs a thread per connection)")
 		batchIO     = flag.Bool("batch-io", true, "merge pipelined gets into shard-batched lookups and flush responses with writev")
-		adminAddr   = flag.String("admin-addr", "", "optional HTTP admin address (/metrics, /healthz, /debug/vars, /debug/events, /debug/trace, /debug/pprof)")
+		adminAddr   = flag.String("admin-addr", "", "optional HTTP admin address (/metrics, /healthz, /debug/vars, /debug/events, /debug/trace, /debug/mrc, /debug/series, /debug/pprof)")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logFormat   = flag.String("log-format", "text", "log encoding: text|json")
+		mrcSample   = flag.Float64("mrc-sample", 0, "SHARDS spatial sampling rate for the online miss-ratio curve (/debug/mrc, stats mrc, cache_mrc_* metrics); 0 = off, try 0.01")
+		mrcMaxKeys  = flag.Int("mrc-max-keys", 1<<16, "max sampled keys the online miss-ratio estimator tracks")
 		events      = flag.Int("events", 0, "retain this many cache lifecycle events for /debug/events and /debug/trace (0 = off)")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth request per connection as a span (0 = off)")
 		slowReq     = flag.Duration("slow-request", 100*time.Millisecond, "always record requests slower than this as spans (0 = off; only active with tracing or -events)")
@@ -86,9 +89,10 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	var (
-		store  server.Store
-		rec    *obs.Recorder
-		router *cluster.Router
+		store     server.Store
+		rec       *obs.Recorder
+		router    *cluster.Router
+		mrcOnline *mrc.Online
 	)
 	if *route != "" {
 		// Router mode: no local cache — every operation forwards to the
@@ -163,7 +167,30 @@ func main() {
 		// proactive expiry within two ticks of every deadline.
 		stopExpiry := kv.StartExpiry(time.Second)
 		defer stopExpiry()
+		if *mrcSample > 0 {
+			// Live miss-ratio analytics: the read path offers sampled key
+			// digests into lock-free staging rings; the estimator drains
+			// them and republishes its curve once a second.
+			smp := obs.NewKeySampler(*mrcSample, *shards, 1024)
+			kv.SetSampler(smp)
+			online, err := mrc.NewOnline(mrc.OnlineConfig{
+				Rate:    *mrcSample,
+				MaxKeys: *mrcMaxKeys,
+				Source:  smp,
+			})
+			if err != nil {
+				fatal("bad -mrc-sample", err)
+			}
+			stopMRC := online.Start(time.Second)
+			defer stopMRC()
+			mrcOnline = online
+		}
 		store = kv
+	}
+	if *mrcSample > 0 && router != nil {
+		// The router serves no local hit stream to sample; each backend
+		// runs its own estimator and /cluster rolls the curves up.
+		lg.Warn("-mrc-sample ignored in router mode (enable it on the backends)")
 	}
 	slow := *slowReq
 	if rec == nil && *traceSample == 0 {
@@ -184,6 +211,7 @@ func main() {
 		Listeners:    *listeners,
 		PinShards:    *pinShards,
 		NoBatch:      !*batchIO,
+		MRC:          mrcOnline,
 	})
 	if err != nil {
 		fatal("server construction failed", err)

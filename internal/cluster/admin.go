@@ -3,7 +3,10 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+
+	"repro/internal/mrc"
 )
 
 // clusterPage is the JSON shape of GET /cluster?format=json.
@@ -18,6 +21,7 @@ type clusterPage struct {
 	TopologyAdds    int64          `json:"topology_adds"`
 	TopologyRemoves int64          `json:"topology_removes"`
 	PerNode         []NodeSnapshot `json:"per_node"`
+	MRC             *FleetMRC      `json:"mrc,omitempty"`
 }
 
 // AdminHandler serves the /cluster endpoint on the admin mux:
@@ -57,6 +61,9 @@ func (r *Router) serveStatus(w http.ResponseWriter, req *http.Request) {
 		TopologyRemoves: drops,
 		PerNode:         perNode,
 	}
+	if fleet := r.FleetMRC(); fleet.Enabled() {
+		page.MRC = &fleet
+	}
 	if req.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -77,6 +84,32 @@ func (r *Router) serveStatus(w http.ResponseWriter, req *http.Request) {
 			n.Addr, state, n.RoutedGet, n.RoutedSet, n.RoutedDelete,
 			n.ForwardErrors, n.ReplicaReads, n.ReplicaWrites)
 	}
+	if page.MRC != nil {
+		writeFleetMRCText(w, page.MRC)
+	}
+}
+
+// writeFleetMRCText renders the miss-ratio rollup in the same stable
+// key=value style as the node lines: one line per reporting backend, then
+// the capacity-weighted fleet prediction.
+func writeFleetMRCText(w io.Writer, f *FleetMRC) {
+	for _, n := range f.Nodes {
+		fmt.Fprintf(w, "mrc node=%s rate=%.4f tracked_keys=%d capacity_items=%d",
+			n.Addr, n.Rate, n.TrackedKeys, n.CapacityItems)
+		for _, label := range mrc.ScaleLabels() {
+			if v, ok := n.PredictedHit[label]; ok {
+				fmt.Fprintf(w, " hit_%s=%.4f", label, v)
+			}
+		}
+		fmt.Fprintf(w, " marginal_hit_per_mib=%.6f\n", n.MarginalHitPerMiB)
+	}
+	fmt.Fprintf(w, "mrc fleet nodes=%d capacity_items=%d", len(f.Nodes), f.CapacityItems)
+	for _, label := range mrc.ScaleLabels() {
+		if v, ok := f.PredictedHit[label]; ok {
+			fmt.Fprintf(w, " hit_%s=%.4f", label, v)
+		}
+	}
+	fmt.Fprintln(w)
 }
 
 func (r *Router) serveTopology(w http.ResponseWriter, req *http.Request) {

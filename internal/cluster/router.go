@@ -136,6 +136,10 @@ type Router struct {
 	statsMu                     sync.Mutex
 	statsAt                     time.Time
 	statCache                   fleetStats
+
+	mrcMu    sync.Mutex
+	mrcAt    time.Time
+	mrcCache FleetMRC
 }
 
 // fleetStats is the briefly-cached fleet-aggregate occupancy poll.

@@ -3,6 +3,8 @@ package concurrent
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // Allocation guards for the KV hot path: regressions fail here instead of
@@ -81,6 +83,36 @@ func TestKVGetMultiZeroAllocs(t *testing.T) {
 		kv.GetMulti(dst[:0], keys, ids, out)
 	}); avg != 0 {
 		t.Fatalf("KV.GetMulti allocates %.1f/op, want 0", avg)
+	}
+}
+
+// A miss-ratio key sampler at rate 1 (every get staged into a ring) must
+// keep the read path allocation-free: the offer is one hash, one compare,
+// one atomic add, and three atomic stores into preallocated slots.
+func TestKVGetZeroAllocsWithSampler(t *testing.T) {
+	kv := allocKV(t)
+	kv.SetSampler(obs.NewKeySampler(1.0, 4, 1024))
+	key := allocKey(7)
+	id := Digest(key)
+	dst := make([]byte, 0, 256)
+	if avg := testing.AllocsPerRun(1000, func() {
+		_, _, _, ok := kv.GetDigest(dst[:0], key, id)
+		if !ok {
+			t.Fatal("unexpected miss")
+		}
+	}); avg != 0 {
+		t.Fatalf("KV.GetDigest with sampler allocates %.1f/op, want 0", avg)
+	}
+	hdr := func(dst, key []byte, vlen int, flags uint32, cas uint64) []byte {
+		return append(dst, key...)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		_, _, ok := kv.AppendHit(dst[:0], key, id, hdr)
+		if !ok {
+			t.Fatal("unexpected miss")
+		}
+	}); avg != 0 {
+		t.Fatalf("KV.AppendHit with sampler allocates %.1f/op, want 0", avg)
 	}
 }
 

@@ -49,6 +49,7 @@ type KV struct {
 	items  atomic.Int64
 	casSeq atomic.Uint64
 	rec    *obs.Recorder
+	smp    *obs.KeySampler
 
 	// nowSec is the coarse TTL clock (unix seconds) the shared-lock hit
 	// path compares expireAt against — one atomic load, no time syscall,
@@ -155,6 +156,16 @@ func (kv *KV) SetRecorder(rec *obs.Recorder) {
 	kv.inner.SetRecorder(rec)
 }
 
+// SetSampler attaches a spatial key sampler to the read path: every get
+// request's digest (hit or miss — the reuse-distance estimator needs the
+// full access stream) is Offered before the lookup. Offer is lock-free and
+// allocation-free, so the hit path stays 0 allocs/op with sampling on.
+// Call before the store is shared, like SetRecorder. Writes (set/delete)
+// are not sampled: an LRU miss-ratio curve models read reuse.
+func (kv *KV) SetSampler(smp *obs.KeySampler) {
+	kv.smp = smp
+}
+
 // dropEvicted is the inner cache's eviction hook: it runs under the inner
 // shard's exclusive lock and only touches KV's own shard, never the inner
 // cache. The eviction reason is recorded by the policy alongside its event;
@@ -186,6 +197,7 @@ func (kv *KV) Get(dst, key []byte) (value []byte, flags uint32, cas uint64, ok b
 // GetDigest is Get with the key's digest already computed (the server
 // hashes each key once at parse time and threads the digest down).
 func (kv *KV) GetDigest(dst, key []byte, id uint64) (value []byte, flags uint32, cas uint64, ok bool) {
+	kv.smp.Offer(id)
 	s := kv.shard(id)
 	s.mu.RLock()
 	e := s.m[id]
@@ -231,6 +243,7 @@ type HitHeaderFunc func(dst, key []byte, valueLen int, flags uint32, cas uint64)
 // with no intermediate copy. On a miss (or a failed epoch check) dst is
 // returned unchanged. valueLen reports the appended value's length.
 func (kv *KV) AppendHit(dst, key []byte, id uint64, hdr HitHeaderFunc) (out []byte, valueLen int, ok bool) {
+	kv.smp.Offer(id)
 	s := kv.shard(id)
 	s.mu.RLock()
 	e := s.m[id]
@@ -284,6 +297,7 @@ func (kv *KV) GetMulti(dst []byte, keys [][]byte, ids []uint64, out []MultiHit) 
 		panic("concurrent: GetMulti keys/ids/out lengths differ")
 	}
 	for i := range out {
+		kv.smp.Offer(ids[i])
 		// Start = -1 marks not yet visited; until then End caches the key's
 		// shard index so the pairwise grouping scan compares integers
 		// instead of re-mixing the digest.

@@ -281,6 +281,24 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Bounds returns a copy of the bucket upper bounds (+Inf implicit).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts adds the per-bucket observation counts (len(bounds)+1, last
+// is the +Inf overflow) into dst and returns it; a nil or wrong-length dst
+// is replaced with a fresh slice. The add-into contract lets a caller sum
+// several same-shape histograms (e.g. per-command latency) in one pass —
+// the windowed-telemetry layer derives percentiles from these counts.
+func (h *Histogram) BucketCounts(dst []int64) []int64 {
+	if len(dst) != len(h.buckets) {
+		dst = make([]int64, len(h.buckets))
+	}
+	for i := range h.buckets {
+		dst[i] += h.buckets[i].Load()
+	}
+	return dst
+}
+
 // DefLatencyBuckets are the request-latency bucket bounds, in seconds,
 // shared by the server and the load client so the two sides' histograms
 // line up bucket for bucket: 25µs to 2.5s, roughly doubling.

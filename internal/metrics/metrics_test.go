@@ -36,6 +36,18 @@ func buildFixture() *Registry {
 
 	r.GaugeFunc("cache_hit_ratio", "Lifetime hit ratio.", func() float64 { return 0.875 })
 
+	// A multi-series GaugeFunc family with a scale label, the shape the
+	// online miss-ratio estimator exports (predicted hit at 0.5x/1x/2x of
+	// capacity) — exercises label ordering on computed gauges.
+	for _, s := range []struct {
+		scale string
+		v     float64
+	}{{"0.5x", 0.61}, {"1x", 0.75}, {"2x", 0.84}} {
+		v := s.v
+		r.GaugeFunc("cache_mrc_predicted_hit_ratio", "Predicted hit ratio at a capacity multiple.",
+			func() float64 { return v }, "scale", s.scale)
+	}
+
 	h := r.Histogram("cache_request_duration_seconds", "Request latency.",
 		[]float64{0.001, 0.01, 0.1}, "cmd", "get")
 	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 3} {
@@ -104,6 +116,44 @@ func TestHistogramBuckets(t *testing.T) {
 		if !strings.Contains(buf.String(), want+"\n") {
 			t.Errorf("exposition missing %q:\n%s", want, buf.String())
 		}
+	}
+}
+
+func TestHistogramBucketCountsAndBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	counts := h.BucketCounts(nil)
+	want := []int64{1, 1, 1, 1}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	// Add-into contract: a second histogram's counts accumulate, so callers
+	// can sum per-command latency histograms into one window sample.
+	h2 := r.Histogram("h2", "", []float64{1, 2, 4})
+	h2.Observe(0.1)
+	counts = h2.BucketCounts(counts)
+	if counts[0] != 2 {
+		t.Fatalf("accumulated counts = %v, want first bucket 2", counts)
+	}
+	// A wrong-length dst is replaced, not partially written.
+	if got := h.BucketCounts(make([]int64, 2)); len(got) != 4 {
+		t.Fatalf("wrong-length dst returned %v", got)
+	}
+	b := h.Bounds()
+	if len(b) != 3 || b[0] != 1 || b[2] != 4 {
+		t.Fatalf("bounds = %v", b)
+	}
+	b[0] = 99 // copy: mutating must not touch the histogram
+	if h.Bounds()[0] != 1 {
+		t.Fatal("Bounds returned a live reference")
 	}
 }
 

@@ -13,15 +13,16 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 // Curve is a miss-ratio curve: MissRatio(Sizes[i]) = Ratios[i].
 type Curve struct {
-	Policy string
-	Sizes  []int
-	Ratios []float64
+	Policy string    `json:"policy"`
+	Sizes  []int     `json:"sizes"`
+	Ratios []float64 `json:"miss_ratios"`
 }
 
 // At returns the interpolated miss ratio at the given cache size, clamping
@@ -164,13 +165,9 @@ func ones(n int) []float64 {
 	return out
 }
 
-func sampleHash(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	return x ^ (x >> 33)
-}
+// sampleHash delegates to the canonical spatial-sampling hash in obs, so
+// offline curves and the live estimator agree on the sample set exactly.
+func sampleHash(x uint64) uint64 { return obs.SampleHash(x) }
 
 // Policy computes a miss-ratio curve for any registered policy by
 // simulating each size (parallelized through the sweep runner).

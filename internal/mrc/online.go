@@ -1,0 +1,365 @@
+package mrc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// OnlineConfig configures an Online estimator.
+type OnlineConfig struct {
+	// Rate is the SHARDS spatial sampling rate in (0, 1]. Required.
+	Rate float64
+	// MaxKeys bounds the number of sampled keys tracked (default 1<<16).
+	// The tracked set may transiently reach 2×MaxKeys between compactions;
+	// each compaction forgets the least-recent keys beyond MaxKeys. Reuse
+	// distances beyond MaxKeys land in an overflow bucket: the curve
+	// saturates there, which only matters for cache sizes past
+	// MaxKeys/Rate real objects.
+	MaxKeys int
+	// CurvePoints is how many log-spaced sizes each published curve
+	// carries (default 32).
+	CurvePoints int
+	// Source, if set, is the staging ring the drain loop consumes. The
+	// hot path Offers sampled digests there; Online pulls them out on its
+	// own goroutine. Without a Source, feed the estimator via Observe.
+	Source *obs.KeySampler
+}
+
+// OnlineSnapshot is one published state of the estimator: the miss-ratio
+// curve in the real (unscaled) size domain plus the counters needed to
+// judge how trustworthy it is.
+type OnlineSnapshot struct {
+	// At is when the snapshot was built.
+	At time.Time
+	// Rate is the spatial sampling rate.
+	Rate float64
+	// TrackedKeys is the number of sampled keys currently tracked.
+	TrackedKeys int
+	// SampledAccesses counts accesses that passed the spatial filter.
+	SampledAccesses int64
+	// EstimatedAccesses scales SampledAccesses back to the full stream.
+	EstimatedAccesses int64
+	// ColdMisses counts sampled first accesses (infinite reuse distance).
+	ColdMisses int64
+	// Dropped counts staged keys lost before the drain loop saw them.
+	Dropped int64
+	// MaxSize is the largest real cache size the curve covers.
+	MaxSize int
+	// Curve is the estimated LRU miss-ratio curve (Policy "lru~shards-online").
+	Curve Curve
+}
+
+// ScaleSignal is the predicted hit ratio at one multiple of the current
+// capacity — the "what would 2× the memory buy me?" answer.
+type ScaleSignal struct {
+	Scale    float64 `json:"scale"`
+	Size     int     `json:"size"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Signals are the derived capacity-planning numbers a snapshot yields for a
+// concrete current capacity.
+type Signals struct {
+	CapacityItems int           `json:"capacity_items"`
+	BytesPerItem  float64       `json:"bytes_per_item,omitempty"`
+	Scales        []ScaleSignal `json:"scales,omitempty"`
+	// MarginalHitPerMiB is the hit-ratio gain from one extra MiB of
+	// capacity at the current size (0 when the item size is unknown).
+	MarginalHitPerMiB float64 `json:"marginal_hit_per_mib"`
+}
+
+// scaleFactors are the capacity multiples every snapshot is evaluated at.
+var scaleFactors = [...]float64{0.5, 1, 2, 4}
+
+// ScaleFactors returns the capacity multiples (0.5, 1, 2, 4) every snapshot
+// is evaluated at, in ScaleLabels order.
+func ScaleFactors() []float64 {
+	out := make([]float64, len(scaleFactors))
+	copy(out, scaleFactors[:])
+	return out
+}
+
+// ScaleLabels returns the fixed labels ("0.5x", "1x", ...) matching the
+// order of Signals.Scales, shared by the metrics and stats surfaces.
+func ScaleLabels() []string {
+	out := make([]string, len(scaleFactors))
+	for i, f := range scaleFactors {
+		out[i] = formatScale(f)
+	}
+	return out
+}
+
+func formatScale(f float64) string {
+	if f == float64(int(f)) {
+		return fmt.Sprintf("%dx", int(f))
+	}
+	return fmt.Sprintf("%gx", f)
+}
+
+// Signals evaluates the snapshot at a concrete capacity. bytesPerItem may
+// be zero when unknown (marginal-per-MiB is then zero too).
+func (sn *OnlineSnapshot) Signals(capacityItems int, bytesPerItem float64) Signals {
+	sig := Signals{CapacityItems: capacityItems, BytesPerItem: bytesPerItem}
+	if sn == nil || capacityItems <= 0 || len(sn.Curve.Sizes) == 0 {
+		return sig
+	}
+	for _, f := range scaleFactors {
+		size := int(float64(capacityItems) * f)
+		sig.Scales = append(sig.Scales, ScaleSignal{
+			Scale:    f,
+			Size:     size,
+			HitRatio: 1 - sn.Curve.At(size),
+		})
+	}
+	if bytesPerItem > 0 {
+		itemsPerMiB := float64(1<<20) / bytesPerItem
+		hitNow := 1 - sn.Curve.At(capacityItems)
+		hitMore := 1 - sn.Curve.At(capacityItems+int(itemsPerMiB))
+		sig.MarginalHitPerMiB = hitMore - hitNow
+	}
+	return sig
+}
+
+// Online estimates the live LRU miss-ratio curve of the served key stream
+// with SHARDS spatial sampling: only keys whose hash falls under Rate are
+// tracked, reuse distances are measured in the sampled domain with the same
+// Fenwick-tree stack algorithm the offline builder uses, and curves are
+// read back at real sizes by scaling distances up by 1/Rate.
+//
+// The estimator is fed either by Observe (synchronous, tests and replays)
+// or by a Source staging ring drained on a background goroutine (the
+// serving path). Snapshots are published atomically; readers never block
+// the estimator.
+type Online struct {
+	rate      float64
+	threshold uint64
+	maxKeys   int
+	points    int
+	src       *obs.KeySampler
+
+	mu       sync.Mutex
+	last     map[uint64]int // sampled key -> last access position
+	tree     *fenwick       // marks live last-access positions
+	treeSize int
+	pos      int     // next access position in the (compacted) stream
+	hist     []int64 // hist[d] = sampled accesses with scaled distance d; hist[maxKeys] = overflow
+	cold     int64
+	sampled  int64
+	maxLive  int // high-water mark of len(last), sizes the curve domain
+
+	snap     atomic.Pointer[OnlineSnapshot]
+	drainBuf []uint64
+
+	stopOnce sync.Once
+	quit     chan struct{}
+	done     chan struct{}
+}
+
+// NewOnline returns an estimator for the given config.
+func NewOnline(cfg OnlineConfig) (*Online, error) {
+	if cfg.Rate <= 0 || cfg.Rate > 1 {
+		return nil, fmt.Errorf("mrc: online sample rate %v outside (0, 1]", cfg.Rate)
+	}
+	if cfg.MaxKeys <= 0 {
+		cfg.MaxKeys = 1 << 16
+	}
+	if cfg.CurvePoints <= 0 {
+		cfg.CurvePoints = 32
+	}
+	o := &Online{
+		rate:      cfg.Rate,
+		threshold: uint64(cfg.Rate * (1 << 32)),
+		maxKeys:   cfg.MaxKeys,
+		points:    cfg.CurvePoints,
+		src:       cfg.Source,
+		last:      make(map[uint64]int, cfg.MaxKeys/4+1),
+		treeSize:  2 * cfg.MaxKeys,
+		hist:      make([]int64, cfg.MaxKeys+1),
+	}
+	o.tree = newFenwick(o.treeSize)
+	o.snap.Store(o.buildSnapshot())
+	return o, nil
+}
+
+// Rate returns the spatial sampling rate.
+func (o *Online) Rate() float64 { return o.rate }
+
+// Observe feeds one key digest through the spatial filter and, if sampled,
+// into the estimator. It is safe for concurrent use but serializes on a
+// mutex — the serving path should Offer into a Source sampler instead.
+func (o *Online) Observe(id uint64) {
+	if obs.SampleHash(id)&0xffffffff >= o.threshold {
+		return
+	}
+	o.mu.Lock()
+	o.observeSampled(id)
+	o.mu.Unlock()
+}
+
+// observeSampled runs one Mattson step for a key that already passed the
+// spatial filter. Caller holds o.mu.
+func (o *Online) observeSampled(id uint64) {
+	// Compact before touching the tree: renumbering must see every live
+	// key with exactly one mark, so it cannot interleave with a step that
+	// has removed a key's old mark but not yet placed its new one.
+	if o.pos == o.treeSize {
+		o.compact()
+	}
+	if p, ok := o.last[id]; ok {
+		d := o.tree.prefix(o.pos-1) - o.tree.prefix(p)
+		o.tree.add(p, -1)
+		if d >= o.maxKeys {
+			d = o.maxKeys // overflow bucket: "misses at every covered size"
+		}
+		o.hist[d]++
+	} else {
+		o.cold++
+	}
+	o.tree.add(o.pos, 1)
+	o.last[id] = o.pos
+	o.pos++
+	o.sampled++
+	if len(o.last) > o.maxLive {
+		o.maxLive = len(o.last)
+	}
+}
+
+// compact renumbers live positions to 0..k-1 in recency order and rebuilds
+// the Fenwick tree, so the position counter can keep growing forever in a
+// fixed-size tree. If more than maxKeys keys are live, the oldest are
+// forgotten (their next access will count as cold — indistinguishable from
+// a miss at every size the curve covers). Caller holds o.mu.
+func (o *Online) compact() {
+	type keyPos struct {
+		key uint64
+		pos int
+	}
+	live := make([]keyPos, 0, len(o.last))
+	for k, p := range o.last {
+		live = append(live, keyPos{k, p})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].pos < live[j].pos })
+	if len(live) > o.maxKeys {
+		drop := len(live) - o.maxKeys
+		for _, kp := range live[:drop] {
+			delete(o.last, kp.key)
+		}
+		live = live[drop:]
+	}
+	o.tree = newFenwick(o.treeSize)
+	for i, kp := range live {
+		o.last[kp.key] = i
+		o.tree.add(i, 1)
+	}
+	o.pos = len(live)
+}
+
+// buildSnapshot assembles a snapshot from current state. Caller holds o.mu
+// (or has exclusive access during construction).
+func (o *Online) buildSnapshot() *OnlineSnapshot {
+	sn := &OnlineSnapshot{
+		At:              time.Now(),
+		Rate:            o.rate,
+		TrackedKeys:     len(o.last),
+		SampledAccesses: o.sampled,
+		ColdMisses:      o.cold,
+		Dropped:         o.src.Dropped(),
+	}
+	sn.EstimatedAccesses = int64(float64(o.sampled) / o.rate)
+	// The curve domain starts where a real size covers at least 16 sampled
+	// slots — below that the binomial spread on sampled distances (±1/√x
+	// relative) drowns the estimate — and runs up to the sampled working
+	// set scaled back to real objects.
+	lo := int(16 / o.rate)
+	if lo < 1 {
+		lo = 1
+	}
+	hi := int(float64(o.maxLive) / o.rate)
+	if hi < lo+1 {
+		hi = lo + 1
+	}
+	sn.MaxSize = hi
+	sizes := LogSizes(lo, hi, o.points)
+	sn.Curve = Curve{Policy: "lru~shards-online", Sizes: sizes}
+	if o.sampled == 0 {
+		sn.Curve.Ratios = ones(len(sizes))
+		return sn
+	}
+	// cum[c] = sampled accesses with scaled distance < c.
+	cum := make([]int64, len(o.hist)+1)
+	for d, n := range o.hist {
+		cum[d+1] = cum[d] + n
+	}
+	for _, s := range sizes {
+		// A real size s holds s·rate sampled slots — usually not an
+		// integer, so interpolate between the bracketing counts instead of
+		// flooring (flooring overstates the miss ratio at small sizes,
+		// where one sampled slot stands in for 1/rate real objects).
+		x := float64(s) * o.rate
+		c := int(x)
+		var hits float64
+		if c >= o.maxKeys {
+			hits = float64(cum[o.maxKeys])
+		} else {
+			hits = float64(cum[c]) + (x-float64(c))*float64(cum[c+1]-cum[c])
+		}
+		sn.Curve.Ratios = append(sn.Curve.Ratios, 1-hits/float64(o.sampled))
+	}
+	return sn
+}
+
+// Publish drains the Source (if any), rebuilds the snapshot from current
+// state, publishes it, and returns it. Safe for concurrent use; the admin
+// endpoint calls it so scrapes always see fresh state.
+func (o *Online) Publish() *OnlineSnapshot {
+	o.mu.Lock()
+	if o.src != nil {
+		o.drainBuf = o.src.Drain(o.drainBuf[:0])
+		for _, id := range o.drainBuf {
+			o.observeSampled(id)
+		}
+	}
+	sn := o.buildSnapshot()
+	o.mu.Unlock()
+	o.snap.Store(sn)
+	return sn
+}
+
+// Snapshot returns the most recently published snapshot. It never returns
+// nil and never blocks the estimator.
+func (o *Online) Snapshot() *OnlineSnapshot { return o.snap.Load() }
+
+// Start launches the drain-and-publish loop at the given interval and
+// returns a stop function (idempotent, waits for the loop to exit). The
+// interval is the staleness bound on Snapshot; Publish is always available
+// for callers that need the current state synchronously.
+func (o *Online) Start(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	o.quit = make(chan struct{})
+	o.done = make(chan struct{})
+	go func() {
+		defer close(o.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				o.Publish()
+			case <-o.quit:
+				o.Publish()
+				return
+			}
+		}
+	}()
+	return func() {
+		o.stopOnce.Do(func() { close(o.quit) })
+		<-o.done
+	}
+}

@@ -1,0 +1,224 @@
+package mrc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// zipfKeys draws n keys from a Zipf(alpha) popularity law over keyspace
+// distinct objects, scrambled so numeric adjacency carries no locality (the
+// spatial sampler hashes keys; a pathological key set would be a test bug,
+// not an estimator bug).
+func zipfKeys(seed int64, keyspace, n int, alpha float64) []uint64 {
+	z := workload.NewZipf(rand.New(rand.NewSource(seed)), keyspace, alpha)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(z.Next())*0x9e3779b97f4a7c15 + 1
+	}
+	return keys
+}
+
+// Acceptance: the online estimator replaying a Zipf trace agrees with the
+// offline exact LRU curve within 0.05 max abs error at every published size.
+func TestOnlineMatchesOfflineLRU(t *testing.T) {
+	keys := zipfKeys(11, 20000, 300000, 0.9)
+	o, err := NewOnline(OnlineConfig{Rate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		o.Observe(k)
+	}
+	sn := o.Publish()
+	if sn.SampledAccesses == 0 {
+		t.Fatal("no accesses sampled")
+	}
+	reqs := make([]trace.Request, len(keys))
+	for i, k := range keys {
+		reqs[i] = trace.Request{Key: k, Size: 1, Time: int64(i)}
+	}
+	exact := LRU(reqs, append([]int(nil), sn.Curve.Sizes...))
+	var worst float64
+	for i, s := range sn.Curve.Sizes {
+		diff := math.Abs(exact.Ratios[i] - sn.Curve.Ratios[i])
+		if diff > worst {
+			worst = diff
+		}
+		if diff > 0.05 {
+			t.Errorf("size %d: exact %.4f vs online %.4f (diff %.4f)",
+				s, exact.Ratios[i], sn.Curve.Ratios[i], diff)
+		}
+	}
+	t.Logf("max abs error %.4f over %d sizes (sampled %d of %d accesses)",
+		worst, len(sn.Curve.Sizes), sn.SampledAccesses, len(keys))
+}
+
+// At rate 1 with compaction forced many times over, the estimator is the
+// exact Mattson algorithm: its curve must equal the offline LRU curve to
+// floating-point precision at every size under MaxKeys.
+func TestOnlineExactAtRateOneWithCompaction(t *testing.T) {
+	keys := zipfKeys(7, 50, 5000, 0.8) // 50 live keys, maxKeys 64 → treeSize 128: ~39 compactions
+	o, err := NewOnline(OnlineConfig{Rate: 1, MaxKeys: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		o.Observe(k)
+	}
+	sn := o.Publish()
+	reqs := make([]trace.Request, len(keys))
+	for i, k := range keys {
+		reqs[i] = trace.Request{Key: k, Size: 1, Time: int64(i)}
+	}
+	exact := LRU(reqs, append([]int(nil), sn.Curve.Sizes...))
+	for i, s := range sn.Curve.Sizes {
+		if diff := math.Abs(exact.Ratios[i] - sn.Curve.Ratios[i]); diff > 1e-12 {
+			t.Fatalf("size %d: exact %.6f vs online %.6f", s, exact.Ratios[i], sn.Curve.Ratios[i])
+		}
+	}
+	if sn.SampledAccesses != int64(len(keys)) {
+		t.Fatalf("sampled %d, want %d", sn.SampledAccesses, len(keys))
+	}
+}
+
+// Compaction dropping keys beyond MaxKeys must not corrupt the tracked set:
+// the estimator keeps running and tracked keys stay bounded by 2×MaxKeys
+// (the tree size — compaction trims back to MaxKeys each time it fires).
+func TestOnlineCompactionBoundsTrackedKeys(t *testing.T) {
+	o, err := NewOnline(OnlineConfig{Rate: 1, MaxKeys: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		o.Observe(uint64(i)*0x9e3779b97f4a7c15 + 1) // all distinct: worst case
+	}
+	sn := o.Publish()
+	if sn.TrackedKeys > 64 {
+		t.Fatalf("tracked %d keys, bound is 2×MaxKeys = 64", sn.TrackedKeys)
+	}
+	if sn.ColdMisses != sn.SampledAccesses {
+		t.Fatalf("all-distinct stream: cold %d != sampled %d", sn.ColdMisses, sn.SampledAccesses)
+	}
+	for _, r := range sn.Curve.Ratios {
+		if r != 1 {
+			t.Fatalf("all-cold stream should miss everywhere: %v", sn.Curve.Ratios)
+		}
+	}
+}
+
+// The Source staging path must deliver the same estimate as direct Observe.
+// One staging ring keeps arrival order fully intact (multi-ring staging only
+// reorders across keys within a drain window), so the curves match exactly.
+func TestOnlineSourceFed(t *testing.T) {
+	keys := zipfKeys(3, 5000, 60000, 0.9)
+	smp := obs.NewKeySampler(0.1, 1, 1<<16) // one ring, big enough that nothing drops
+	src, err := NewOnline(OnlineConfig{Rate: 0.1, Source: smp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewOnline(OnlineConfig{Rate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		smp.Offer(k)
+		direct.Observe(k)
+	}
+	got, want := src.Publish(), direct.Publish()
+	if got.Dropped != 0 {
+		t.Fatalf("staging ring dropped %d keys", got.Dropped)
+	}
+	if got.SampledAccesses != want.SampledAccesses {
+		t.Fatalf("sampled %d via source, %d direct", got.SampledAccesses, want.SampledAccesses)
+	}
+	for i := range got.Curve.Sizes {
+		if diff := math.Abs(got.Curve.Ratios[i] - want.Curve.Ratios[i]); diff > 1e-12 {
+			t.Fatalf("size %d: source-fed %.6f vs direct %.6f",
+				got.Curve.Sizes[i], got.Curve.Ratios[i], want.Curve.Ratios[i])
+		}
+	}
+}
+
+func TestNewOnlineRejectsBadRate(t *testing.T) {
+	for _, rate := range []float64{0, -0.5, 1.5} {
+		if _, err := NewOnline(OnlineConfig{Rate: rate}); err == nil {
+			t.Fatalf("rate %v accepted", rate)
+		}
+	}
+}
+
+func TestOnlineSnapshotNeverNil(t *testing.T) {
+	o, err := NewOnline(OnlineConfig{Rate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := o.Snapshot()
+	if sn == nil {
+		t.Fatal("fresh estimator returned nil snapshot")
+	}
+	if len(sn.Curve.Ratios) == 0 || sn.Curve.Ratios[0] != 1 {
+		t.Fatalf("empty estimator should publish an all-miss curve: %+v", sn.Curve)
+	}
+}
+
+func TestSignals(t *testing.T) {
+	sn := &OnlineSnapshot{Curve: Curve{
+		Policy: "lru~shards-online",
+		Sizes:  []int{100, 1000, 10000},
+		Ratios: []float64{0.8, 0.4, 0.1},
+	}}
+	sig := sn.Signals(1000, 100) // 100 B/item → ~10486 items per MiB
+	if len(sig.Scales) != len(scaleFactors) {
+		t.Fatalf("scales = %+v", sig.Scales)
+	}
+	if got := sig.Scales[1]; got.Scale != 1 || got.Size != 1000 || math.Abs(got.HitRatio-0.6) > 1e-12 {
+		t.Fatalf("1x signal = %+v", got)
+	}
+	if sig.MarginalHitPerMiB <= 0 {
+		t.Fatalf("marginal hit per MiB = %v, want positive on a falling curve", sig.MarginalHitPerMiB)
+	}
+	// Unknown capacity: signals stay empty rather than inventing numbers.
+	if s := sn.Signals(0, 0); len(s.Scales) != 0 || s.MarginalHitPerMiB != 0 {
+		t.Fatalf("zero-capacity signals = %+v", s)
+	}
+	var nilSnap *OnlineSnapshot
+	if s := nilSnap.Signals(100, 1); len(s.Scales) != 0 {
+		t.Fatalf("nil snapshot signals = %+v", s)
+	}
+}
+
+func TestScaleLabelsMatchFactors(t *testing.T) {
+	labels, factors := ScaleLabels(), ScaleFactors()
+	if len(labels) != len(factors) {
+		t.Fatalf("%d labels vs %d factors", len(labels), len(factors))
+	}
+	want := []string{"0.5x", "1x", "2x", "4x"}
+	for i, l := range labels {
+		if l != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestOnlineStartStop(t *testing.T) {
+	smp := obs.NewKeySampler(1, 1, 64)
+	o, err := NewOnline(OnlineConfig{Rate: 1, Source: smp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := o.Start(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		smp.Offer(uint64(i % 10))
+	}
+	stop()
+	stop() // idempotent
+	if sn := o.Snapshot(); sn.SampledAccesses+sn.Dropped != 100 {
+		t.Fatalf("sampled %d + dropped %d, want 100", sn.SampledAccesses, sn.Dropped)
+	}
+}

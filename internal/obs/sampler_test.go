@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSampleHashDeterministicAndMixing(t *testing.T) {
+	if SampleHash(42) != SampleHash(42) {
+		t.Fatal("hash not deterministic")
+	}
+	// Sequential inputs must spread across the 32-bit sampling domain:
+	// count how many of 10k sequential keys fall under a 10% threshold.
+	rate := 0.1
+	threshold := uint64(rate * (1 << 32))
+	in := 0
+	for i := uint64(0); i < 10000; i++ {
+		if SampleHash(i)&0xffffffff < threshold {
+			in++
+		}
+	}
+	if in < 800 || in > 1200 {
+		t.Fatalf("10%% threshold admitted %d of 10000 sequential keys", in)
+	}
+}
+
+func TestKeySamplerRoundtripInOrder(t *testing.T) {
+	s := NewKeySampler(1, 1, 256) // rate 1: everything staged, one ring: order kept
+	for i := uint64(1); i <= 100; i++ {
+		s.Offer(i)
+	}
+	got := s.Drain(nil)
+	if len(got) != 100 {
+		t.Fatalf("drained %d keys, want 100", len(got))
+	}
+	for i, k := range got {
+		if k != uint64(i+1) {
+			t.Fatalf("got[%d] = %d, want %d", i, k, i+1)
+		}
+	}
+	if s.Dropped() != 0 || s.Offered() != 100 {
+		t.Fatalf("dropped %d offered %d", s.Dropped(), s.Offered())
+	}
+	// A second drain with nothing new staged returns nothing.
+	if again := s.Drain(got[:0]); len(again) != 0 {
+		t.Fatalf("re-drain returned %d keys", len(again))
+	}
+}
+
+func TestKeySamplerSpatialFilter(t *testing.T) {
+	s := NewKeySampler(0.25, 2, 1024)
+	threshold := uint64(0.25 * (1 << 32))
+	want := map[uint64]int{}
+	for i := uint64(0); i < 4000; i++ {
+		s.Offer(i)
+		if SampleHash(i)&0xffffffff < threshold {
+			want[i]++
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("test bug: no keys under threshold")
+	}
+	got := map[uint64]int{}
+	for _, k := range s.Drain(nil) {
+		got[k]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d distinct keys, want %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("key %d drained %d times, want %d", k, got[k], n)
+		}
+	}
+}
+
+func TestKeySamplerOverrunCountsDrops(t *testing.T) {
+	s := NewKeySampler(1, 1, 64)
+	for i := uint64(0); i < 200; i++ {
+		s.Offer(i)
+	}
+	got := s.Drain(nil)
+	if len(got) != 64 {
+		t.Fatalf("drained %d keys from a lapped 64-slot ring, want 64", len(got))
+	}
+	// The survivors are the newest 64, still in order.
+	for i, k := range got {
+		if k != uint64(136+i) {
+			t.Fatalf("got[%d] = %d, want %d", i, k, 136+i)
+		}
+	}
+	if s.Dropped() != 136 {
+		t.Fatalf("dropped %d, want 136", s.Dropped())
+	}
+}
+
+func TestKeySamplerNilReceiver(t *testing.T) {
+	var s *KeySampler
+	s.Offer(1) // must not panic
+	if s.Rate() != 0 || s.Offered() != 0 || s.Dropped() != 0 {
+		t.Fatal("nil sampler should report zeros")
+	}
+	if buf := s.Drain(nil); buf != nil {
+		t.Fatalf("nil sampler drained %v", buf)
+	}
+}
+
+func TestKeySamplerClampsConfig(t *testing.T) {
+	s := NewKeySampler(5, 0, 0) // rate clamps to 1, rings to 1, perRing to 64
+	if s.Rate() != 1 {
+		t.Fatalf("rate = %v, want 1", s.Rate())
+	}
+	s.Offer(7)
+	if got := s.Drain(nil); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("drain = %v", got)
+	}
+}
+
+// Concurrent producers against a single live consumer: every offered key is
+// either drained or counted dropped, never silently lost (run with -race).
+func TestKeySamplerConcurrent(t *testing.T) {
+	s := NewKeySampler(1, 4, 256)
+	const producers, perProducer = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	done := make(chan int64)
+	go func() {
+		var buf []uint64
+		var n int64
+		for {
+			buf = s.Drain(buf[:0])
+			n += int64(len(buf))
+			select {
+			case <-stop:
+				// Producers are quiesced: one last drain collects the tail.
+				buf = s.Drain(buf[:0])
+				done <- n + int64(len(buf))
+				return
+			default:
+			}
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Offer(uint64(p*perProducer + i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	drained := <-done
+	if total := drained + s.Dropped(); total != producers*perProducer {
+		t.Fatalf("drained %d + dropped %d = %d, want %d (keys silently lost)",
+			drained, s.Dropped(), total, producers*perProducer)
+	}
+}

@@ -17,6 +17,8 @@ import (
 //	/debug/vars    expvar (process-global)
 //	/debug/events  retained lifecycle events + sampled request spans
 //	/debug/trace   one key's lifecycle history, optionally followed live
+//	/debug/mrc     online SHARDS miss-ratio curve + capacity signals
+//	/debug/series  windowed telemetry (1m/5m/1h hit ratio, ops, p50/p99)
 //	/debug/pprof   CPU/heap/etc profiles — the instrumentation §3's
 //	               measured-cost arguments depend on
 //
@@ -40,6 +42,10 @@ func (s *Server) AdminMux(reg *metrics.Registry) *http.ServeMux {
 	// empty sections, so dashboards need not special-case the config.
 	mux.HandleFunc("/debug/events", s.handleDebugEvents)
 	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	// Analytics endpoints likewise stay mounted: /debug/mrc reports
+	// disabled without -mrc-sample, /debug/series is always live.
+	mux.HandleFunc("/debug/mrc", s.handleDebugMRC)
+	mux.HandleFunc("/debug/series", s.handleDebugSeries)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

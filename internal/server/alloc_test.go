@@ -131,6 +131,20 @@ func TestServerGetHitPathZeroAllocsWithRecorder(t *testing.T) {
 	}
 }
 
+// The MRC key sampler at rate 1 stages every get into a lock-free ring on
+// the hit path; the acceptance bar for -mrc-sample is that this stays at
+// zero allocations per request.
+func TestServerGetHitPathZeroAllocsWithMRCSampling(t *testing.T) {
+	s, kv := allocServer(t)
+	kv.SetSampler(obs.NewKeySampler(1.0, 4, 1024))
+	if avg := runRequests(t, s, []byte("get key-07\r\n")); avg != 0 {
+		t.Fatalf("get hit path with MRC sampling allocates %.1f/op, want 0", avg)
+	}
+	if n := s.counters.GetMisses.Load(); n != 0 {
+		t.Fatalf("unexpected misses: %d", n)
+	}
+}
+
 // With sampling on, the tracer is allowed its one-time pending-slice
 // allocation but nothing per request in steady state.
 func TestServerGetHitPathAllocsWithSampling(t *testing.T) {

@@ -469,16 +469,27 @@ func (c *Client) deleteOnce(key []byte) (bool, error) {
 // but not retried: it is a diagnostic, and a heal here would mask the very
 // failure being diagnosed.
 func (c *Client) Stats() (stats map[string]string, err error) {
+	return c.StatsArg("")
+}
+
+// StatsArg fetches a stats subcommand ("mrc" → `stats mrc`); an empty arg
+// is the plain stats. A CLIENT_ERROR answer (older server, unknown
+// subcommand) is returned as an error with an empty map.
+func (c *Client) StatsArg(arg string) (stats map[string]string, err error) {
 	err = c.do(1, func() error {
 		var e error
-		stats, e = c.statsOnce()
+		stats, e = c.statsOnce(arg)
 		return e
 	})
 	return stats, err
 }
 
-func (c *Client) statsOnce() (map[string]string, error) {
-	if _, err := c.bw.WriteString("stats\r\n"); err != nil {
+func (c *Client) statsOnce(arg string) (map[string]string, error) {
+	cmd := "stats\r\n"
+	if arg != "" {
+		cmd = "stats " + arg + "\r\n"
+	}
+	if _, err := c.bw.WriteString(cmd); err != nil {
 		return nil, err
 	}
 	if err := c.flush(); err != nil {
@@ -509,6 +520,16 @@ func StatInt(stats map[string]string, name string) (int64, error) {
 		return 0, fmt.Errorf("server: stat %q missing", name)
 	}
 	return strconv.ParseInt(v, 10, 64)
+}
+
+// StatFloat reads one float stat from a Stats map (the mrc subcommand's
+// rates and ratios).
+func StatFloat(stats map[string]string, name string) (float64, error) {
+	v, ok := stats[name]
+	if !ok {
+		return 0, fmt.Errorf("server: stat %q missing", name)
+	}
+	return strconv.ParseFloat(v, 64)
 }
 
 func (c *Client) readLine() ([]byte, error) {

@@ -323,7 +323,14 @@ func (s *Server) dispatch(bw respWriter, req *Request, part int) bool {
 			}
 		}
 	case OpStats:
-		s.writeStats(bw)
+		switch {
+		case req.StatsArg == nil:
+			s.writeStats(bw)
+		case string(req.StatsArg) == "mrc":
+			s.writeMRCStats(bw)
+		default:
+			writeClientError(bw, "unknown stats argument")
+		}
 	case OpNoop:
 		// Fixed-size response with no key access: pipelining clients send it
 		// to delimit a batch and know when everything before it has landed.

@@ -77,6 +77,22 @@ const (
 	MetricLocalOps     = "cache_server_local_ops_total"
 	MetricCrossCoreOps = "cache_server_cross_core_ops_total"
 
+	// Live-analytics families. cache_mrc_* expose the online SHARDS
+	// miss-ratio estimator (-mrc-sample; absent without it);
+	// cache_window_* aggregate the telemetry ring over sliding windows
+	// (label: window = 1m|5m|1h).
+	MetricMRCPredictedHitRatio = "cache_mrc_predicted_hit_ratio" // labels: scale (0.5x|1x|2x|4x)
+	MetricMRCMarginalHit       = "cache_mrc_marginal_hit_ratio_per_mib"
+	MetricMRCSampleRate        = "cache_mrc_sample_rate"
+	MetricMRCTrackedKeys       = "cache_mrc_tracked_keys"
+	MetricMRCSampledTotal      = "cache_mrc_sampled_accesses_total"
+	MetricMRCDroppedTotal      = "cache_mrc_samples_dropped_total"
+	MetricWindowHitRatio       = "cache_window_hit_ratio"
+	MetricWindowOpsPerSec      = "cache_window_ops_per_sec"
+	MetricWindowEvictions      = "cache_window_evictions"
+	MetricWindowP50            = "cache_window_p50_request_seconds"
+	MetricWindowP99            = "cache_window_p99_request_seconds"
+
 	// Client-side resilience counters (side="client" families reported by
 	// RunLoad's self-healing dialer).
 	MetricClientErrors     = "cache_client_errors_total"
@@ -176,6 +192,9 @@ func (s *Server) initMetrics(reg *metrics.Registry) {
 
 	RegisterStoreMetrics(reg, s.cfg.Store)
 	s.metrics = m
+	// After s.metrics is set: the windowed families' latency percentiles
+	// read the per-command histograms registered above.
+	s.initAnalyticsMetrics(reg)
 }
 
 // RegisterStoreMetrics exposes a KV store's hit/miss/eviction/occupancy

@@ -83,6 +83,10 @@ type Request struct {
 	Exptime int64
 	NoReply bool
 	Value   []byte // set payload; internal buffer, valid until next parse
+	// StatsArg is the optional stats subcommand ("stats mrc"); it points
+	// into the read buffer like get keys and is valid only until the next
+	// parse. nil for a plain stats.
+	StatsArg []byte
 
 	keyStore []byte
 	valBuf   []byte
@@ -128,6 +132,7 @@ func ParseRequest(br *bufio.Reader, req *Request, maxValueLen int) error {
 	req.Exptime = 0
 	req.NoReply = false
 	req.Value = nil
+	req.StatsArg = nil
 
 	cmd, rest := nextToken(line)
 	switch {
@@ -180,6 +185,9 @@ func ParseRequest(br *bufio.Reader, req *Request, maxValueLen int) error {
 
 	case bytes.Equal(cmd, tokStats):
 		req.Op = OpStats
+		if tok, _ := nextToken(rest); tok != nil {
+			req.StatsArg = tok
+		}
 		return nil
 
 	case bytes.Equal(cmd, tokQuit):
@@ -412,6 +420,16 @@ func writeStatString(bw respWriter, name, v string) {
 	bw.WriteString(name)
 	bw.WriteByte(' ')
 	bw.WriteString(v)
+	bw.WriteString("\r\n")
+}
+
+// writeStatFloat emits one STAT line with a fixed-precision float value
+// (the mrc subcommand's ratios and rates).
+func writeStatFloat(bw respWriter, name string, v float64, prec int) {
+	bw.WriteString("STAT ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.Write(strconv.AppendFloat(bw.AvailableBuffer(), v, 'f', prec, 64))
 	bw.WriteString("\r\n")
 }
 

@@ -14,7 +14,9 @@ import (
 
 	"repro/internal/concurrent"
 	"repro/internal/metrics"
+	"repro/internal/mrc"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a Server.
@@ -79,6 +81,12 @@ type Config struct {
 	// assembly, restoring the per-request bufio path. For A/B measurement
 	// and as an escape hatch.
 	NoBatch bool
+	// MRC, if set, is the online miss-ratio estimator fed from the store's
+	// read path (cacheserver -mrc-sample wires it). The server only reads
+	// snapshots — /debug/mrc, the `stats mrc` subcommand, and the
+	// cache_mrc_* metric families; the estimator's drain loop is owned by
+	// whoever constructed it.
+	MRC *mrc.Online
 }
 
 // Server serves the memcached text protocol over a KV store. Each
@@ -92,6 +100,11 @@ type Server struct {
 	log      *slog.Logger
 	spans    *obs.SpanBuffer // nil unless tracing was enabled
 	start    time.Time
+
+	// series is the windowed telemetry ring (always constructed; its
+	// 1 Hz sampler starts with ServeListeners and stops with Shutdown).
+	series     *telemetry.Series
+	seriesStop func()
 
 	// Shard-partition ownership, built by ServeListeners when the store
 	// exposes ShardTopology and more than one listener serves: owners[i] is
@@ -137,6 +150,10 @@ func New(cfg Config) (*Server, error) {
 		log:   resolveLogger(cfg),
 		start: time.Now(),
 		conns: make(map[net.Conn]struct{}),
+		series: telemetry.New(telemetry.Options{
+			Span:          time.Hour,
+			LatencyBounds: metrics.DefLatencyBuckets,
+		}),
 	}
 	if cfg.TraceSample > 0 || cfg.SlowRequest > 0 {
 		s.spans = obs.NewSpanBuffer(spanBufferSize)
@@ -324,6 +341,11 @@ func (s *Server) ServeListeners(lns []net.Listener) error {
 	s.log.Info("serving", "addr", lns[0].Addr().String(),
 		"listeners", len(lns), "batch_io", !s.cfg.NoBatch,
 		"cache", s.cfg.Store.Name())
+	s.mu.Lock()
+	if s.seriesStop == nil {
+		s.seriesStop = s.series.Start(s.sampleTelemetry, time.Second)
+	}
+	s.mu.Unlock()
 	if len(lns) == 1 {
 		return s.acceptLoop(lns[0], 0)
 	}
@@ -402,6 +424,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.log.Info("draining", "open_conns", s.counters.CurrConns.Load())
 	s.mu.Lock()
+	if stop := s.seriesStop; stop != nil {
+		s.seriesStop = nil
+		s.mu.Unlock()
+		stop()
+		s.mu.Lock()
+	}
 	for _, ln := range s.lns {
 		ln.Close()
 	}

@@ -30,6 +30,17 @@ type BenchEntry struct {
 	P50Ns  float64 `json:"p50_ns,omitempty"`
 	P99Ns  float64 `json:"p99_ns,omitempty"`
 	P999Ns float64 `json:"p999_ns,omitempty"`
+
+	// Capacity-planning signals harvested from the server's online
+	// miss-ratio estimator (`stats mrc`); all zero when the server ran
+	// without -mrc-sample. PredictedHit* are the estimated hit ratios at
+	// the labelled multiple of the configured capacity.
+	MRCSampleRate     float64 `json:"mrc_sample_rate,omitempty"`
+	PredictedHit05x   float64 `json:"predicted_hit_0.5x,omitempty"`
+	PredictedHit1x    float64 `json:"predicted_hit_1x,omitempty"`
+	PredictedHit2x    float64 `json:"predicted_hit_2x,omitempty"`
+	PredictedHit4x    float64 `json:"predicted_hit_4x,omitempty"`
+	MarginalHitPerMiB float64 `json:"marginal_hit_per_mib,omitempty"`
 }
 
 // BenchFile is a benchmark artifact: the environment the numbers were

@@ -1,0 +1,348 @@
+// Package telemetry keeps a windowed time series of server health: a ring
+// of per-second buckets holding counter deltas (hits, misses, sets,
+// deletes, evictions-by-reason) and gauge readings (used bytes, items),
+// plus latency-histogram bucket deltas, aggregated on demand over sliding
+// windows (1m/5m/1h by convention).
+//
+// Aggregate counters answer "how many hits ever"; this layer answers "what
+// was the hit ratio over the last minute" and "what is p99 right now" —
+// the rates an operator actually watches, and the denominators the online
+// miss-ratio curve's predictions are compared against.
+//
+// The sampler runs once a second off the serving path (one Stats snapshot,
+// a few histogram scans); nothing here touches the request hot path.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Sample is one cumulative reading of the source counters. The series
+// differences consecutive samples into per-second deltas; gauges are kept
+// as-is. LatencyCounts are cumulative histogram bucket counts
+// (len(bounds)+1, +Inf last) and may be nil when no latency source exists.
+type Sample struct {
+	Hits, Misses, Sets, Deletes int64
+	Evictions, Expired          int64
+	UsedBytes, Items            int64
+	LatencyCounts               []int64
+}
+
+// Options configures a Series.
+type Options struct {
+	// Span is how much history the ring retains (default 1h).
+	Span time.Duration
+	// LatencyBounds are the histogram bucket upper bounds matching
+	// Sample.LatencyCounts (nil disables percentile aggregation).
+	LatencyBounds []float64
+}
+
+// bucket is one second of deltas plus the gauges read that second.
+type bucket struct {
+	sec                         int64 // unix second; 0 = empty
+	hits, misses, sets, deletes int64
+	evictions, expired          int64
+	usedBytes, items            int64
+	lat                         []int64
+}
+
+// Series is the ring of per-second buckets. All methods are safe for
+// concurrent use.
+type Series struct {
+	mu       sync.Mutex
+	buckets  []bucket
+	bounds   []float64
+	havePrev bool
+	prev     Sample
+	src      func() Sample
+
+	stopOnce sync.Once
+	quit     chan struct{}
+	done     chan struct{}
+}
+
+// New returns an empty series.
+func New(opts Options) *Series {
+	span := opts.Span
+	if span <= 0 {
+		span = time.Hour
+	}
+	n := int(span / time.Second)
+	if n < 2 {
+		n = 2
+	}
+	return &Series{
+		buckets: make([]bucket, n),
+		bounds:  append([]float64(nil), opts.LatencyBounds...),
+	}
+}
+
+// Record folds one cumulative sample into the bucket for nowUnix. The
+// first sample only establishes the baseline (so counts accumulated before
+// the series started don't appear as a burst); repeated samples within one
+// second merge additively. Samples must arrive in non-decreasing time.
+func (s *Series) Record(nowUnix int64, smp Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.havePrev {
+		s.prev = cloneSample(smp)
+		s.havePrev = true
+		// Still stamp the gauges so a first scrape has a reading.
+		b := s.bucketFor(nowUnix)
+		b.usedBytes, b.items = smp.UsedBytes, smp.Items
+		return
+	}
+	b := s.bucketFor(nowUnix)
+	b.hits += smp.Hits - s.prev.Hits
+	b.misses += smp.Misses - s.prev.Misses
+	b.sets += smp.Sets - s.prev.Sets
+	b.deletes += smp.Deletes - s.prev.Deletes
+	b.evictions += smp.Evictions - s.prev.Evictions
+	b.expired += smp.Expired - s.prev.Expired
+	b.usedBytes, b.items = smp.UsedBytes, smp.Items
+	if len(smp.LatencyCounts) > 0 {
+		if len(b.lat) != len(smp.LatencyCounts) {
+			b.lat = make([]int64, len(smp.LatencyCounts))
+		}
+		for i, c := range smp.LatencyCounts {
+			if i < len(s.prev.LatencyCounts) {
+				b.lat[i] += c - s.prev.LatencyCounts[i]
+			} else {
+				b.lat[i] += c
+			}
+		}
+	}
+	s.prev = cloneSample(smp)
+}
+
+// bucketFor returns the (possibly recycled) bucket for sec. Caller holds mu.
+func (s *Series) bucketFor(sec int64) *bucket {
+	b := &s.buckets[sec%int64(len(s.buckets))]
+	if b.sec != sec {
+		lat := b.lat
+		for i := range lat {
+			lat[i] = 0
+		}
+		*b = bucket{sec: sec, lat: lat}
+	}
+	return b
+}
+
+func cloneSample(smp Sample) Sample {
+	smp.LatencyCounts = append([]int64(nil), smp.LatencyCounts...)
+	return smp
+}
+
+// Start samples src into the series every interval until the returned stop
+// function is called (idempotent, waits for the loop to exit). It also
+// arms RecordNow, which admin handlers call so a scrape mid-interval sees
+// current numbers.
+func (s *Series) Start(src func() Sample, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.mu.Lock()
+	s.src = src
+	s.mu.Unlock()
+	s.quit = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		s.Record(time.Now().Unix(), src())
+		for {
+			select {
+			case <-t.C:
+				s.Record(time.Now().Unix(), src())
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		s.stopOnce.Do(func() { close(s.quit) })
+		<-s.done
+	}
+}
+
+// RecordNow takes one immediate sample if a source was armed by Start.
+func (s *Series) RecordNow() {
+	s.mu.Lock()
+	src := s.src
+	s.mu.Unlock()
+	if src != nil {
+		s.Record(time.Now().Unix(), src())
+	}
+}
+
+// Agg is one sliding-window aggregate.
+type Agg struct {
+	Window  time.Duration `json:"-"`
+	Label   string        `json:"window"`
+	Seconds int           `json:"seconds"` // buckets with data in the window
+
+	Ops       int64   `json:"ops"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Sets      int64   `json:"sets"`
+	Deletes   int64   `json:"deletes"`
+	Evictions int64   `json:"evictions"`
+	Expired   int64   `json:"expired"`
+	HitRatio  float64 `json:"hit_ratio"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	UsedBytes int64 `json:"used_bytes"`
+	Items     int64 `json:"items"`
+
+	// P50/P99 are request-latency percentiles in seconds (0 without a
+	// latency source).
+	P50 float64 `json:"p50_seconds"`
+	P99 float64 `json:"p99_seconds"`
+}
+
+// Window aggregates the buckets in (nowUnix-d, nowUnix]. Gauges are taken
+// from the newest bucket in the window.
+func (s *Series) Window(nowUnix int64, d time.Duration) Agg {
+	secs := int64(d / time.Second)
+	if max := int64(len(s.buckets)); secs > max {
+		secs = max
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	agg := Agg{Window: d, Label: formatWindow(d)}
+	var lat []int64
+	var newest int64
+	s.mu.Lock()
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		if b.sec == 0 || b.sec <= nowUnix-secs || b.sec > nowUnix {
+			continue
+		}
+		agg.Seconds++
+		agg.Hits += b.hits
+		agg.Misses += b.misses
+		agg.Sets += b.sets
+		agg.Deletes += b.deletes
+		agg.Evictions += b.evictions
+		agg.Expired += b.expired
+		if b.sec > newest {
+			newest = b.sec
+			agg.UsedBytes, agg.Items = b.usedBytes, b.items
+		}
+		if len(b.lat) > 0 {
+			if len(lat) != len(b.lat) {
+				lat = make([]int64, len(b.lat))
+			}
+			for j, c := range b.lat {
+				lat[j] += c
+			}
+		}
+	}
+	s.mu.Unlock()
+	agg.Ops = agg.Hits + agg.Misses + agg.Sets + agg.Deletes
+	if gets := agg.Hits + agg.Misses; gets > 0 {
+		agg.HitRatio = float64(agg.Hits) / float64(gets)
+	}
+	if agg.Seconds > 0 {
+		agg.OpsPerSec = float64(agg.Ops) / float64(agg.Seconds)
+	}
+	if len(lat) > 0 && len(s.bounds) > 0 {
+		agg.P50 = Percentile(s.bounds, lat, 0.50)
+		agg.P99 = Percentile(s.bounds, lat, 0.99)
+	}
+	return agg
+}
+
+// Point is one second's reading, for the recent-history dump.
+type Point struct {
+	Sec       int64   `json:"sec"`
+	Ops       int64   `json:"ops"`
+	HitRatio  float64 `json:"hit_ratio"`
+	Sets      int64   `json:"sets"`
+	Evictions int64   `json:"evictions"`
+	UsedBytes int64   `json:"used_bytes"`
+	Items     int64   `json:"items"`
+}
+
+// Points returns up to n most recent per-second points, oldest first.
+func (s *Series) Points(nowUnix int64, n int) []Point {
+	if n <= 0 || n > len(s.buckets) {
+		n = len(s.buckets)
+	}
+	out := make([]Point, 0, n)
+	s.mu.Lock()
+	for sec := nowUnix - int64(n) + 1; sec <= nowUnix; sec++ {
+		b := &s.buckets[sec%int64(len(s.buckets))]
+		if b.sec != sec {
+			continue
+		}
+		p := Point{
+			Sec:       sec,
+			Ops:       b.hits + b.misses + b.sets + b.deletes,
+			Sets:      b.sets,
+			Evictions: b.evictions + b.expired,
+			UsedBytes: b.usedBytes,
+			Items:     b.items,
+		}
+		if gets := b.hits + b.misses; gets > 0 {
+			p.HitRatio = float64(b.hits) / float64(gets)
+		}
+		out = append(out, p)
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// formatWindow renders 1m/5m/1h-style labels.
+func formatWindow(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return d.String()
+	}
+}
+
+// Percentile computes the q-quantile (0 < q < 1) from histogram bucket
+// counts (len(bounds)+1, +Inf last), linearly interpolating within the
+// bucket the rank falls in. Returns 0 for empty counts; ranks landing in
+// the +Inf bucket return the last finite bound.
+func Percentile(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*math.Min(1, math.Max(0, frac))
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRecordAndWindow(t *testing.T) {
+	s := New(Options{Span: time.Minute})
+	base := int64(1000)
+	// First sample is baseline only: its counts must not appear as a burst.
+	s.Record(base, Sample{Hits: 1000, Misses: 500, Sets: 50, UsedBytes: 4096, Items: 10})
+	s.Record(base+1, Sample{Hits: 1080, Misses: 520, Sets: 60, Deletes: 5, Evictions: 2, UsedBytes: 8192, Items: 20})
+	s.Record(base+2, Sample{Hits: 1160, Misses: 540, Sets: 70, Deletes: 5, Evictions: 4, Expired: 1, UsedBytes: 8000, Items: 19})
+
+	agg := s.Window(base+2, time.Minute)
+	if agg.Hits != 160 || agg.Misses != 40 {
+		t.Fatalf("hits/misses = %d/%d, want 160/40", agg.Hits, agg.Misses)
+	}
+	if agg.Sets != 20 || agg.Deletes != 5 || agg.Evictions != 4 || agg.Expired != 1 {
+		t.Fatalf("sets/deletes/evictions/expired = %d/%d/%d/%d", agg.Sets, agg.Deletes, agg.Evictions, agg.Expired)
+	}
+	if math.Abs(agg.HitRatio-0.8) > 1e-12 {
+		t.Fatalf("hit ratio = %v, want 0.8", agg.HitRatio)
+	}
+	// Three seconds hold data: the baseline bucket (gauges only) plus two
+	// delta buckets.
+	if agg.Seconds != 3 {
+		t.Fatalf("seconds = %d, want 3", agg.Seconds)
+	}
+	if want := float64(160+40+20+5) / 3; agg.OpsPerSec != want {
+		t.Fatalf("ops/s = %v, want %v", agg.OpsPerSec, want)
+	}
+	// Gauges come from the newest bucket, not summed.
+	if agg.UsedBytes != 8000 || agg.Items != 19 {
+		t.Fatalf("gauges = %d bytes / %d items, want 8000/19", agg.UsedBytes, agg.Items)
+	}
+	if agg.Label != "1m" {
+		t.Fatalf("label = %q", agg.Label)
+	}
+}
+
+func TestWindowExcludesOldBuckets(t *testing.T) {
+	s := New(Options{Span: time.Hour})
+	base := int64(5000)
+	s.Record(base, Sample{})
+	s.Record(base+1, Sample{Hits: 100})   // inside a 1m window ending at base+61? no: base+1 <= base+61-60
+	s.Record(base+45, Sample{Hits: 150})  // bucket at base+45 holds +50
+	agg := s.Window(base+61, time.Minute) // window (base+1, base+61]
+	if agg.Hits != 50 {
+		t.Fatalf("hits = %d, want 50 (old bucket leaked in)", agg.Hits)
+	}
+	all := s.Window(base+45, time.Hour)
+	if all.Hits != 150 {
+		t.Fatalf("1h hits = %d, want 150", all.Hits)
+	}
+}
+
+func TestSameSecondSamplesMerge(t *testing.T) {
+	s := New(Options{Span: time.Minute})
+	s.Record(100, Sample{})
+	s.Record(101, Sample{Hits: 10})
+	s.Record(101, Sample{Hits: 25}) // same second: merges to +25 total
+	agg := s.Window(101, time.Minute)
+	if agg.Hits != 25 || agg.Seconds != 2 { // baseline second + merged second
+		t.Fatalf("hits = %d seconds = %d, want 25/2", agg.Hits, agg.Seconds)
+	}
+}
+
+func TestRingRecyclesBuckets(t *testing.T) {
+	s := New(Options{Span: 10 * time.Second})
+	s.Record(0, Sample{})
+	for sec := int64(1); sec <= 25; sec++ {
+		s.Record(sec, Sample{Hits: sec * 10})
+	}
+	// Only the last 10 seconds survive; each bucket holds +10 hits.
+	agg := s.Window(25, 10*time.Second)
+	if agg.Seconds != 10 || agg.Hits != 100 {
+		t.Fatalf("seconds = %d hits = %d, want 10/100", agg.Seconds, agg.Hits)
+	}
+	pts := s.Points(25, 5)
+	if len(pts) != 5 || pts[0].Sec != 21 || pts[4].Sec != 25 {
+		t.Fatalf("points = %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Ops != 10 {
+			t.Fatalf("point %d ops = %d, want 10", p.Sec, p.Ops)
+		}
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1}
+	s := New(Options{Span: time.Minute, LatencyBounds: bounds})
+	s.Record(10, Sample{LatencyCounts: []int64{0, 0, 0, 0}})
+	// Per-bucket counts: 90 requests under 1ms, 9 more under 10ms, 1 more
+	// under 100ms (the shape metrics.Histogram.BucketCounts reports).
+	s.Record(11, Sample{Hits: 100, LatencyCounts: []int64{90, 9, 1, 0}})
+	agg := s.Window(11, time.Minute)
+	if agg.P50 <= 0 || agg.P50 > 0.001 {
+		t.Fatalf("p50 = %v, want within first bucket", agg.P50)
+	}
+	if agg.P99 <= 0.001 || agg.P99 > 0.01+1e-9 {
+		t.Fatalf("p99 = %v, want within second bucket", agg.P99)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	// counts: 10 in (0,1], 10 in (1,2], 0 in (2,4], 0 beyond.
+	counts := []int64{10, 10, 0, 0}
+	if got := Percentile(bounds, counts, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("p50 = %v, want 1 (exact bucket edge)", got)
+	}
+	if got := Percentile(bounds, counts, 0.75); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("p75 = %v, want 1.5 (midway through second bucket)", got)
+	}
+	if got := Percentile(bounds, nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Rank landing in the +Inf bucket clamps to the last finite bound.
+	if got := Percentile(bounds, []int64{0, 0, 0, 5}, 0.5); got != 4 {
+		t.Fatalf("inf-bucket percentile = %v, want 4", got)
+	}
+}
+
+func TestStartStopSampler(t *testing.T) {
+	s := New(Options{Span: time.Minute})
+	calls := 0
+	stop := s.Start(func() Sample {
+		calls++
+		return Sample{Hits: int64(calls) * 10}
+	}, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	after := calls
+	time.Sleep(5 * time.Millisecond)
+	if calls != after {
+		t.Fatal("sampler kept running after stop")
+	}
+	if after < 2 {
+		t.Fatalf("sampler ran %d times, want several", after)
+	}
+	s.RecordNow() // armed source: must not panic, takes one more sample
+	if calls != after+1 {
+		t.Fatalf("RecordNow did not sample (calls %d, want %d)", calls, after+1)
+	}
+}
+
+func TestFormatWindow(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{time.Minute, "1m"},
+		{5 * time.Minute, "5m"},
+		{time.Hour, "1h"},
+		{90 * time.Second, "1m30s"},
+	} {
+		if got := formatWindow(tc.d); got != tc.want {
+			t.Fatalf("formatWindow(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

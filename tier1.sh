@@ -19,10 +19,10 @@ go test ./...
 echo '== go test -race (concurrent + server + obs + chaos + cluster)'
 go test -race ./internal/concurrent/... ./internal/server/... ./internal/obs/... ./internal/chaos/... ./internal/cluster/...
 echo '== alloc guard (tracing disabled = 0 allocs, sampling on <= 1, ring lookup = 0)'
-go test -run 'TestServerGetHitPathZeroAllocsWithRecorder|TestServerGetHitPathAllocsWithSampling' ./internal/server/
+go test -run 'TestServerGetHitPathZeroAllocsWithRecorder|TestServerGetHitPathAllocsWithSampling|TestServerGetHitPathZeroAllocsWithMRCSampling' ./internal/server/
 go test -run 'TestRingLookupZeroAllocs' ./internal/cluster/
-echo '== alloc guard (byte accounting + TTL wheel keep the hit paths at 0 allocs)'
-go test -run 'TestKVGetZeroAllocs|TestKVAppendHitZeroAllocs|TestKVGetMultiZeroAllocs|TestKVByteModeTTLZeroAllocs' ./internal/concurrent/
+echo '== alloc guard (byte accounting + TTL wheel + MRC sampler keep the hit paths at 0 allocs)'
+go test -run 'TestKVGetZeroAllocs|TestKVAppendHitZeroAllocs|TestKVGetMultiZeroAllocs|TestKVByteModeTTLZeroAllocs|TestKVGetZeroAllocsWithSampler' ./internal/concurrent/
 echo '== bench smoke (one iteration per benchmark)'
 go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
 echo '== throughput sweep smoke (one point)'
@@ -168,6 +168,41 @@ done
 grep -q '"listeners": 2' "$tmpdir/percore_bench.json" \
     || { echo "bench artifact missing server listener count" >&2; cat "$tmpdir/percore_bench.json" >&2; exit 1; }
 kill "$percore_pid"
+echo '== mrc analytics smoke (cacheserver -mrc-sample: monotone /debug/mrc curve, mrc + window metrics)'
+"$tmpdir/cacheserver" -addr 127.0.0.1:21361 -admin-addr 127.0.0.1:21362 \
+    -max-entries 16384 -shards 8 -mrc-sample 0.25 -log-level warn > "$tmpdir/mrc.log" 2>&1 &
+mrc_pid=$!
+trap 'kill $srv_pid $node_pids $bytes_pid $percore_pid $mrc_pid 2>/dev/null; rm -rf "$tmpdir"' EXIT
+i=0
+until curl -fsS http://127.0.0.1:21362/healthz > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "mrc-sampling cacheserver did not become healthy" >&2
+        cat "$tmpdir/mrc.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$tmpdir/cacheload" -addr 127.0.0.1:21361 -conns 2 -ops 40000 -keyspace 8192 \
+    -json "$tmpdir/mrc_bench.json" > /dev/null
+sleep 1.2   # let the estimator's drain loop publish a snapshot
+curl -fsS http://127.0.0.1:21362/debug/mrc > "$tmpdir/mrc.txt"
+grep -q '^point ' "$tmpdir/mrc.txt" \
+    || { echo "/debug/mrc has no curve points" >&2; cat "$tmpdir/mrc.txt" >&2; exit 1; }
+awk '/^point / { split($4, h, "="); if (h[2] + 1e-9 < prev) { print "hit curve decreasing at " $0; exit 1 } prev = h[2] }' \
+    "$tmpdir/mrc.txt" \
+    || { echo "/debug/mrc hit curve not monotone non-decreasing" >&2; cat "$tmpdir/mrc.txt" >&2; exit 1; }
+curl -fsS http://127.0.0.1:21362/debug/series > "$tmpdir/series.txt"
+grep -q '^window d=1m ' "$tmpdir/series.txt" \
+    || { echo "/debug/series missing 1m window" >&2; cat "$tmpdir/series.txt" >&2; exit 1; }
+curl -fsS http://127.0.0.1:21362/metrics > "$tmpdir/mrc_metrics.txt"
+grep -q '^cache_mrc_predicted_hit_ratio{scale="1x"}' "$tmpdir/mrc_metrics.txt" \
+    || { echo "cache_mrc_predicted_hit_ratio missing from /metrics" >&2; exit 1; }
+grep -q '^cache_window_hit_ratio{window="1m"}' "$tmpdir/mrc_metrics.txt" \
+    || { echo "cache_window_hit_ratio missing from /metrics" >&2; exit 1; }
+grep -q '"mrc_sample_rate"' "$tmpdir/mrc_bench.json" \
+    || { echo "bench artifact missing mrc signals" >&2; cat "$tmpdir/mrc_bench.json" >&2; exit 1; }
+kill "$mrc_pid"
 echo '== benchdiff smoke (artifact diffed against itself is all-zero)'
 scripts/benchdiff "$tmpdir/percore_bench.json" "$tmpdir/percore_bench.json" > "$tmpdir/benchdiff.txt"
 grep -q '+0.0%' "$tmpdir/benchdiff.txt" \
