@@ -8,6 +8,15 @@
 //	cacheload -addr localhost:11211 -conns 8 -ops 1000000
 //	cacheload -family twitter -keyspace 100000 -conns 4
 //
+// With -rate N the loop opens: gets are scheduled at N ops/sec aggregate
+// and each op's latency is measured from its scheduled arrival, so a
+// stalling server accrues queueing delay in the reported percentiles
+// instead of quietly slowing the offered load (the coordinated-omission
+// correction). -retry-budget caps fleet-wide retry amplification with one
+// token bucket shared by every connection:
+//
+//	cacheload -rate 50000 -retries 4 -retry-budget 0.1 -ops 500000
+//
 // With -retries the clients self-heal: transport failures reconnect with
 // jittered backoff and retry under the per-command policy, so a server
 // restart mid-run costs errors, not the run. With -chaos every connection
@@ -36,6 +45,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -56,7 +66,9 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logFmt    = flag.String("log-format", "text", "log encoding: text|json")
 
-		retries     = flag.Int("retries", 0, "per-op transport-failure retry budget (0 = fail fast); sets are replayed at most once")
+		rate        = flag.Float64("rate", 0, "open-loop mode: schedule gets at this aggregate ops/sec and measure latency from each op's scheduled arrival (coordinated-omission corrected); 0 = closed loop")
+		retries     = flag.Int("retries", 0, "per-op transport-failure retry cap (0 = fail fast); sets are replayed at most once")
+		retryBudget = flag.Float64("retry-budget", 0, "token-bucket retry budget shared by all connections: earn this fraction of a retry per completed op (try 0.1; implies -retries 4 if unset); 0 = retries bounded only by -retries")
 		opTimeout   = flag.Duration("op-timeout", 0, "per-operation read/write deadline (0 = none)")
 		connTimeout = flag.Duration("connect-timeout", 5*time.Second, "dial deadline")
 		chaosSpec   = flag.String("chaos", "", `route load through an in-process fault-injection proxy; spec like "seed=7,refuse=0.02,latency=2ms,latency-p=0.1,partial=0.1,reset=0.01,blackhole=0.005" (implies -retries 4 and -op-timeout 1s if unset)`)
@@ -109,6 +121,18 @@ func main() {
 		loadAddr = proxy.Addr()
 		lg.Info("chaos proxy interposed", "proxy", loadAddr, "backend", *addr, "spec", *chaosSpec)
 	}
+	// -retry-budget caps fleet-wide retry amplification: one token bucket
+	// shared by every connection, earning tokens as ops complete and
+	// spending one per retry. A budget without a per-op retry cap would be
+	// inert, so it implies a cap.
+	var budget *overload.RetryBudget
+	if *retryBudget > 0 {
+		if *retries == 0 {
+			*retries = 4
+			lg.Info("retry budget enabled, defaulting -retries", "retries", *retries)
+		}
+		budget = overload.NewRetryBudget(*retryBudget, 0)
+	}
 	var dial *server.DialConfig
 	if *retries > 0 || *opTimeout > 0 {
 		dial = &server.DialConfig{
@@ -116,12 +140,18 @@ func main() {
 			ReadTimeout:    *opTimeout,
 			WriteTimeout:   *opTimeout,
 			MaxRetries:     *retries,
+			Budget:         budget,
 		}
 	}
 
 	var reg *metrics.Registry
 	if *metricsF != "" {
 		reg = metrics.NewRegistry()
+		if budget != nil {
+			reg.CounterFunc(server.MetricRetryBudgetExhausted,
+				"Retries refused because the shared retry budget was empty.",
+				budget.Exhausted, "side", "client")
+		}
 	}
 	// -servers spreads each connection's keys across the cluster ring: every
 	// load connection becomes a cluster.Client owning one self-healing
@@ -135,7 +165,7 @@ func main() {
 		if len(endpoints) == 0 {
 			fatal("bad -servers", fmt.Errorf("no endpoints in %q", *servers))
 		}
-		ccfg := cluster.ClientConfig{Endpoints: endpoints}
+		ccfg := cluster.ClientConfig{Endpoints: endpoints, Budget: budget}
 		if dial != nil {
 			ccfg.Dial = *dial
 		}
@@ -153,6 +183,7 @@ func main() {
 		Metrics:  reg,
 		Dial:     dial,
 		DialFunc: dialFunc,
+		Rate:     *rate,
 	})
 	if runErr != nil {
 		fatal("load run failed", runErr)
@@ -168,12 +199,18 @@ func main() {
 	tb.AddRow("ops", res.Ops)
 	tb.AddRow("elapsed", res.Elapsed.Round(time.Millisecond).String())
 	tb.AddRow("ops/s", fmt.Sprintf("%.0f", res.OpsPerSecond()))
+	if *rate > 0 {
+		tb.AddRow("offered rate", fmt.Sprintf("%.0f", *rate))
+	}
 	tb.AddRow("hit ratio", fmt.Sprintf("%.4f", res.HitRatio()))
 	tb.AddRow("sets (fills)", res.Sets)
 	if dial != nil {
 		tb.AddRow("errors", res.Errors)
 		tb.AddRow("retries", res.Retries)
 		tb.AddRow("reconnects", res.Reconnects)
+	}
+	if budget != nil {
+		tb.AddRow("budget exhausted", budget.Exhausted())
 	}
 	tb.AddRow("get p50", res.Latency.Percentile(50).String())
 	tb.AddRow("get p90", res.Latency.Percentile(90).String())

@@ -14,6 +14,13 @@
 // are on — lifecycle events and request spans at /debug/events with a
 // per-key live watch at /debug/trace.
 //
+// Overload control is opt-in: -target-p99 arms an adaptive AIMD admission
+// limiter that sheds excess load (SERVER_ERROR busy, misses under deep
+// pressure) to hold the admitted p99 under the budget; -max-inflight and
+// -max-pending bound its concurrency and queue. In router mode,
+// -probe-interval arms a phi-accrual failure detector that ejects dead or
+// browned-out backends from the ring and re-admits them on recovery.
+//
 // Diagnostics are structured (log/slog): -log-level picks the floor,
 // -log-format text|json the encoding.
 //
@@ -68,11 +75,16 @@ func main() {
 		events      = flag.Int("events", 0, "retain this many cache lifecycle events for /debug/events and /debug/trace (0 = off)")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth request per connection as a span (0 = off)")
 		slowReq     = flag.Duration("slow-request", 100*time.Millisecond, "always record requests slower than this as spans (0 = off; only active with tracing or -events)")
+		targetP99   = flag.Duration("target-p99", 0, "adaptive overload limiter: shed load to hold admitted p99 under this budget (0 = no limiter unless -max-inflight is set)")
+		maxInflight = flag.Int("max-inflight", 0, "overload limiter: max concurrent admitted requests (0 = -max-conns when the limiter is on)")
+		maxPending  = flag.Int("max-pending", 0, "overload limiter: max requests queued for admission before shedding (0 = 4x the inflight limit)")
 		route       = flag.String("route", "", "comma-separated backend nodes (host:port,...): serve as a cluster router instead of a local cache")
 		replicas    = flag.Int("replicas", 2, "router: nodes serving each hot key (1 disables hot-key replication)")
 		hotThresh   = flag.Int("hot-threshold", 8, "router: count-min estimate at which a key is replicated")
 		vnodes      = flag.Int("vnodes", cluster.DefaultVirtualNodes, "router: virtual nodes per backend on the hash ring")
 		ringSeed    = flag.Int64("ring-seed", 0, "router: ring placement seed (share across routers for identical routing)")
+		probeIvl    = flag.Duration("probe-interval", 0, "router: health-probe each backend this often, ejecting nodes the phi-accrual detector marks dead and re-admitting them on recovery (0 = off)")
+		probeTO     = flag.Duration("probe-timeout", 250*time.Millisecond, "router: per-probe deadline; keep near the latency SLO so a browned-out node fails probes")
 	)
 	flag.Parse()
 
@@ -101,14 +113,16 @@ func main() {
 			rec = obs.NewRecorder(*shards, *events/max(*shards, 1))
 		}
 		router, err = cluster.NewRouter(cluster.RouterConfig{
-			Nodes:        splitNodes(*route),
-			Seed:         *ringSeed,
-			VirtualNodes: *vnodes,
-			Replicas:     *replicas,
-			HotThreshold: *hotThresh,
-			Metrics:      reg,
-			Events:       rec,
-			Logger:       lg,
+			Nodes:         splitNodes(*route),
+			Seed:          *ringSeed,
+			VirtualNodes:  *vnodes,
+			Replicas:      *replicas,
+			HotThreshold:  *hotThresh,
+			Metrics:       reg,
+			Events:        rec,
+			Logger:        lg,
+			ProbeInterval: *probeIvl,
+			ProbeTimeout:  *probeTO,
 		})
 		if err != nil {
 			fatal("router construction failed", err)
@@ -212,6 +226,9 @@ func main() {
 		PinShards:    *pinShards,
 		NoBatch:      !*batchIO,
 		MRC:          mrcOnline,
+		TargetP99:    *targetP99,
+		MaxInflight:  *maxInflight,
+		MaxPending:   *maxPending,
 	})
 	if err != nil {
 		fatal("server construction failed", err)

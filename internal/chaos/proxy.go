@@ -57,8 +57,40 @@ func NewProxy(listenAddr, backend string, cfg Config) (*Proxy, error) {
 // Addr returns the proxy's listen address, the one clients should dial.
 func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 
-// Counters exposes the proxy's fault tally.
-func (p *Proxy) Counters() *Counters { return p.src.Counters() }
+// Counters exposes the proxy's fault tally for the current schedule (a
+// SwapConfig resets it along with the schedule).
+func (p *Proxy) Counters() *Counters { return p.source().Counters() }
+
+// source reads the current fault source; SwapConfig replaces it under the
+// same lock.
+func (p *Proxy) source() *Source {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.src
+}
+
+// SwapConfig replaces the proxy's fault schedule. Connections opened under
+// the old schedule are torn down so the new one takes effect immediately —
+// the knob a chaos scenario turns to brown a node out mid-run and heal it
+// again — rather than whenever clients happen to reconnect. Counters reset
+// with the schedule.
+func (p *Proxy) SwapConfig(cfg Config) error {
+	src, err := NewSource(cfg)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.src = src
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
 
 // Close stops accepting, tears down every active connection, and waits for
 // all proxy goroutines to exit — after Close returns, the proxy leaks
@@ -82,7 +114,7 @@ func (p *Proxy) acceptLoop() {
 		if err != nil {
 			return // listener closed by Close, or beyond saving either way
 		}
-		c, refused := p.src.Wrap(nc)
+		c, refused := p.source().Wrap(nc)
 		if refused {
 			Refuse(nc)
 			continue

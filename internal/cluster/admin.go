@@ -77,11 +77,15 @@ func (r *Router) serveStatus(w http.ResponseWriter, req *http.Request) {
 		page.HotKeys, page.HotPromotions, page.HotDemotions, page.TopologyAdds, page.TopologyRemoves)
 	for _, n := range page.PerNode {
 		state := "live"
-		if !n.Live {
+		switch {
+		case !n.Live:
 			state = "removed"
+		case n.Ejected:
+			state = "ejected"
 		}
-		fmt.Fprintf(w, "node %s state=%s routed_get=%d routed_set=%d routed_delete=%d forward_errors=%d replica_reads=%d replica_writes=%d\n",
-			n.Addr, state, n.RoutedGet, n.RoutedSet, n.RoutedDelete,
+		fmt.Fprintf(w, "node %s state=%s healthy=%t phi=%.2f breaker=%s ejections=%d readmissions=%d routed_get=%d routed_set=%d routed_delete=%d forward_errors=%d replica_reads=%d replica_writes=%d\n",
+			n.Addr, state, n.Healthy, n.Phi, n.Breaker, n.Ejections, n.Readmissions,
+			n.RoutedGet, n.RoutedSet, n.RoutedDelete,
 			n.ForwardErrors, n.ReplicaReads, n.ReplicaWrites)
 	}
 	if page.MRC != nil {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/concurrent"
+	"repro/internal/overload"
 	"repro/internal/server"
 )
 
@@ -23,7 +24,23 @@ type ClientConfig struct {
 	// VirtualNodes is the ring's per-node point count (<=0 selects
 	// DefaultVirtualNodes).
 	VirtualNodes int
+	// Budget, when non-nil, is the shared retry budget every endpoint
+	// connection draws from (it becomes each server.Client's Dial.Budget
+	// unless one is already set). One bucket across the whole ring keeps
+	// total retry amplification bounded even when several nodes fail at
+	// once.
+	Budget *overload.RetryBudget
+	// Breaker tunes the per-endpoint circuit breakers. Zero fields get
+	// overload defaults (open after 5 consecutive transport failures, 1s
+	// cooldown); an open endpoint fails fast with ErrBreakerOpen instead
+	// of burning a connect timeout per operation.
+	Breaker overload.BreakerConfig
 }
+
+// ErrBreakerOpen is returned for operations routed to an endpoint whose
+// circuit breaker is open: the endpoint failed repeatedly and the client
+// refuses to spend a timeout on it until the cooldown lets a probe through.
+var ErrBreakerOpen = errors.New("cluster: endpoint circuit breaker open")
 
 // Client routes cache operations across a ring of servers. Each key is
 // digested once (the same xxHash64 the server parses into) and sent to the
@@ -38,6 +55,9 @@ type Client struct {
 	cfg   ClientConfig
 	ring  *Ring
 	conns map[string]*server.Client
+	// breakers persist across RemoveNode/AddNode of the same endpoint so a
+	// flapping node rejoins with its failure history intact.
+	breakers map[string]*overload.Breaker
 	// closed endpoint clients keep their retry/reconnect tallies counted.
 	drainedRetries    int64
 	drainedReconnects int64
@@ -57,15 +77,26 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	return &Client{
-		cfg:   cfg,
-		ring:  ring,
-		conns: make(map[string]*server.Client, len(cfg.Endpoints)),
+		cfg:      cfg,
+		ring:     ring,
+		conns:    make(map[string]*server.Client, len(cfg.Endpoints)),
+		breakers: make(map[string]*overload.Breaker, len(cfg.Endpoints)),
 	}, nil
 }
 
 // Ring exposes the client's ring for topology inspection in tests and
 // tooling.
 func (c *Client) Ring() *Ring { return c.ring }
+
+// breaker returns (creating if needed) the endpoint's circuit breaker.
+func (c *Client) breaker(addr string) *overload.Breaker {
+	b, ok := c.breakers[addr]
+	if !ok {
+		b = overload.NewBreaker(c.cfg.Breaker)
+		c.breakers[addr] = b
+	}
+	return b
+}
 
 // conn returns (dialing if needed) the endpoint's client.
 func (c *Client) conn(addr string) (*server.Client, error) {
@@ -77,6 +108,9 @@ func (c *Client) conn(addr string) (*server.Client, error) {
 	if dc.Seed == 0 {
 		dc.Seed = c.cfg.Seed
 	}
+	if dc.Budget == nil {
+		dc.Budget = c.cfg.Budget
+	}
 	sc, err := server.DialWithConfig(dc)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
@@ -85,40 +119,67 @@ func (c *Client) conn(addr string) (*server.Client, error) {
 	return sc, nil
 }
 
-// route returns the connection owning key's digest.
-func (c *Client) route(key []byte) (*server.Client, error) {
+// route returns the connection owning key's digest plus its breaker,
+// failing fast with ErrBreakerOpen when the breaker refuses.
+func (c *Client) route(key []byte) (*server.Client, *overload.Breaker, error) {
 	addr := c.ring.Lookup(concurrent.Digest(key))
 	if addr == "" {
-		return nil, errors.New("cluster: empty ring")
+		return nil, nil, errors.New("cluster: empty ring")
 	}
-	return c.conn(addr)
+	brk := c.breaker(addr)
+	if !brk.Allow() {
+		return nil, nil, ErrBreakerOpen
+	}
+	sc, err := c.conn(addr)
+	if err != nil {
+		brk.Failure()
+		return nil, nil, err
+	}
+	return sc, brk, nil
+}
+
+// observe feeds an operation's outcome to the endpoint's breaker: only
+// transport errors count as failures — a protocol answer (including a
+// busy shed) proves the endpoint alive.
+func observe(brk *overload.Breaker, err error) {
+	if err != nil && server.IsTransportErr(err) {
+		brk.Failure()
+		return
+	}
+	brk.Success()
 }
 
 // Get fetches key from its owner node.
 func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
-	sc, err := c.route(key)
+	sc, brk, err := c.route(key)
 	if err != nil {
 		return nil, false, err
 	}
-	return sc.Get(key)
+	value, found, err = sc.Get(key)
+	observe(brk, err)
+	return value, found, err
 }
 
 // Set stores key on its owner node.
 func (c *Client) Set(key []byte, flags uint32, value []byte) error {
-	sc, err := c.route(key)
+	sc, brk, err := c.route(key)
 	if err != nil {
 		return err
 	}
-	return sc.Set(key, flags, value)
+	err = sc.Set(key, flags, value)
+	observe(brk, err)
+	return err
 }
 
 // Delete removes key from its owner node.
 func (c *Client) Delete(key []byte) (found bool, err error) {
-	sc, err := c.route(key)
+	sc, brk, err := c.route(key)
 	if err != nil {
 		return false, err
 	}
-	return sc.Delete(key)
+	found, err = sc.Delete(key)
+	observe(brk, err)
+	return found, err
 }
 
 // GetMulti fetches keys across the ring: keys are grouped by owner node,
@@ -145,22 +206,32 @@ func (c *Client) GetMulti(keys [][]byte) ([]server.MultiValue, error) {
 		firstErr error
 	)
 	for addr, idxs := range groups {
-		// Dial on the caller's goroutine: c.conns is not concurrency-safe.
+		// Dial and breaker lookup on the caller's goroutine: c.conns and
+		// c.breakers are not concurrency-safe (the breaker itself is).
+		brk := c.breaker(addr)
+		if !brk.Allow() {
+			if firstErr == nil {
+				firstErr = ErrBreakerOpen
+			}
+			continue
+		}
 		sc, err := c.conn(addr)
 		if err != nil {
+			brk.Failure()
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
 		wg.Add(1)
-		go func(sc *server.Client, idxs []int) {
+		go func(sc *server.Client, brk *overload.Breaker, idxs []int) {
 			defer wg.Done()
 			batch := make([][]byte, len(idxs))
 			for j, i := range idxs {
 				batch[j] = keys[i]
 			}
 			vals, err := sc.GetMulti(batch)
+			observe(brk, err)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -172,7 +243,7 @@ func (c *Client) GetMulti(keys [][]byte) ([]server.MultiValue, error) {
 			for j, i := range idxs {
 				out[i] = vals[j]
 			}
-		}(sc, idxs)
+		}(sc, brk, idxs)
 	}
 	wg.Wait()
 	return out, firstErr
@@ -215,6 +286,16 @@ func (c *Client) RemoveNode(addr string) error {
 		delete(c.conns, addr)
 	}
 	return nil
+}
+
+// RetryBudgetExhausted reports how many retries the shared budget refused
+// (0 when no budget is configured).
+func (c *Client) RetryBudgetExhausted() int64 { return c.cfg.Budget.Exhausted() }
+
+// BreakerState reports an endpoint's current breaker position (closed for
+// endpoints never routed to).
+func (c *Client) BreakerState(addr string) overload.BreakerState {
+	return c.breakers[addr].State()
 }
 
 // Retries sums transport retries across all endpoint clients, past and

@@ -11,6 +11,7 @@ import (
 	"repro/internal/concurrent"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/server"
 	"repro/internal/sketch"
 )
@@ -50,6 +51,27 @@ type RouterConfig struct {
 	Events *obs.Recorder
 	// Logger receives topology and forwarding diagnostics.
 	Logger *slog.Logger
+
+	// ProbeInterval enables the health prober: every interval each node is
+	// probed with a version round trip under ProbeTimeout, feeding a
+	// phi-accrual failure detector that ejects unhealthy nodes from the
+	// ring (their keys remap to successors) and re-admits them after a
+	// success streak. 0 disables probing entirely — the router then relies
+	// on per-operation breakers and forward-error semantics alone.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe's dial, write, and read. A browned-out
+	// node that still accepts connections but answers slowly must fail its
+	// probes, so keep this near the latency SLO, not the transport limit.
+	// <=0 means 250ms.
+	ProbeTimeout time.Duration
+	// Detector tunes the failure detector (zero fields get overload
+	// package defaults: eject after 3 failures or phi>8, readmit after 3
+	// successes).
+	Detector overload.DetectorConfig
+	// Breaker tunes the per-node circuit breakers on the forwarding path
+	// (zero fields get overload defaults: open after 5 consecutive
+	// transport failures, 1s cooldown).
+	Breaker overload.BreakerConfig
 }
 
 // nodeCounters is one node's live tally. Counters persist across a
@@ -58,6 +80,22 @@ type nodeCounters struct {
 	routedGet, routedSet, routedDelete atomic.Int64
 	forwardErrors                      atomic.Int64
 	replicaReads, replicaWrites        atomic.Int64
+}
+
+// nodeHealth is one node's failure-detection state: its forwarding-path
+// circuit breaker, its probe-fed phi-accrual detector, and the ejection
+// bookkeeping. Like nodeCounters it persists across remove/rejoin of the
+// same node name so metric series stay monotonic and registered closures
+// stay valid.
+type nodeHealth struct {
+	breaker *overload.Breaker
+	det     *overload.Detector
+	// ejected is true while the failure detector has pulled the node's
+	// points from the ring (the node record itself stays, so probes keep
+	// running and recovery can re-admit it).
+	ejected                 atomic.Bool
+	ejections, readmissions atomic.Int64
+	probeOK, probeFail      atomic.Int64
 }
 
 // routerNode is one live backend: its address and a bounded pool of
@@ -69,6 +107,7 @@ type routerNode struct {
 	pool   chan *server.Client
 	closed atomic.Bool
 	ctr    *nodeCounters
+	hp     *nodeHealth
 }
 
 func (n *routerNode) get() (*server.Client, error) {
@@ -106,6 +145,52 @@ func (n *routerNode) close() {
 	}
 }
 
+// fail charges a forward failure against the node: the error counter
+// always, the breaker only for transport errors (a protocol answer means
+// the node is up, just unhelpful — tripping the breaker on it would eject
+// healthy capacity).
+func (n *routerNode) fail(err error) {
+	n.ctr.forwardErrors.Add(1)
+	if server.IsTransportErr(err) {
+		n.hp.breaker.Failure()
+	}
+}
+
+// ok records a successful forward, closing the breaker if it was probing.
+func (n *routerNode) ok() {
+	n.hp.breaker.Success()
+}
+
+// allow asks the node's breaker whether a forward may proceed. A denial is
+// not a forward error: nothing was attempted, the cost is exactly the
+// point.
+func (n *routerNode) allow() bool {
+	return n.hp.breaker.Allow()
+}
+
+// probeOnce is one health-check round trip: a fresh connection under the
+// probe timeout and a version exchange. A dedicated dial (never the pool)
+// keeps the probe honest — a pooled connection could be healthy while the
+// node refuses new ones, and vice versa — and the tight deadline makes a
+// slow node indistinguishable from a dead one, which is the operator
+// contract: browned-out capacity leaves the ring too.
+func (n *routerNode) probeOnce(timeout time.Duration) error {
+	dc := n.dial
+	dc.Addr = n.addr
+	dc.ConnectTimeout = timeout
+	dc.ReadTimeout = timeout
+	dc.WriteTimeout = timeout
+	dc.MaxRetries = 0
+	dc.Budget = nil
+	c, err := server.DialWithConfig(dc)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = c.Version()
+	return err
+}
+
 // Router is a cluster-aware server.Store: a cacheserver running in -route
 // mode serves the normal protocol while every operation is forwarded to the
 // consistent-hash owner among the backend nodes. Keys the count-min sketch
@@ -127,6 +212,10 @@ type Router struct {
 	mu       sync.RWMutex
 	nodes    map[string]*routerNode
 	counters map[string]*nodeCounters // persists across remove/rejoin
+	health   map[string]*nodeHealth   // persists across remove/rejoin
+
+	probeStop chan struct{}
+	probeDone chan struct{}
 
 	rr atomic.Uint64 // replica-read round-robin cursor
 
@@ -182,6 +271,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 250 * time.Millisecond
+	}
 	r := &Router{
 		cfg:      cfg,
 		ring:     ring,
@@ -189,6 +281,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		log:      cfg.Logger,
 		nodes:    make(map[string]*routerNode, len(cfg.Nodes)),
 		counters: make(map[string]*nodeCounters, len(cfg.Nodes)),
+		health:   make(map[string]*nodeHealth, len(cfg.Nodes)),
 	}
 	for _, addr := range cfg.Nodes {
 		r.mu.Lock()
@@ -197,6 +290,11 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	if cfg.Metrics != nil {
 		r.registerMetrics(cfg.Metrics)
+	}
+	if cfg.ProbeInterval > 0 {
+		r.probeStop = make(chan struct{})
+		r.probeDone = make(chan struct{})
+		go r.probeLoop()
 	}
 	return r, nil
 }
@@ -208,21 +306,37 @@ func (r *Router) Ring() *Ring { return r.ring }
 func (r *Router) HotKeyCount() int { return r.hot.Len() }
 
 // addLocked creates the node record and its (possibly pre-existing)
-// counters. Caller holds r.mu and has verified absence.
+// counters and health state. Caller holds r.mu and has verified absence.
+// An explicit (re)add wipes the health slate: the operator vouched for the
+// node, so it starts healthy, in the ring, with a closed breaker — the
+// prober will re-eject it if the operator was wrong.
 func (r *Router) addLocked(addr string) {
 	ctr, ok := r.counters[addr]
 	if !ok {
 		ctr = &nodeCounters{}
 		r.counters[addr] = ctr
-		if reg := r.cfg.Metrics; reg != nil {
-			registerNodeMetrics(reg, addr, ctr)
+	}
+	hp, ok := r.health[addr]
+	if !ok {
+		hp = &nodeHealth{
+			breaker: overload.NewBreaker(r.cfg.Breaker),
+			det:     overload.NewDetector(r.cfg.Detector),
 		}
+		r.health[addr] = hp
+		if reg := r.cfg.Metrics; reg != nil {
+			registerNodeMetrics(reg, addr, ctr, hp)
+		}
+	} else {
+		hp.det.Reset()
+		hp.breaker.Success()
+		hp.ejected.Store(false)
 	}
 	r.nodes[addr] = &routerNode{
 		addr: addr,
 		dial: r.cfg.Dial,
 		pool: make(chan *server.Client, r.cfg.PoolSize),
 		ctr:  ctr,
+		hp:   hp,
 	}
 }
 
@@ -254,10 +368,15 @@ func (r *Router) RemoveNode(addr string) error {
 		r.mu.Unlock()
 		return fmt.Errorf("cluster: node %q not routed", addr)
 	}
-	if err := r.ring.Remove(addr); err != nil {
-		r.mu.Unlock()
-		return err
+	// An ejected node's ring points are already gone; removing the record
+	// is all that is left to do.
+	if !n.hp.ejected.Load() {
+		if err := r.ring.Remove(addr); err != nil {
+			r.mu.Unlock()
+			return err
+		}
 	}
+	n.hp.ejected.Store(false)
 	delete(r.nodes, addr)
 	r.mu.Unlock()
 	n.close()
@@ -275,7 +394,10 @@ func (r *Router) node(addr string) *routerNode {
 	return n
 }
 
-var errNodeGone = errors.New("cluster: node left the ring mid-operation")
+var (
+	errNodeGone    = errors.New("cluster: node left the ring mid-operation")
+	errBreakerOpen = errors.New("cluster: node breaker open")
+)
 
 // fetch forwards one get to addr through its pool.
 func (r *Router) fetch(addr string, key []byte) (value []byte, flags uint32, cas uint64, found bool, err error) {
@@ -283,18 +405,22 @@ func (r *Router) fetch(addr string, key []byte) (value []byte, flags uint32, cas
 	if n == nil {
 		return nil, 0, 0, false, errNodeGone
 	}
+	if !n.allow() {
+		return nil, 0, 0, false, errBreakerOpen
+	}
 	c, err := n.get()
 	if err != nil {
-		n.ctr.forwardErrors.Add(1)
+		n.fail(err)
 		return nil, 0, 0, false, err
 	}
 	n.ctr.routedGet.Add(1)
 	value, flags, cas, found, err = c.GetWith(key)
 	if err != nil {
-		n.ctr.forwardErrors.Add(1)
+		n.fail(err)
 		c.Close()
 		return nil, 0, 0, false, err
 	}
+	n.ok()
 	n.put(c)
 	return value, flags, cas, found, nil
 }
@@ -309,17 +435,21 @@ func (r *Router) send(addr string, key, value []byte, flags uint32, expireAt int
 	if n == nil {
 		return errNodeGone
 	}
+	if !n.allow() {
+		return errBreakerOpen
+	}
 	c, err := n.get()
 	if err != nil {
-		n.ctr.forwardErrors.Add(1)
+		n.fail(err)
 		return err
 	}
 	n.ctr.routedSet.Add(1)
 	if err := c.SetExp(key, flags, expireAt, value); err != nil {
-		n.ctr.forwardErrors.Add(1)
+		n.fail(err)
 		c.Close()
 		return err
 	}
+	n.ok()
 	n.put(c)
 	return nil
 }
@@ -352,17 +482,44 @@ func (r *Router) readTarget(id uint64, hot bool, scratch []string) (addr, primar
 
 // replicate copies a freshly promoted hot key's value to every replica
 // owner except src (best effort; failures are per-node counted). The wire
-// get that produced the value does not carry its TTL, so replicas store
-// the copy without one; the next write refreshes the whole replica set
-// with the client's deadline, and deletes fan everywhere regardless.
+// get that produced the value does not carry its TTL, so the copy is
+// re-read from src via gete, which does: replicas inherit the source's
+// absolute expiry deadline instead of storing an immortal copy that would
+// outlive the owner's and serve stale hits after the owner expires it. If
+// the re-read fails the already-fetched value is copied without a TTL —
+// the old, weaker behavior — and the next write refreshes the whole
+// replica set with the client's deadline.
 func (r *Router) replicate(key, value []byte, flags uint32, id uint64, src string) {
+	expireAt := int64(0)
+	if n := r.node(src); n != nil && n.allow() {
+		if c, err := n.get(); err == nil {
+			v, f, _, exp, found, err := c.GetExp(key)
+			switch {
+			case err != nil:
+				n.fail(err)
+				c.Close()
+			case !found:
+				// Vanished between the serving read and this one: there is
+				// nothing current to copy.
+				n.ok()
+				n.put(c)
+				return
+			default:
+				n.ok()
+				n.put(c)
+				value, flags, expireAt = v, f, exp
+			}
+		} else {
+			n.fail(err)
+		}
+	}
 	var ob [8]string
 	owners := r.ring.LookupN(id, r.cfg.Replicas, ob[:0])
 	for _, addr := range owners {
 		if addr == src {
 			continue
 		}
-		if err := r.send(addr, key, value, flags, 0); err == nil {
+		if err := r.send(addr, key, value, flags, expireAt); err == nil {
 			if n := r.node(addr); n != nil {
 				n.ctr.replicaWrites.Add(1)
 			}
@@ -370,7 +527,7 @@ func (r *Router) replicate(key, value []byte, flags uint32, id uint64, src strin
 	}
 	r.hotPromotions.Add(1)
 	r.cfg.Events.Record(obs.Event{Key: id, Kind: obs.EvHotReplicate})
-	r.log.Debug("hot key replicated", "key", id, "replicas", len(owners)-1)
+	r.log.Debug("hot key replicated", "key", id, "replicas", len(owners)-1, "expire_at", expireAt)
 }
 
 // AppendHit implements the server's single-key hit path by forwarding to
@@ -436,12 +593,12 @@ func (r *Router) GetMulti(dst []byte, keys [][]byte, ids []uint64, out []concurr
 		go func(addr string, g *group) {
 			defer wg.Done()
 			n := r.node(addr)
-			if n == nil || addr == "" {
+			if n == nil || addr == "" || !n.allow() {
 				return
 			}
 			c, err := n.get()
 			if err != nil {
-				n.ctr.forwardErrors.Add(1)
+				n.fail(err)
 				return
 			}
 			batch := make([][]byte, len(g.idxs))
@@ -451,10 +608,11 @@ func (r *Router) GetMulti(dst []byte, keys [][]byte, ids []uint64, out []concurr
 			n.ctr.routedGet.Add(int64(len(batch)))
 			vals, err := c.GetMulti(batch)
 			if err != nil {
-				n.ctr.forwardErrors.Add(1)
+				n.fail(err)
 				c.Close()
 				return
 			}
+			n.ok()
 			n.put(c)
 			g.vals = vals
 		}(addr, g)
@@ -524,21 +682,22 @@ func (r *Router) deleteFan(key []byte, id uint64) bool {
 	found := false
 	for _, addr := range owners {
 		n := r.node(addr)
-		if n == nil {
+		if n == nil || !n.allow() {
 			continue
 		}
 		c, err := n.get()
 		if err != nil {
-			n.ctr.forwardErrors.Add(1)
+			n.fail(err)
 			continue
 		}
 		n.ctr.routedDelete.Add(1)
 		ok, err := c.Delete(key)
 		if err != nil {
-			n.ctr.forwardErrors.Add(1)
+			n.fail(err)
 			c.Close()
 			continue
 		}
+		n.ok()
 		n.put(c)
 		found = found || ok
 	}
@@ -558,6 +717,62 @@ func (r *Router) DeleteDigest(key []byte, id uint64) bool {
 // exptime): the previous value must vanish everywhere.
 func (r *Router) ExpireDigest(key []byte, id uint64) bool {
 	return r.deleteFan(key, id)
+}
+
+// TouchDigest forwards a TTL refresh to every node in the key's replica
+// set: replicas may hold copies from a hot episode, and a touch that only
+// reached the owner would let a replica's copy expire out from under a
+// still-live key. found reports whether any node had a live entry.
+func (r *Router) TouchDigest(key []byte, id uint64, expireAt int64) bool {
+	var ob [8]string
+	owners := r.ring.LookupN(id, r.cfg.Replicas, ob[:0])
+	found := false
+	for _, addr := range owners {
+		n := r.node(addr)
+		if n == nil || !n.allow() {
+			continue
+		}
+		c, err := n.get()
+		if err != nil {
+			n.fail(err)
+			continue
+		}
+		ok, err := c.Touch(key, expireAt)
+		if err != nil {
+			n.fail(err)
+			c.Close()
+			continue
+		}
+		n.ok()
+		n.put(c)
+		found = found || ok
+	}
+	return found
+}
+
+// ExpireAtDigest forwards the expiry lookup to the key's owner via gete.
+// The value rides along and is discarded — acceptable for the rare front
+// gete against a router, where the subsequent AppendHit re-fetches it.
+func (r *Router) ExpireAtDigest(key []byte, id uint64) (int64, bool) {
+	addr := r.ring.Lookup(id)
+	n := r.node(addr)
+	if n == nil || !n.allow() {
+		return 0, false
+	}
+	c, err := n.get()
+	if err != nil {
+		n.fail(err)
+		return 0, false
+	}
+	_, _, _, expireAt, found, err := c.GetExp(key)
+	if err != nil {
+		n.fail(err)
+		c.Close()
+		return 0, false
+	}
+	n.ok()
+	n.put(c)
+	return expireAt, found
 }
 
 // Stats reports the router's own operation counters (hits and misses as
@@ -598,6 +813,9 @@ func (r *Router) aggregate() fleetStats {
 	r.mu.RUnlock()
 	var fs fleetStats
 	for _, n := range nodes {
+		if n.hp.ejected.Load() || !n.allow() {
+			continue // don't let the occupancy poll hammer a dead node
+		}
 		c, err := n.get()
 		if err != nil {
 			n.ctr.forwardErrors.Add(1)
@@ -643,6 +861,96 @@ func (r *Router) Capacity() int { return int(r.aggregate().capacity) }
 // Name is the policy label the front server's metrics carry.
 func (r *Router) Name() string { return "router" }
 
+// probeLoop drives the failure detector: every ProbeInterval each current
+// node is probed and the result fed to its detector, which decides
+// ejection and readmission. One goroutine probes the whole fleet
+// sequentially — probes are cheap (a version round trip under a tight
+// deadline), and serializing them means eject/readmit decisions never
+// race each other.
+func (r *Router) probeLoop() {
+	defer close(r.probeDone)
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.probeStop:
+			return
+		case <-t.C:
+		}
+		r.mu.RLock()
+		nodes := make([]*routerNode, 0, len(r.nodes))
+		for _, n := range r.nodes {
+			nodes = append(nodes, n)
+		}
+		r.mu.RUnlock()
+		for _, n := range nodes {
+			r.probeNode(n)
+		}
+	}
+}
+
+// probeNode runs one probe and applies its verdict.
+func (r *Router) probeNode(n *routerNode) {
+	err := n.probeOnce(r.cfg.ProbeTimeout)
+	now := time.Now()
+	if err == nil {
+		n.hp.probeOK.Add(1)
+		// A node the prober can reach is a node the data path may try:
+		// close the breaker rather than waiting out its cooldown.
+		n.hp.breaker.Success()
+		if n.hp.det.ObserveSuccess(now) {
+			r.readmit(n)
+		}
+		return
+	}
+	n.hp.probeFail.Add(1)
+	if n.hp.det.ObserveFailure(now) {
+		r.eject(n)
+	}
+}
+
+// eject pulls an unhealthy node's points from the ring. The node record
+// stays — probes keep running against it so recovery is observed — and
+// its ~K/n keys remap to ring successors, exactly as if an operator had
+// removed it. The last ring node is never ejected: routing everything to
+// a suspect node beats routing everything to nobody.
+func (r *Router) eject(n *routerNode) {
+	r.mu.Lock()
+	if n.hp.ejected.Load() || r.nodes[n.addr] != n || r.ring.Len() <= 1 {
+		r.mu.Unlock()
+		return
+	}
+	if err := r.ring.Remove(n.addr); err != nil {
+		r.mu.Unlock()
+		return
+	}
+	n.hp.ejected.Store(true)
+	r.mu.Unlock()
+	n.hp.ejections.Add(1)
+	r.topologyDrops.Add(1)
+	r.log.Warn("cluster node ejected by failure detector",
+		"node", n.addr, "phi", n.hp.det.Phi(time.Now()), "nodes", r.ring.Len())
+}
+
+// readmit restores a recovered node's ring points.
+func (r *Router) readmit(n *routerNode) {
+	r.mu.Lock()
+	if !n.hp.ejected.Load() || r.nodes[n.addr] != n {
+		r.mu.Unlock()
+		return
+	}
+	if err := r.ring.Add(n.addr); err != nil {
+		r.mu.Unlock()
+		return
+	}
+	n.hp.ejected.Store(false)
+	r.mu.Unlock()
+	n.hp.readmissions.Add(1)
+	r.topologyAdds.Add(1)
+	r.log.Info("cluster node readmitted after recovery",
+		"node", n.addr, "nodes", r.ring.Len())
+}
+
 // registerMetrics publishes the cluster gauges and counters that are not
 // per-node (those register as nodes first appear).
 func (r *Router) registerMetrics(reg *metrics.Registry) {
@@ -660,9 +968,10 @@ func (r *Router) registerMetrics(reg *metrics.Registry) {
 		r.topologyDrops.Load, "op", "remove")
 }
 
-// registerNodeMetrics publishes one node's counter series; called once per
-// node name for the registry's lifetime (counters survive rejoin).
-func registerNodeMetrics(reg *metrics.Registry, addr string, ctr *nodeCounters) {
+// registerNodeMetrics publishes one node's counter and health series;
+// called once per node name for the registry's lifetime (counters and
+// health state survive rejoin).
+func registerNodeMetrics(reg *metrics.Registry, addr string, ctr *nodeCounters, hp *nodeHealth) {
 	reg.CounterFunc(server.MetricClusterRouted, "Operations forwarded, by node and op.",
 		ctr.routedGet.Load, "node", addr, "op", "get")
 	reg.CounterFunc(server.MetricClusterRouted, "Operations forwarded, by node and op.",
@@ -675,6 +984,27 @@ func registerNodeMetrics(reg *metrics.Registry, addr string, ctr *nodeCounters) 
 		ctr.replicaReads.Load, "node", addr)
 	reg.CounterFunc(server.MetricClusterReplicaWrites, "Hot-key writes fanned to a non-owner replica.",
 		ctr.replicaWrites.Load, "node", addr)
+	reg.GaugeFunc(server.MetricNodeHealthy, "1 while the failure detector considers the node healthy.",
+		func() float64 {
+			if hp.det.Healthy() {
+				return 1
+			}
+			return 0
+		}, "node", addr)
+	reg.GaugeFunc(server.MetricNodePhi, "Phi-accrual suspicion level (eject above the configured threshold).",
+		func() float64 { return hp.det.Phi(time.Now()) }, "node", addr)
+	reg.CounterFunc(server.MetricNodeEjections, "Times the failure detector pulled the node from the ring.",
+		hp.ejections.Load, "node", addr)
+	reg.CounterFunc(server.MetricNodeReadmissions, "Times a recovered node was restored to the ring.",
+		hp.readmissions.Load, "node", addr)
+	reg.CounterFunc(server.MetricProbes, "Health probes, by node and result.",
+		hp.probeOK.Load, "node", addr, "result", "ok")
+	reg.CounterFunc(server.MetricProbes, "Health probes, by node and result.",
+		hp.probeFail.Load, "node", addr, "result", "fail")
+	reg.GaugeFunc(server.MetricBreakerState, "Forwarding breaker position (0 closed, 1 open, 2 half-open).",
+		func() float64 { return float64(hp.breaker.State()) }, "node", addr)
+	reg.CounterFunc(server.MetricBreakerOpens, "Times the node's forwarding breaker opened.",
+		hp.breaker.Opens, "node", addr)
 }
 
 // NodeSnapshot is one node's counter snapshot for the /cluster page.
@@ -687,6 +1017,16 @@ type NodeSnapshot struct {
 	ForwardErrors int64  `json:"forward_errors"`
 	ReplicaReads  int64  `json:"replica_reads"`
 	ReplicaWrites int64  `json:"replica_writes"`
+
+	// Health plane: detector verdict, current ring membership (a node can
+	// be Live — still administered — yet Ejected from the ring), suspicion
+	// level, breaker position, and lifecycle counts.
+	Healthy      bool    `json:"healthy"`
+	Ejected      bool    `json:"ejected"`
+	Phi          float64 `json:"phi"`
+	Breaker      string  `json:"breaker"`
+	Ejections    int64   `json:"ejections"`
+	Readmissions int64   `json:"readmissions"`
 }
 
 // Snapshot captures the router's topology and counters. Nodes that were
@@ -705,23 +1045,43 @@ func (r *Router) Snapshot() (nodes []NodeSnapshot, hotKeys int, promotions, demo
 	for addr, c := range r.counters {
 		ctrs[addr] = c
 	}
+	hps := make(map[string]*nodeHealth, len(r.health))
+	for addr, hp := range r.health {
+		hps[addr] = hp
+	}
 	r.mu.RUnlock()
 	sortStrings(names)
+	now := time.Now()
 	for _, addr := range names {
 		c := ctrs[addr]
-		nodes = append(nodes, NodeSnapshot{
+		ns := NodeSnapshot{
 			Addr: addr, Live: live[addr],
 			RoutedGet: c.routedGet.Load(), RoutedSet: c.routedSet.Load(),
 			RoutedDelete: c.routedDelete.Load(), ForwardErrors: c.forwardErrors.Load(),
 			ReplicaReads: c.replicaReads.Load(), ReplicaWrites: c.replicaWrites.Load(),
-		})
+			Healthy: true, Breaker: overload.BreakerClosed.String(),
+		}
+		if hp := hps[addr]; hp != nil {
+			ns.Healthy = hp.det.Healthy()
+			ns.Ejected = hp.ejected.Load()
+			ns.Phi = hp.det.Phi(now)
+			ns.Breaker = hp.breaker.State().String()
+			ns.Ejections = hp.ejections.Load()
+			ns.Readmissions = hp.readmissions.Load()
+		}
+		nodes = append(nodes, ns)
 	}
 	return nodes, r.hot.Len(), r.hotPromotions.Load(), r.hotDemotions.Load(),
 		r.topologyAdds.Load(), r.topologyDrops.Load()
 }
 
-// Close shuts down every node pool.
+// Close stops the prober and shuts down every node pool.
 func (r *Router) Close() {
+	if r.probeStop != nil {
+		close(r.probeStop)
+		<-r.probeDone
+		r.probeStop = nil
+	}
 	r.mu.Lock()
 	nodes := make([]*routerNode, 0, len(r.nodes))
 	for _, n := range r.nodes {

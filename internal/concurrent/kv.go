@@ -93,8 +93,9 @@ type kvEntry struct {
 	flags uint32
 	cas   uint64
 	// expireAt is the absolute expiry (unix seconds), 0 = never. Readers
-	// compare it against KV.nowSec under the shared lock; it is written
-	// only at entry construction, before the entry is published.
+	// compare it against KV.nowSec under the shared lock; it is written at
+	// entry construction (before the entry is published) and by
+	// TouchDigest under the shard's exclusive lock.
 	expireAt int64
 	// ttl is the entry's intrusive timer-wheel node, linked/unlinked only
 	// under the shard's exclusive lock.
@@ -424,6 +425,57 @@ func (kv *KV) DeleteDigest(key []byte, id uint64) bool {
 // key watch can tell TTL churn from deletions.
 func (kv *KV) ExpireDigest(key []byte, id uint64) bool {
 	return kv.remove(key, id, obs.EvExpire, obs.ReasonExpired)
+}
+
+// TouchDigest updates key's expiry deadline in place (0 = never) and
+// reschedules its timer-wheel node, reporting whether the key was present
+// and unexpired. Touch is the one mutation of expireAt after entry
+// construction, so it runs under the shard's exclusive lock — readers
+// compare expireAt only under the shared lock, which this excludes. An
+// already lazily-expired entry answers not-found and is left for the
+// wheel to reclaim, exactly like the read path.
+func (kv *KV) TouchDigest(key []byte, id uint64, expireAt int64) bool {
+	s := kv.shard(id)
+	s.mu.Lock()
+	e := s.m[id]
+	if e == nil || !bytes.Equal(e.key, key) {
+		s.mu.Unlock()
+		return false
+	}
+	if exp := e.expireAt; exp != 0 && exp <= kv.nowSec.Load() {
+		s.mu.Unlock()
+		return false
+	}
+	e.expireAt = expireAt
+	s.wheel.Remove(&e.ttl)
+	if expireAt > 0 {
+		e.ttl.Key = id
+		s.wheel.Schedule(&e.ttl, expireAt)
+	}
+	s.mu.Unlock()
+	// A touch is an access: bump the policy metadata like a hit, after the
+	// data lock is released (no lock across the two structures).
+	kv.inner.Get(id)
+	return true
+}
+
+// ExpireAtDigest reports key's absolute expiry deadline (0 = never) and
+// whether the key is present and unexpired. It backs the gete command's
+// extended VALUE header, which hot-key replication uses to forward TTLs.
+func (kv *KV) ExpireAtDigest(key []byte, id uint64) (int64, bool) {
+	s := kv.shard(id)
+	s.mu.RLock()
+	e := s.m[id]
+	if e == nil || !bytes.Equal(e.key, key) {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	exp := e.expireAt
+	s.mu.RUnlock()
+	if exp != 0 && exp <= kv.nowSec.Load() {
+		return 0, false
+	}
+	return exp, true
 }
 
 // remove implements DeleteDigest/ExpireDigest: policy entry first, data

@@ -1,0 +1,149 @@
+package overload
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position. The numeric values are
+// stable and exported as the cache_breaker_state gauge.
+type BreakerState int32
+
+const (
+	BreakerClosed   BreakerState = iota // traffic flows normally
+	BreakerOpen                         // all traffic refused until cooldown
+	BreakerHalfOpen                     // one probe in flight decides reopen vs close
+)
+
+// String returns the stable label used on admin surfaces.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig configures a Breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	// Default 5.
+	Threshold int
+	// Cooldown is how long an open breaker refuses traffic before letting
+	// a single probe through, and how often half-open re-probes if the
+	// previous probe never reported back. Default 1s.
+	Cooldown time.Duration
+}
+
+// Breaker is a lock-free closed→open→half-open circuit breaker. Allow is
+// called on the forwarding hot path, so state lives in atomics; the
+// transitions race benignly (at worst one extra probe slips through).
+// A nil *Breaker is always closed.
+type Breaker struct {
+	threshold int64
+	cooldown  int64 // ns
+
+	state      atomic.Int32
+	failStreak atomic.Int64
+	openedAt   atomic.Int64 // UnixNano of last open transition
+	lastProbe  atomic.Int64 // UnixNano of last half-open probe grant
+	opens      atomic.Int64
+}
+
+// NewBreaker returns a closed Breaker with defaults applied.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	return &Breaker{threshold: int64(cfg.Threshold), cooldown: cfg.Cooldown.Nanoseconds()}
+}
+
+// Allow reports whether a request may proceed. Open breakers refuse
+// everything until the cooldown elapses, then admit exactly one probe by
+// moving to half-open; a half-open breaker re-grants a probe every
+// cooldown in case the previous one hung.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	switch BreakerState(b.state.Load()) {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		now := time.Now().UnixNano()
+		if now-b.openedAt.Load() < b.cooldown {
+			return false
+		}
+		if b.state.CompareAndSwap(int32(BreakerOpen), int32(BreakerHalfOpen)) {
+			b.lastProbe.Store(now)
+			return true
+		}
+		return false
+	default: // half-open
+		now := time.Now().UnixNano()
+		last := b.lastProbe.Load()
+		if now-last >= b.cooldown && b.lastProbe.CompareAndSwap(last, now) {
+			return true
+		}
+		return false
+	}
+}
+
+// Success records a healthy response and closes the breaker.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.failStreak.Store(0)
+	b.state.Store(int32(BreakerClosed))
+}
+
+// Failure records a transport failure. A half-open probe failure reopens
+// immediately; a closed breaker opens once the consecutive-failure streak
+// reaches the threshold.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	streak := b.failStreak.Add(1)
+	switch BreakerState(b.state.Load()) {
+	case BreakerHalfOpen:
+		b.reopen()
+	case BreakerClosed:
+		if streak >= b.threshold {
+			b.reopen()
+		}
+	}
+}
+
+func (b *Breaker) reopen() {
+	b.openedAt.Store(time.Now().UnixNano())
+	if b.state.Swap(int32(BreakerOpen)) != int32(BreakerOpen) {
+		b.opens.Add(1)
+	}
+}
+
+// State returns the breaker's current position. A nil breaker reads as
+// closed.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	return BreakerState(b.state.Load())
+}
+
+// Opens returns how many times the breaker has transitioned to open.
+func (b *Breaker) Opens() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.opens.Load()
+}

@@ -1,0 +1,82 @@
+package overload
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RetryBudget is a token bucket that bounds retries as a fraction of
+// normal traffic (the Finagle "retry budget" scheme): every completed
+// operation deposits ratio tokens, every retry withdraws one whole token.
+// Under healthy traffic the bucket stays full and retries pass; during an
+// outage the deposit stream dries up, the bucket drains, and retries stop
+// amplifying the overload.
+//
+// All methods are nil-safe: a nil *RetryBudget behaves as an unlimited
+// budget so callers can leave the feature off.
+type RetryBudget struct {
+	mu        sync.Mutex
+	tokens    float64
+	ratio     float64
+	cap       float64
+	exhausted atomic.Int64
+}
+
+// NewRetryBudget returns a budget that earns ratio tokens per deposit and
+// holds at most capacity tokens. The bucket starts full so cold-start
+// retries are not starved. Ratio defaults to 0.1 (one retry per ten
+// operations) and capacity to 10 when non-positive.
+func NewRetryBudget(ratio float64, capacity int) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if capacity <= 0 {
+		capacity = 10
+	}
+	return &RetryBudget{tokens: float64(capacity), ratio: ratio, cap: float64(capacity)}
+}
+
+// Deposit credits the budget for one completed operation.
+func (b *RetryBudget) Deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens = min(b.tokens+b.ratio, b.cap)
+	b.mu.Unlock()
+}
+
+// Withdraw spends one token to pay for a retry. It reports false — and
+// counts an exhaustion — when the budget cannot cover it.
+func (b *RetryBudget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	if b.tokens >= 1 {
+		b.tokens--
+		b.mu.Unlock()
+		return true
+	}
+	b.mu.Unlock()
+	b.exhausted.Add(1)
+	return false
+}
+
+// Exhausted returns how many retries were refused for lack of tokens.
+func (b *RetryBudget) Exhausted() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.exhausted.Load()
+}
+
+// Tokens returns the current token balance.
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -1,0 +1,134 @@
+package overload
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// DetectorConfig configures a Detector.
+type DetectorConfig struct {
+	// EjectFailures is the consecutive probe-failure streak that marks a
+	// node unhealthy. Default 3.
+	EjectFailures int
+	// ReadmitSuccesses is the consecutive probe-success streak that marks
+	// a recovered node healthy again. Default 3.
+	ReadmitSuccesses int
+	// PhiThreshold is the suspicion level above which a node is marked
+	// unhealthy even before the failure streak completes. Default 8
+	// (odds of a false positive around 1e-8 under the model).
+	PhiThreshold float64
+}
+
+// Detector is a phi-accrual-style failure detector fed by periodic health
+// probes. It models inter-success intervals as exponential with an EWMA
+// mean, so suspicion phi(t) = elapsed/(mean·ln10) — the -log10 of the
+// probability that a healthy node would stay silent this long. A node is
+// ejected on a failure streak or a phi breach, and re-admitted only after
+// a success streak, which keeps a flapping node from oscillating in the
+// ring.
+//
+// A Detector is only ever driven by its node's single prober goroutine,
+// but Phi and Healthy are also read from admin/metrics collectors, so the
+// state sits behind a mutex.
+type Detector struct {
+	mu            sync.Mutex
+	cfg           DetectorConfig
+	ewmaInterval  float64 // seconds between successful probes
+	lastSuccess   time.Time
+	failStreak    int
+	successStreak int
+	healthy       bool
+}
+
+// NewDetector returns a Detector that considers the node healthy until
+// probes prove otherwise.
+func NewDetector(cfg DetectorConfig) *Detector {
+	if cfg.EjectFailures <= 0 {
+		cfg.EjectFailures = 3
+	}
+	if cfg.ReadmitSuccesses <= 0 {
+		cfg.ReadmitSuccesses = 3
+	}
+	if cfg.PhiThreshold <= 0 {
+		cfg.PhiThreshold = 8
+	}
+	return &Detector{cfg: cfg, healthy: true}
+}
+
+// ObserveSuccess records a successful probe at now and reports whether
+// this observation re-admitted a previously unhealthy node.
+func (d *Detector) ObserveSuccess(now time.Time) (readmitted bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.lastSuccess.IsZero() {
+		iv := now.Sub(d.lastSuccess).Seconds()
+		if d.ewmaInterval == 0 {
+			d.ewmaInterval = iv
+		} else {
+			d.ewmaInterval += (iv - d.ewmaInterval) / 8
+		}
+	}
+	d.lastSuccess = now
+	d.failStreak = 0
+	d.successStreak++
+	if !d.healthy && d.successStreak >= d.cfg.ReadmitSuccesses {
+		d.healthy = true
+		return true
+	}
+	return false
+}
+
+// ObserveFailure records a failed probe at now and reports whether this
+// observation ejected a previously healthy node.
+func (d *Detector) ObserveFailure(now time.Time) (ejected bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.successStreak = 0
+	d.failStreak++
+	if d.healthy && (d.failStreak >= d.cfg.EjectFailures || d.phiLocked(now) > d.cfg.PhiThreshold) {
+		d.healthy = false
+		return true
+	}
+	return false
+}
+
+// Phi returns the current suspicion level at now: 0 with no history, and
+// growing linearly with silence since the last successful probe.
+func (d *Detector) Phi(now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.phiLocked(now)
+}
+
+func (d *Detector) phiLocked(now time.Time) float64 {
+	if d.lastSuccess.IsZero() || d.ewmaInterval <= 0 {
+		return 0
+	}
+	elapsed := now.Sub(d.lastSuccess).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return elapsed / (d.ewmaInterval * math.Ln10)
+}
+
+// Reset restores the detector to its initial healthy state with no probe
+// history. The router uses it when an operator explicitly re-adds a node:
+// an intentional rejoin starts with a clean slate rather than inheriting
+// suspicion from a past life.
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ewmaInterval = 0
+	d.lastSuccess = time.Time{}
+	d.failStreak = 0
+	d.successStreak = 0
+	d.healthy = true
+}
+
+// Healthy reports whether the node is currently considered healthy.
+func (d *Detector) Healthy() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.healthy
+}

@@ -1,0 +1,373 @@
+// Package overload implements the building blocks of the overload control
+// plane: an adaptive concurrency limiter with a bounded wait queue and
+// brownout pressure levels (server side), token-bucket retry budgets and
+// circuit breakers (client side), and a phi-accrual failure detector
+// (cluster side).
+//
+// The pieces are deliberately independent: the server embeds only the
+// Limiter, the load client only the RetryBudget, and the cluster Router
+// composes Breaker and Detector per backend. All types are safe for
+// concurrent use and all client-side types are nil-safe so callers can
+// leave the feature off by simply not constructing it.
+package overload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShedReason classifies why the limiter refused a request. ShedNone means
+// the request was admitted.
+type ShedReason uint8
+
+const (
+	ShedNone      ShedReason = iota
+	ShedQueueFull            // wait queue already holds MaxPending requests
+	ShedDeadline             // estimated queue wait exceeds the latency budget
+	ShedTimeout              // queued, but no slot freed within the wait budget
+	ShedWrite                // brownout level >= 1: writes are dropped first
+	ShedRead                 // brownout level >= 2: reads answer miss-fast
+
+	numShedReasons
+)
+
+// String returns the stable label used for metrics and stats lines.
+func (r ShedReason) String() string {
+	switch r {
+	case ShedNone:
+		return "none"
+	case ShedQueueFull:
+		return "queue_full"
+	case ShedDeadline:
+		return "deadline"
+	case ShedTimeout:
+		return "timeout"
+	case ShedWrite:
+		return "write_brownout"
+	case ShedRead:
+		return "read_brownout"
+	default:
+		return "unknown"
+	}
+}
+
+// ShedReasons lists every reason a request can actually be shed for, in
+// metric registration order.
+func ShedReasons() []ShedReason {
+	return []ShedReason{ShedQueueFull, ShedDeadline, ShedTimeout, ShedWrite, ShedRead}
+}
+
+// LimiterConfig configures a Limiter. The zero value of Target disables
+// latency adaptation: the limit stays pinned at MaxLimit and only the
+// bounded wait queue sheds load.
+type LimiterConfig struct {
+	// Target is the p99 service-latency budget. When more than 1% of an
+	// epoch's samples exceed it the limit is multiplicatively decreased.
+	Target time.Duration
+	// MinLimit floors the adaptive decrease. Default 1.
+	MinLimit int
+	// MaxLimit caps the adaptive increase and is the starting limit.
+	// Default 1024.
+	MaxLimit int
+	// MaxPending bounds the number of requests allowed to wait for a
+	// slot; arrivals beyond it are shed immediately. Default 4*MaxLimit.
+	MaxPending int
+}
+
+// Limiter is an AIMD concurrency limiter. Requests Acquire a slot before
+// dispatch and Release it with the observed service latency afterwards.
+// Epoch adaptation (Tick) compares the fraction of samples over Target
+// against a 1% budget: a breached epoch multiplies the limit by 4/5, a
+// clean one adds limit/10. Requests that cannot get a slot immediately
+// wait in a bounded FIFO queue; sustained breaches raise the pressure
+// level, which first drops writes and then answers reads miss-fast.
+type Limiter struct {
+	target     time.Duration
+	waitBudget time.Duration
+	minLimit   int64
+	maxLimit   int64
+	maxPending int
+
+	limit    atomic.Int64
+	inflight atomic.Int64
+	pending  atomic.Int64 // len(waiters), mirrored for lock-free reads
+
+	mu      sync.Mutex
+	waiters []chan struct{}
+
+	ewmaService  atomic.Int64 // ns
+	epochN       atomic.Int64
+	epochOver    atomic.Int64
+	breachStreak atomic.Int64
+	breachEpochs atomic.Int64
+
+	admitted atomic.Int64
+	sheds    [numShedReasons]atomic.Int64
+}
+
+// NewLimiter validates cfg, applies defaults, and returns a Limiter whose
+// limit starts at MaxLimit (optimistic: shrink only on evidence).
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.MaxLimit <= 0 {
+		cfg.MaxLimit = 1024
+	}
+	if cfg.MinLimit <= 0 {
+		cfg.MinLimit = 1
+	}
+	if cfg.MinLimit > cfg.MaxLimit {
+		cfg.MinLimit = cfg.MaxLimit
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4 * cfg.MaxLimit
+	}
+	wait := cfg.Target / 2
+	if wait <= 0 {
+		wait = 50 * time.Millisecond
+	}
+	l := &Limiter{
+		target:     cfg.Target,
+		waitBudget: wait,
+		minLimit:   int64(cfg.MinLimit),
+		maxLimit:   int64(cfg.MaxLimit),
+		maxPending: cfg.MaxPending,
+	}
+	l.limit.Store(int64(cfg.MaxLimit))
+	return l
+}
+
+// Level reports the current brownout pressure level: 0 healthy, 1 drop
+// writes first, 2 additionally answer reads miss-fast. Level 1 engages
+// when the breach streak reaches 2 epochs or the wait queue is at least
+// half full; level 2 when the streak reaches 4.
+func (l *Limiter) Level() int {
+	if l == nil {
+		return 0
+	}
+	streak := l.breachStreak.Load()
+	if streak >= 4 {
+		return 2
+	}
+	if streak >= 2 || l.pending.Load()*2 >= int64(l.maxPending) {
+		return 1
+	}
+	return 0
+}
+
+// tryAcquire is the lock-free fast path. It refuses to jump ahead of
+// queued waiters so admission stays FIFO.
+func (l *Limiter) tryAcquire() bool {
+	if l.pending.Load() > 0 {
+		return false
+	}
+	for {
+		cur := l.inflight.Load()
+		if cur >= l.limit.Load() {
+			return false
+		}
+		if l.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (l *Limiter) shed(r ShedReason) ShedReason {
+	l.sheds[r].Add(1)
+	return r
+}
+
+// Acquire claims a concurrency slot, waiting up to the wait budget
+// (Target/2) in a bounded FIFO queue if the limit is saturated. It
+// returns ShedNone on admission or the reason the request must be shed.
+// A nil Limiter admits everything.
+func (l *Limiter) Acquire(write bool) ShedReason {
+	if l == nil {
+		return ShedNone
+	}
+	lvl := l.Level()
+	if write {
+		if lvl >= 1 {
+			return l.shed(ShedWrite)
+		}
+	} else if lvl >= 2 {
+		return l.shed(ShedRead)
+	}
+	if l.tryAcquire() {
+		l.admitted.Add(1)
+		return ShedNone
+	}
+
+	l.mu.Lock()
+	// A release may have raced the fast path; re-check under the lock.
+	if len(l.waiters) == 0 && l.inflight.Load() < l.limit.Load() {
+		l.inflight.Add(1)
+		l.mu.Unlock()
+		l.admitted.Add(1)
+		return ShedNone
+	}
+	if len(l.waiters) >= l.maxPending {
+		l.mu.Unlock()
+		return l.shed(ShedQueueFull)
+	}
+	if l.target > 0 {
+		// Deadline-aware admission: if the expected queue wait already
+		// exceeds the wait budget, a fast error beats a doomed wait.
+		lim := max(l.limit.Load(), 1)
+		est := time.Duration(l.ewmaService.Load()) * time.Duration(len(l.waiters)+1) / time.Duration(lim)
+		if est > l.waitBudget {
+			l.mu.Unlock()
+			return l.shed(ShedDeadline)
+		}
+	}
+	w := make(chan struct{})
+	l.waiters = append(l.waiters, w)
+	l.pending.Store(int64(len(l.waiters)))
+	l.mu.Unlock()
+
+	t := time.NewTimer(l.waitBudget)
+	defer t.Stop()
+	select {
+	case <-w:
+		l.admitted.Add(1)
+		return ShedNone
+	case <-t.C:
+		l.mu.Lock()
+		for i, ww := range l.waiters {
+			if ww == w {
+				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+				l.pending.Store(int64(len(l.waiters)))
+				l.mu.Unlock()
+				return l.shed(ShedTimeout)
+			}
+		}
+		l.mu.Unlock()
+		// A handoff raced the timeout and already popped us: the slot
+		// is ours, so consume it and proceed admitted.
+		<-w
+		l.admitted.Add(1)
+		return ShedNone
+	}
+}
+
+// Release returns a slot and records the observed service latency. If a
+// waiter is queued and the (possibly shrunken) limit still covers current
+// inflight, the slot is handed to the oldest waiter directly.
+func (l *Limiter) Release(lat time.Duration) {
+	if l == nil {
+		return
+	}
+	ns := lat.Nanoseconds()
+	if old := l.ewmaService.Load(); old == 0 {
+		l.ewmaService.Store(ns)
+	} else {
+		l.ewmaService.Store(old - old/8 + ns/8)
+	}
+	l.epochN.Add(1)
+	if l.target > 0 && lat > l.target {
+		l.epochOver.Add(1)
+	}
+
+	l.mu.Lock()
+	if len(l.waiters) > 0 && l.inflight.Load() <= l.limit.Load() {
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.pending.Store(int64(len(l.waiters)))
+		l.mu.Unlock()
+		close(w)
+		return
+	}
+	l.mu.Unlock()
+	l.inflight.Add(-1)
+}
+
+// Tick closes the current adaptation epoch: multiplicative decrease on a
+// breached epoch (more than 1% of samples over Target), additive increase
+// otherwise. Idle and clean epochs decay the breach streak so brownout
+// modes disengage once pressure subsides.
+func (l *Limiter) Tick() {
+	n := l.epochN.Swap(0)
+	over := l.epochOver.Swap(0)
+	if n == 0 {
+		l.decayStreak()
+		return
+	}
+	lim := l.limit.Load()
+	if l.target > 0 && over*100 > n {
+		l.limit.Store(max(lim*4/5, l.minLimit))
+		l.breachStreak.Add(1)
+		l.breachEpochs.Add(1)
+		return
+	}
+	l.limit.Store(min(lim+max(1, lim/10), l.maxLimit))
+	l.decayStreak()
+}
+
+func (l *Limiter) decayStreak() {
+	if s := l.breachStreak.Load(); s > 0 {
+		l.breachStreak.Store(s - 1)
+	}
+}
+
+// Start runs Tick every interval on a background goroutine and returns an
+// idempotent stop function.
+func (l *Limiter) Start(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				l.Tick()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// ShedCount returns the number of requests shed for reason r.
+func (l *Limiter) ShedCount(r ShedReason) int64 {
+	if l == nil {
+		return 0
+	}
+	return l.sheds[r].Load()
+}
+
+// LimiterSnapshot is a point-in-time view for stats and admin surfaces.
+type LimiterSnapshot struct {
+	Limit        int
+	Inflight     int
+	Pending      int
+	Level        int
+	EWMAService  time.Duration
+	Admitted     int64
+	ShedTotal    int64
+	BreachEpochs int64
+}
+
+// Snapshot returns the limiter's current state and counters.
+func (l *Limiter) Snapshot() LimiterSnapshot {
+	if l == nil {
+		return LimiterSnapshot{}
+	}
+	var shed int64
+	for _, r := range ShedReasons() {
+		shed += l.sheds[r].Load()
+	}
+	return LimiterSnapshot{
+		Limit:        int(l.limit.Load()),
+		Inflight:     int(l.inflight.Load()),
+		Pending:      int(l.pending.Load()),
+		Level:        l.Level(),
+		EWMAService:  time.Duration(l.ewmaService.Load()),
+		Admitted:     l.admitted.Load(),
+		ShedTotal:    shed,
+		BreachEpochs: l.breachEpochs.Load(),
+	}
+}

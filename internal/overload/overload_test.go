@@ -1,0 +1,303 @@
+package overload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToLimitAndQueues(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 2, MaxPending: 1, Target: 200 * time.Millisecond})
+	if r := l.Acquire(false); r != ShedNone {
+		t.Fatalf("first acquire shed: %v", r)
+	}
+	if r := l.Acquire(false); r != ShedNone {
+		t.Fatalf("second acquire shed: %v", r)
+	}
+
+	// Third acquire must queue; hand it a slot via Release.
+	admitted := make(chan ShedReason, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		admitted <- l.Acquire(false)
+	}()
+	waitFor(t, func() bool { return l.Snapshot().Pending == 1 })
+
+	// Fourth arrival finds the queue full.
+	if r := l.Acquire(false); r != ShedQueueFull {
+		t.Fatalf("expected queue_full, got %v", r)
+	}
+	if n := l.ShedCount(ShedQueueFull); n != 1 {
+		t.Fatalf("queue_full shed count = %d, want 1", n)
+	}
+
+	l.Release(time.Millisecond)
+	wg.Wait()
+	if r := <-admitted; r != ShedNone {
+		t.Fatalf("queued acquire shed: %v", r)
+	}
+	snap := l.Snapshot()
+	if snap.Inflight != 2 || snap.Pending != 0 {
+		t.Fatalf("snapshot after handoff: %+v", snap)
+	}
+}
+
+func TestLimiterTimeoutInQueue(t *testing.T) {
+	// Target 20ms gives a 10ms wait budget; nobody releases, so the
+	// queued request must time out.
+	l := NewLimiter(LimiterConfig{MaxLimit: 1, MaxPending: 4, Target: 20 * time.Millisecond})
+	if r := l.Acquire(false); r != ShedNone {
+		t.Fatalf("first acquire shed: %v", r)
+	}
+	if r := l.Acquire(false); r != ShedTimeout {
+		t.Fatalf("expected timeout, got %v", r)
+	}
+	if got := l.Snapshot().Pending; got != 0 {
+		t.Fatalf("pending after timeout = %d, want 0", got)
+	}
+}
+
+func TestLimiterAIMDAdaptation(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 100, Target: time.Millisecond})
+	if got := l.Snapshot().Limit; got != 100 {
+		t.Fatalf("starting limit = %d, want 100", got)
+	}
+	// A breached epoch (all samples over target) shrinks the limit.
+	for i := 0; i < 50; i++ {
+		l.inflight.Add(1)
+		l.Release(10 * time.Millisecond)
+	}
+	l.Tick()
+	if got := l.Snapshot().Limit; got != 80 {
+		t.Fatalf("limit after breach = %d, want 80", got)
+	}
+	// Clean epochs grow it back, capped at MaxLimit.
+	for epoch := 0; epoch < 10; epoch++ {
+		for i := 0; i < 50; i++ {
+			l.inflight.Add(1)
+			l.Release(100 * time.Microsecond)
+		}
+		l.Tick()
+	}
+	if got := l.Snapshot().Limit; got != 100 {
+		t.Fatalf("limit after recovery = %d, want 100", got)
+	}
+}
+
+func TestLimiterBrownoutLevels(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 100, Target: time.Millisecond})
+	breach := func() {
+		l.inflight.Add(1)
+		l.Release(10 * time.Millisecond)
+		l.Tick()
+	}
+	breach()
+	if lvl := l.Level(); lvl != 0 {
+		t.Fatalf("level after 1 breach = %d, want 0", lvl)
+	}
+	breach()
+	if lvl := l.Level(); lvl != 1 {
+		t.Fatalf("level after 2 breaches = %d, want 1", lvl)
+	}
+	if r := l.Acquire(true); r != ShedWrite {
+		t.Fatalf("write at level 1: got %v, want write_brownout", r)
+	}
+	if r := l.Acquire(false); r != ShedNone {
+		t.Fatalf("read at level 1 shed: %v", r)
+	}
+	l.Release(time.Microsecond)
+	breach()
+	breach()
+	if lvl := l.Level(); lvl != 2 {
+		t.Fatalf("level after 4 breaches = %d, want 2", lvl)
+	}
+	if r := l.Acquire(false); r != ShedRead {
+		t.Fatalf("read at level 2: got %v, want read_brownout", r)
+	}
+	// Clean epochs decay the streak and lift the brownout.
+	for i := 0; i < 4; i++ {
+		l.inflight.Add(1)
+		l.Release(time.Microsecond)
+		l.Tick()
+	}
+	if lvl := l.Level(); lvl != 0 {
+		t.Fatalf("level after recovery = %d, want 0", lvl)
+	}
+}
+
+func TestLimiterNilIsNoop(t *testing.T) {
+	var l *Limiter
+	if r := l.Acquire(true); r != ShedNone {
+		t.Fatalf("nil limiter shed: %v", r)
+	}
+	l.Release(time.Second)
+	if lvl := l.Level(); lvl != 0 {
+		t.Fatalf("nil limiter level = %d", lvl)
+	}
+	if s := l.Snapshot(); s.Limit != 0 {
+		t.Fatalf("nil limiter snapshot: %+v", s)
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("full budget refused a withdrawal")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty budget allowed a withdrawal")
+	}
+	if got := b.Exhausted(); got != 1 {
+		t.Fatalf("exhausted = %d, want 1", got)
+	}
+	b.Deposit()
+	b.Deposit()
+	if !b.Withdraw() {
+		t.Fatal("budget refused after deposits refilled a token")
+	}
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got > 2 {
+		t.Fatalf("tokens = %v, want capped at 2", got)
+	}
+}
+
+func TestRetryBudgetNilIsUnlimited(t *testing.T) {
+	var b *RetryBudget
+	if !b.Withdraw() {
+		t.Fatal("nil budget refused a withdrawal")
+	}
+	b.Deposit()
+	if b.Exhausted() != 0 {
+		t.Fatal("nil budget counted exhaustion")
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: 20 * time.Millisecond})
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("opened before threshold")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not open at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside cooldown")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe grant = %v, want half_open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe granted immediately in half-open")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("half-open probe failure did not reopen")
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("half-open probe success did not close")
+	}
+}
+
+func TestBreakerNilAlwaysAllows(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("nil breaker not closed")
+	}
+	b.Success()
+	b.Failure()
+}
+
+func TestDetectorEjectAndReadmit(t *testing.T) {
+	d := NewDetector(DetectorConfig{EjectFailures: 3, ReadmitSuccesses: 2})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		d.ObserveSuccess(now)
+		now = now.Add(100 * time.Millisecond)
+	}
+	if !d.Healthy() {
+		t.Fatal("healthy node reported unhealthy")
+	}
+	if d.ObserveFailure(now) {
+		t.Fatal("ejected on first failure")
+	}
+	now = now.Add(100 * time.Millisecond)
+	if d.ObserveFailure(now) {
+		t.Fatal("ejected on second failure")
+	}
+	now = now.Add(100 * time.Millisecond)
+	if !d.ObserveFailure(now) {
+		t.Fatal("not ejected on third failure")
+	}
+	if d.Healthy() {
+		t.Fatal("still healthy after ejection")
+	}
+	// Repeated failures don't re-report the transition.
+	now = now.Add(100 * time.Millisecond)
+	if d.ObserveFailure(now) {
+		t.Fatal("re-ejected while already unhealthy")
+	}
+	// Recovery: two successes in a row re-admit.
+	now = now.Add(100 * time.Millisecond)
+	if d.ObserveSuccess(now) {
+		t.Fatal("readmitted on first success")
+	}
+	now = now.Add(100 * time.Millisecond)
+	if !d.ObserveSuccess(now) {
+		t.Fatal("not readmitted on second success")
+	}
+	if !d.Healthy() {
+		t.Fatal("unhealthy after readmission")
+	}
+}
+
+func TestDetectorPhiGrowsWithSilence(t *testing.T) {
+	d := NewDetector(DetectorConfig{PhiThreshold: 4})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		d.ObserveSuccess(now)
+		now = now.Add(100 * time.Millisecond)
+	}
+	shortly := d.Phi(now)
+	later := d.Phi(now.Add(5 * time.Second))
+	if later <= shortly {
+		t.Fatalf("phi did not grow with silence: %v then %v", shortly, later)
+	}
+	// A long silence breaches the phi threshold even before the failure
+	// streak would.
+	if !d.ObserveFailure(now.Add(10 * time.Second)) {
+		t.Fatal("phi breach did not eject")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/concurrent"
+	"repro/internal/overload"
 )
 
 // Batched request/response I/O. The legacy data plane answered each
@@ -331,7 +332,7 @@ func (s *Server) dispatchPending(mb *multiBuf, bt *connBatch, tr *connTracer, pa
 	s.counters.BatchedReqs.Add(int64(n))
 
 	var start time.Time
-	if s.metrics != nil || tr.enabled() {
+	if s.metrics != nil || tr.enabled() || s.limiter != nil {
 		start = time.Now()
 	}
 	if n == 1 && len(bt.reqs[0].Keys) == 1 {
@@ -339,6 +340,20 @@ func (s *Server) dispatchPending(mb *multiBuf, bt *connBatch, tr *connTracer, pa
 		s.dispatch(mb, req, part)
 		s.finishBatched(bt, 0, 1, start, tr)
 		return
+	}
+
+	// The merged batch is serviced as one unit, so it is admitted as one:
+	// a single limiter slot covers the whole GetMulti, and a refusal
+	// answers every pending request with the same shed reply.
+	if s.limiter != nil {
+		if reason := s.limiter.Acquire(false); reason != overload.ShedNone {
+			for i := 0; i < n; i++ {
+				writeShedReply(mb, &bt.reqs[i], reason)
+			}
+			s.finishBatched(bt, 0, n, start, tr)
+			return
+		}
+		defer func() { s.limiter.Release(time.Since(start)) }()
 	}
 
 	// Merged dispatch: every key of every pending request in one

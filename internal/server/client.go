@@ -11,7 +11,22 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/overload"
 )
+
+// ErrServerBusy is the answer to a request the server shed under overload.
+// It is a protocol-level response, not a transport failure: the connection
+// is healthy and the server chose not to do the work, so the client never
+// retries it (a retry against an overloaded server is fuel on the fire).
+// Callers distinguish it with errors.Is and decide whether to degrade
+// (serve a miss, drop the write) or surface the pressure.
+var ErrServerBusy = errors.New("server: busy (request shed under overload)")
+
+// busyPrefix matches the server's shed reply. The reply line carries the
+// reason ("SERVER_ERROR busy"), matched by prefix so future servers can
+// append detail without breaking old clients.
+var busyPrefix = []byte("SERVER_ERROR busy")
 
 // DialConfig parameterizes a self-healing Client: per-operation deadlines,
 // automatic reconnect with capped exponential backoff plus jitter, and a
@@ -44,6 +59,15 @@ type DialConfig struct {
 	BackoffMax  time.Duration
 	// Seed fixes the jitter stream, keeping load runs reproducible.
 	Seed int64
+	// Budget, when non-nil, gates every retry (including initial-dial
+	// retries) through a shared token bucket: each completed operation
+	// deposits a fraction of a token, each retry withdraws a whole one.
+	// Under a healthy server the bucket stays full and retries flow; under
+	// a broken one the bucket drains and the client fails fast instead of
+	// amplifying the outage. Share one budget across all clients talking
+	// to the same backend. nil means retries are bounded only by
+	// MaxRetries (the per-request cap).
+	Budget *overload.RetryBudget
 }
 
 func (cfg DialConfig) withDefaults() DialConfig {
@@ -91,6 +115,9 @@ func DialWithConfig(cfg DialConfig) (*Client, error) {
 	c := &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	err := c.connect()
 	for attempt := 1; err != nil && attempt <= cfg.MaxRetries; attempt++ {
+		if !cfg.Budget.Withdraw() {
+			break
+		}
 		c.retries.Add(1)
 		c.backoff(attempt)
 		err = c.connect()
@@ -162,9 +189,12 @@ func (c *Client) backoff(attempt int) {
 	time.Sleep(time.Duration(1 + c.rng.Int63n(int64(d))))
 }
 
-// isTransportErr reports whether err came from the connection rather than
-// the protocol — the class of errors a reconnect can heal.
-func isTransportErr(err error) bool {
+// IsTransportErr reports whether err came from the connection rather than
+// the protocol — the class of errors a reconnect can heal. The cluster
+// layer uses the same test to decide what counts as a node failure: a
+// protocol error means the node answered (healthy, just unhelpful), while
+// a transport error feeds its circuit breaker and failure detector.
+func IsTransportErr(err error) bool {
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
 		return true
 	}
@@ -174,7 +204,9 @@ func isTransportErr(err error) bool {
 
 // do runs op under the retry policy: up to maxAttempts tries, reconnecting
 // (with backoff after the first) before each retry. Non-transport errors
-// return immediately.
+// return immediately. Every retry must also win a token from the shared
+// retry budget (when configured); a completed op — success or protocol
+// error, either way the server answered — deposits back into it.
 func (c *Client) do(maxAttempts int, op func() error) error {
 	if maxAttempts < 1 {
 		maxAttempts = 1
@@ -182,6 +214,9 @@ func (c *Client) do(maxAttempts int, op func() error) error {
 	var err error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
+			if !c.cfg.Budget.Withdraw() {
+				return err
+			}
 			c.retries.Add(1)
 			c.backoff(attempt)
 		}
@@ -193,9 +228,11 @@ func (c *Client) do(maxAttempts int, op func() error) error {
 			}
 		}
 		if err = op(); err == nil {
+			c.cfg.Budget.Deposit()
 			return nil
 		}
-		if !isTransportErr(err) {
+		if !IsTransportErr(err) {
+			c.cfg.Budget.Deposit()
 			return err
 		}
 		c.markBroken()
@@ -266,6 +303,78 @@ func (c *Client) GetWith(key []byte) (value []byte, flags uint32, cas uint64, fo
 	return value, flags, cas, found, err
 }
 
+// GetExp fetches one key via gete, returning the stored metadata plus the
+// absolute expiry deadline in unix seconds (0 = never expires). Proxies
+// replicating an object to another node read through it so the copy can
+// carry the owner's real TTL instead of an immortal one.
+func (c *Client) GetExp(key []byte) (value []byte, flags uint32, cas uint64, expireAt int64, found bool, err error) {
+	err = c.do(c.getAttempts(), func() error {
+		var e error
+		value, flags, cas, expireAt, found, e = c.getExpOnce(key)
+		return e
+	})
+	return value, flags, cas, expireAt, found, err
+}
+
+func (c *Client) getExpOnce(key []byte) ([]byte, uint32, uint64, int64, bool, error) {
+	c.buf = append(c.buf[:0], "gete "...)
+	c.buf = append(c.buf, key...)
+	c.buf = append(c.buf, "\r\n"...)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return nil, 0, 0, 0, false, err
+	}
+	if err := c.flush(); err != nil {
+		return nil, 0, 0, 0, false, err
+	}
+	c.armRead()
+	var (
+		value    []byte
+		flags    uint32
+		cas      uint64
+		expireAt int64
+	)
+	found := false
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, 0, 0, 0, false, err
+		}
+		switch {
+		case bytes.Equal(line, []byte("END")):
+			return value, flags, cas, expireAt, found, nil
+		case bytes.HasPrefix(line, []byte("VALUE ")):
+			// "VALUE <key> <flags> <bytes> <cas> <exptime>" — the plain
+			// header parser ignores tokens past cas, so read the fifth
+			// token here.
+			_, f, n, cs, err := parseValueHeader(line)
+			if err != nil {
+				return nil, 0, 0, 0, false, err
+			}
+			rest := line[len("VALUE "):]
+			var tok []byte
+			for i := 0; i < 4; i++ {
+				_, rest = nextToken(rest)
+			}
+			tok, _ = nextToken(rest)
+			exp, ok := parseInt(tok)
+			if tok == nil || !ok {
+				return nil, 0, 0, 0, false, fmt.Errorf("server: bad exptime in %q", line)
+			}
+			value = make([]byte, n+2)
+			if _, err := io.ReadFull(c.br, value); err != nil {
+				return nil, 0, 0, 0, false, err
+			}
+			value = value[:n]
+			flags, cas, expireAt = f, cs, exp
+			found = true
+		case bytes.HasPrefix(line, busyPrefix):
+			return nil, 0, 0, 0, false, ErrServerBusy
+		default:
+			return nil, 0, 0, 0, false, fmt.Errorf("server: unexpected gete response %q", line)
+		}
+	}
+}
+
 func (c *Client) getOnce(verb string, key []byte) ([]byte, uint32, uint64, bool, error) {
 	c.buf = append(c.buf[:0], verb...)
 	c.buf = append(c.buf, ' ')
@@ -304,6 +413,8 @@ func (c *Client) getOnce(verb string, key []byte) ([]byte, uint32, uint64, bool,
 			value = value[:n]
 			flags, cas = f, cs
 			found = true
+		case bytes.HasPrefix(line, busyPrefix):
+			return nil, 0, 0, false, ErrServerBusy
 		default:
 			return nil, 0, 0, false, fmt.Errorf("server: unexpected get response %q", line)
 		}
@@ -380,6 +491,8 @@ func (c *Client) getMultiOnce(keys [][]byte, out []MultiValue) error {
 				return fmt.Errorf("server: unrequested key %q in multi-get response", key)
 			}
 			out[i] = MultiValue{Value: value[:n], Flags: flags, CAS: cas, Found: true}
+		case bytes.HasPrefix(line, busyPrefix):
+			return ErrServerBusy
 		default:
 			return fmt.Errorf("server: unexpected get response %q", line)
 		}
@@ -426,6 +539,9 @@ func (c *Client) setOnce(key []byte, flags uint32, exptime int64, value []byte) 
 		return err
 	}
 	if !bytes.Equal(line, []byte("STORED")) {
+		if bytes.HasPrefix(line, busyPrefix) {
+			return ErrServerBusy
+		}
 		return fmt.Errorf("server: set: %q", line)
 	}
 	return nil
@@ -461,8 +577,78 @@ func (c *Client) deleteOnce(key []byte) (bool, error) {
 		return true, nil
 	case bytes.Equal(line, []byte("NOT_FOUND")):
 		return false, nil
+	case bytes.HasPrefix(line, busyPrefix):
+		return false, ErrServerBusy
 	}
 	return false, fmt.Errorf("server: delete: %q", line)
+}
+
+// Touch refreshes key's TTL without transferring its value, reporting
+// whether the server had a live entry. exptime follows the memcached wire
+// contract (0 never expires, ≤30 days relative, else absolute unix time).
+// Touch follows the mutation retry policy: one replay after a reconnect.
+func (c *Client) Touch(key []byte, exptime int64) (found bool, err error) {
+	err = c.do(c.mutateAttempts(), func() error {
+		var e error
+		found, e = c.touchOnce(key, exptime)
+		return e
+	})
+	return found, err
+}
+
+func (c *Client) touchOnce(key []byte, exptime int64) (bool, error) {
+	c.buf = append(c.buf[:0], "touch "...)
+	c.buf = append(c.buf, key...)
+	c.buf = append(c.buf, ' ')
+	c.buf = strconv.AppendInt(c.buf, exptime, 10)
+	c.buf = append(c.buf, "\r\n"...)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return false, err
+	}
+	if err := c.flush(); err != nil {
+		return false, err
+	}
+	c.armRead()
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case bytes.Equal(line, []byte("TOUCHED")):
+		return true, nil
+	case bytes.Equal(line, []byte("NOT_FOUND")):
+		return false, nil
+	case bytes.HasPrefix(line, busyPrefix):
+		return false, ErrServerBusy
+	}
+	return false, fmt.Errorf("server: touch: %q", line)
+}
+
+// Version asks the server to identify itself. It is the health probe the
+// cluster failure detector sends: no key access, a fixed-size answer, and
+// never retried — a probe exists to measure the transport, and a retry
+// loop would measure the retry loop instead.
+func (c *Client) Version() (string, error) {
+	var v string
+	err := c.do(1, func() error {
+		if _, err := c.bw.WriteString("version\r\n"); err != nil {
+			return err
+		}
+		if err := c.flush(); err != nil {
+			return err
+		}
+		c.armRead()
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		if !bytes.HasPrefix(line, []byte("VERSION ")) {
+			return fmt.Errorf("server: unexpected version response %q", line)
+		}
+		v = string(line[len("VERSION "):])
+		return nil
+	})
+	return v, err
 }
 
 // Stats fetches the server's stats as a name→value map. Stats is read-only

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/concurrent"
+	"repro/internal/overload"
 )
 
 const (
@@ -221,12 +222,69 @@ func (s *Server) handleConn(nc net.Conn, part int) {
 	}
 }
 
-// dispatch executes one parsed request, writing the response. part is the
+// isDataOp reports whether op touches the store and is therefore subject
+// to admission control. Admin ops (stats, noop, version, quit) are always
+// admitted so an overloaded server stays observable.
+func isDataOp(op Op) bool {
+	switch op {
+	case OpGet, OpGets, OpGete, OpSet, OpDelete, OpTouch:
+		return true
+	}
+	return false
+}
+
+// isWriteOp reports whether op mutates the store — the class brownout
+// level 1 drops first.
+func isWriteOp(op Op) bool {
+	switch op {
+	case OpSet, OpDelete, OpTouch:
+		return true
+	}
+	return false
+}
+
+// writeShedReply answers a request the limiter refused. A brownout
+// miss-fast read is a well-formed miss (END) the client handles as a
+// cache miss, not an error; everything else is a fast SERVER_ERROR busy —
+// suppressed for noreply mutations, which have no response slot.
+func writeShedReply(bw respWriter, req *Request, reason overload.ShedReason) {
+	if reason == overload.ShedRead {
+		req.outcome = OutcomeMiss
+		writeEnd(bw)
+		return
+	}
+	req.outcome = OutcomeError
+	if req.NoReply {
+		return
+	}
+	writeServerError(bw, "busy")
+}
+
+// dispatch applies admission control around dispatchOp: data ops must
+// acquire a limiter slot (possibly waiting in the bounded queue) and
+// release it with the observed service latency, which feeds the AIMD
+// adaptation. Refused requests answer with a shed reply instead of
+// queueing. With no limiter configured this is a direct call.
+func (s *Server) dispatch(bw respWriter, req *Request, part int) bool {
+	if s.limiter == nil || !isDataOp(req.Op) {
+		return s.dispatchOp(bw, req, part)
+	}
+	if reason := s.limiter.Acquire(isWriteOp(req.Op)); reason != overload.ShedNone {
+		writeShedReply(bw, req, reason)
+		return true
+	}
+	start := time.Now()
+	alive := s.dispatchOp(bw, req, part)
+	s.limiter.Release(time.Since(start))
+	return alive
+}
+
+// dispatchOp executes one parsed request, writing the response. part is the
 // accepting listener's shard partition, used only for locality accounting.
 // It returns false when the connection should close (quit). Besides the
 // response it stamps req.outcome, which the connection tracer copies into
 // the request's span.
-func (s *Server) dispatch(bw respWriter, req *Request, part int) bool {
+func (s *Server) dispatchOp(bw respWriter, req *Request, part int) bool {
 	if len(req.Digests) > 0 {
 		s.countLocality(part, req.Digests)
 	}
@@ -322,6 +380,54 @@ func (s *Server) dispatch(bw respWriter, req *Request, part int) bool {
 				bw.WriteString("NOT_FOUND\r\n")
 			}
 		}
+	case OpTouch:
+		s.counters.Touches.Add(1)
+		expireAt, expired := resolveExptime(req.Exptime, time.Now().Unix())
+		var found bool
+		if expired {
+			// Touching to an already-past deadline expires the entry now,
+			// mirroring set semantics for expired exptimes.
+			found = s.cfg.Store.ExpireDigest(req.Keys[0], req.Digests[0])
+		} else {
+			found = s.cfg.Store.TouchDigest(req.Keys[0], req.Digests[0], expireAt)
+		}
+		if found {
+			s.counters.TouchHits.Add(1)
+			req.outcome = OutcomeStored
+		} else {
+			req.outcome = OutcomeNotFound
+		}
+		if !req.NoReply {
+			if found {
+				bw.WriteString("TOUCHED\r\n")
+			} else {
+				bw.WriteString("NOT_FOUND\r\n")
+			}
+		}
+	case OpGete:
+		// The expiry is read in its own store operation before the hit
+		// append; a concurrent overwrite between the two can pair one
+		// version's expiry with the next's value, which replication (the
+		// only gete caller) tolerates — the replica self-corrects on the
+		// next promotion.
+		s.counters.Gets.Add(1)
+		expireAt, present := s.cfg.Store.ExpireAtDigest(req.Keys[0], req.Digests[0])
+		hit := false
+		if present {
+			out, vlen, ok := s.cfg.Store.AppendHit(bw.AvailableBuffer(), req.Keys[0], req.Digests[0], geteHeader(expireAt))
+			if ok {
+				s.counters.GetHits.Add(1)
+				s.counters.BytesWritten.Add(int64(vlen))
+				req.outcome = OutcomeHit
+				bw.Write(append(out, '\r', '\n'))
+				hit = true
+			}
+		}
+		if !hit {
+			s.counters.GetMisses.Add(1)
+			req.outcome = OutcomeMiss
+		}
+		writeEnd(bw)
 	case OpStats:
 		switch {
 		case req.StatsArg == nil:
@@ -424,6 +530,8 @@ func (s *Server) writeStats(bw respWriter) {
 	writeStat(bw, "cmd_set", s.counters.Sets.Load())
 	writeStat(bw, "cmd_delete", s.counters.Deletes.Load())
 	writeStat(bw, "delete_hits", s.counters.DeleteHits.Load())
+	writeStat(bw, "cmd_touch", s.counters.Touches.Load())
+	writeStat(bw, "touch_hits", s.counters.TouchHits.Load())
 	writeStat(bw, "bad_commands", s.counters.BadCommands.Load())
 	writeStat(bw, "bytes_read", s.counters.BytesRead.Load())
 	writeStat(bw, "bytes_written", s.counters.BytesWritten.Load())
@@ -438,5 +546,14 @@ func (s *Server) writeStats(bw respWriter) {
 	writeStat(bw, "batched_requests", s.counters.BatchedReqs.Load())
 	writeStat(bw, "local_ops", s.counters.LocalOps.Load())
 	writeStat(bw, "cross_core_ops", s.counters.CrossCoreOps.Load())
+	if l := s.limiter; l != nil {
+		lsnap := l.Snapshot()
+		writeStat(bw, "limiter_limit", int64(lsnap.Limit))
+		writeStat(bw, "limiter_inflight", int64(lsnap.Inflight))
+		writeStat(bw, "limiter_pending", int64(lsnap.Pending))
+		writeStat(bw, "pressure_level", int64(lsnap.Level))
+		writeStat(bw, "shed_total", lsnap.ShedTotal)
+		writeStat(bw, "breach_epochs", lsnap.BreachEpochs)
+	}
 	writeEnd(bw)
 }

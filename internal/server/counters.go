@@ -15,6 +15,8 @@ type Counters struct {
 	Sets       atomic.Int64
 	Deletes    atomic.Int64
 	DeleteHits atomic.Int64
+	Touches    atomic.Int64
+	TouchHits  atomic.Int64
 
 	BadCommands atomic.Int64
 
@@ -68,6 +70,8 @@ func (s *Server) ExpvarMap() *expvar.Map {
 	gauge("cmd_set", s.counters.Sets.Load)
 	gauge("cmd_delete", s.counters.Deletes.Load)
 	gauge("delete_hits", s.counters.DeleteHits.Load)
+	gauge("cmd_touch", s.counters.Touches.Load)
+	gauge("touch_hits", s.counters.TouchHits.Load)
 	gauge("bad_commands", s.counters.BadCommands.Load)
 	gauge("bytes_read", s.counters.BytesRead.Load)
 	gauge("bytes_written", s.counters.BytesWritten.Load)

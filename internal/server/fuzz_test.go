@@ -17,6 +17,11 @@ func FuzzParseRequest(f *testing.F) {
 	f.Add([]byte("set k 7 0 5\r\nhello\r\n"))
 	f.Add([]byte("set k 0 0 2 noreply\r\nhi\r\n"))
 	f.Add([]byte("delete k noreply\r\n"))
+	f.Add([]byte("touch k 3600\r\n"))
+	f.Add([]byte("touch k -1 noreply\r\n"))
+	f.Add([]byte("touch k 99999999999\r\n"))
+	f.Add([]byte("gete k\r\n"))
+	f.Add([]byte("gete a b\r\n"))
 	f.Add([]byte("stats\r\nquit\r\n"))
 	f.Add([]byte("noop\r\n"))
 	f.Add([]byte("version\r\n"))
@@ -64,6 +69,14 @@ func FuzzParseRequest(f *testing.F) {
 			case OpDelete:
 				if len(req.Keys) != 1 {
 					t.Fatalf("accepted delete with %d keys", len(req.Keys))
+				}
+			case OpTouch:
+				if len(req.Keys) != 1 || len(req.Keys[0]) == 0 || len(req.Keys[0]) > MaxKeyLen {
+					t.Fatalf("accepted touch with bad key")
+				}
+			case OpGete:
+				if len(req.Keys) != 1 || len(req.Keys[0]) == 0 || len(req.Keys[0]) > MaxKeyLen {
+					t.Fatalf("accepted gete with bad key")
 				}
 			case OpStats, OpQuit, OpNoop, OpVersion:
 				if len(req.Keys) != 0 {

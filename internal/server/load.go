@@ -57,6 +57,15 @@ type LoadConfig struct {
 	// Resilient forces count-and-skip error handling for DialFunc clients
 	// (with plain Dial it is implied by MaxRetries > 0).
 	Resilient bool
+	// Rate, when > 0, switches the run from closed-loop to open-loop: gets
+	// are scheduled at Rate ops/sec aggregate (split evenly across
+	// connections, arrivals staggered), issued when their slot comes due
+	// regardless of how fast earlier operations completed, and every get's
+	// latency is measured from its scheduled arrival rather than its actual
+	// send. A stalling server therefore accrues queueing delay in the
+	// recorded distribution instead of silently slowing the offered load —
+	// the coordinated-omission correction a closed loop cannot make.
+	Rate float64
 }
 
 // LoadConn is the per-connection client surface RunLoad drives. *Client
@@ -164,10 +173,10 @@ func loadStreams(cfg LoadConfig) ([][]uint64, error) {
 	return streams, nil
 }
 
-// RunLoad drives a cache server with closed-loop load and returns the
-// aggregate result. Values embed the key (prefix "key:") and are verified
-// on every hit, so any cross-key corruption in the serving stack fails the
-// run.
+// RunLoad drives a cache server with closed-loop load (or open-loop when
+// cfg.Rate is set) and returns the aggregate result. Values embed the key
+// (prefix "key:") and are verified on every hit, so any cross-key
+// corruption in the serving stack fails the run.
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	if cfg.Conns <= 0 {
 		cfg.Conns = 1
@@ -291,11 +300,36 @@ func driveConn(cfg LoadConfig, connID int, keys []uint64, rec *stats.LatencyReco
 		res.err = err
 		return true
 	}
+	// Open-loop schedule: this connection owns every Conns-th slot of the
+	// aggregate arrival process, offset by its ID so the fleet's sends
+	// interleave instead of bursting together.
+	var (
+		interval time.Duration
+		sched    time.Time
+	)
+	if cfg.Rate > 0 {
+		conns := cfg.Conns
+		if conns <= 0 {
+			conns = 1
+		}
+		interval = time.Duration(float64(conns) / cfg.Rate * float64(time.Second))
+		sched = time.Now().Add(time.Duration(float64(connID) / cfg.Rate * float64(time.Second)))
+	}
 	keyBuf := make([]byte, 0, 32)
 	value := make([]byte, cfg.ValueLen)
 	for _, k := range keys {
 		keyBuf = strconv.AppendUint(keyBuf[:0], k, 10)
 		t0 := time.Now()
+		if interval > 0 {
+			if wait := sched.Sub(t0); wait > 0 {
+				time.Sleep(wait)
+			}
+			// Measure from the scheduled arrival: if the loop is running
+			// behind, the backlog is the server's fault and belongs in the
+			// latency distribution.
+			t0 = sched
+			sched = sched.Add(interval)
+		}
 		v, found, err := c.Get(keyBuf)
 		rtt := time.Since(t0)
 		if lm != nil {

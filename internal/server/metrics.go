@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/concurrent"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 )
 
 // Metric family names shared by the server and the load client. Families
@@ -112,6 +113,25 @@ const (
 	MetricClusterHotPromotions   = "cache_cluster_hot_promotions_total"   //
 	MetricClusterHotDemotions    = "cache_cluster_hot_demotions_total"    //
 	MetricClusterTopologyChanges = "cache_cluster_topology_changes_total" // labels: op
+
+	// Overload-control families. The server-side limiter reports sheds by
+	// reason plus its live limit/inflight/pending gauges and brownout
+	// pressure level; the cluster tier reports per-backend breaker state
+	// (0 closed / 1 open / 2 half-open), failure-detector health and phi,
+	// ejection churn, and retry-budget exhaustion.
+	MetricShedTotal            = "cache_shed_total" // labels: side, reason
+	MetricLimiterLimit         = "cache_limiter_limit"
+	MetricLimiterInflight      = "cache_limiter_inflight"
+	MetricLimiterPending       = "cache_limiter_pending"
+	MetricPressureLevel        = "cache_pressure_level"
+	MetricBreakerState         = "cache_breaker_state"                   // labels: node
+	MetricBreakerOpens         = "cache_breaker_opens_total"             // labels: node
+	MetricNodeHealthy          = "cache_cluster_node_healthy"            // labels: node
+	MetricNodePhi              = "cache_cluster_node_phi"                // labels: node
+	MetricNodeEjections        = "cache_cluster_node_ejections_total"    // labels: node
+	MetricNodeReadmissions     = "cache_cluster_node_readmissions_total" // labels: node
+	MetricProbes               = "cache_cluster_probes_total"            // labels: node, result
+	MetricRetryBudgetExhausted = "cache_retry_budget_exhausted_total"    // labels: side
 )
 
 // opNames maps Op to its cmd label value.
@@ -125,6 +145,8 @@ var opNames = [...]string{
 	OpQuit:    "quit",
 	OpNoop:    "noop",
 	OpVersion: "version",
+	OpTouch:   "touch",
+	OpGete:    "gete",
 }
 
 // serverMetrics holds the direct (non-func-backed) instruments the request
@@ -179,6 +201,23 @@ func (s *Server) initMetrics(reg *metrics.Registry) {
 		s.counters.LocalOps.Load)
 	reg.CounterFunc(MetricCrossCoreOps, "Keys that crossed shard-partition boundaries.",
 		s.counters.CrossCoreOps.Load)
+
+	if l := s.limiter; l != nil {
+		for _, r := range overload.ShedReasons() {
+			reason := r
+			reg.CounterFunc(MetricShedTotal, "Requests shed by the overload limiter, by reason.",
+				func() int64 { return l.ShedCount(reason) },
+				"side", "server", "reason", reason.String())
+		}
+		reg.GaugeFunc(MetricLimiterLimit, "Adaptive concurrency limit (AIMD against the p99 target).",
+			func() float64 { return float64(l.Snapshot().Limit) })
+		reg.GaugeFunc(MetricLimiterInflight, "Requests currently holding a limiter slot.",
+			func() float64 { return float64(l.Snapshot().Inflight) })
+		reg.GaugeFunc(MetricLimiterPending, "Requests waiting in the bounded admission queue.",
+			func() float64 { return float64(l.Snapshot().Pending) })
+		reg.GaugeFunc(MetricPressureLevel, "Brownout pressure level (0 healthy, 1 drop writes, 2 miss-fast reads).",
+			func() float64 { return float64(l.Level()) })
+	}
 
 	if ev := s.cfg.Events; ev != nil {
 		reg.CounterFunc(MetricObsEvents, "Lifecycle events recorded.", ev.Total)

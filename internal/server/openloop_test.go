@@ -1,0 +1,71 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunLoadOpenLoopPacesArrivals pins the open-loop schedule: against a
+// fast server, a rate-limited run must take roughly TotalOps/Rate seconds —
+// the generator is pacing arrivals, not racing the closed loop.
+func TestRunLoadOpenLoopPacesArrivals(t *testing.T) {
+	_, addr := startServer(t, nil)
+	const (
+		totalOps = 400
+		rate     = 2000.0 // => 200ms of scheduled arrivals
+	)
+	res, err := RunLoad(LoadConfig{
+		Addr:     addr,
+		Conns:    2,
+		TotalOps: totalOps,
+		KeySpace: 64,
+		Seed:     1,
+		Rate:     rate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != totalOps {
+		t.Fatalf("ops = %d, want %d", res.Ops, totalOps)
+	}
+	want := time.Duration(float64(totalOps) / rate * float64(time.Second))
+	if res.Elapsed < want*3/4 {
+		t.Fatalf("run finished in %v; open loop at %v ops/s over %d ops should take ~%v",
+			res.Elapsed, rate, totalOps, want)
+	}
+	if res.OpsPerSecond() > rate*1.5 {
+		t.Fatalf("achieved %.0f ops/s against an offered rate of %.0f", res.OpsPerSecond(), rate)
+	}
+}
+
+// TestRunLoadOpenLoopMeasuresQueueingDelay pins the coordinated-omission
+// correction: when the server can only serve a fraction of the offered
+// rate, the backlog each arrival inherits must show up in the recorded
+// latency — measured from the scheduled arrival, not the delayed send. A
+// closed-loop measurement of the same server would report only the ~5ms
+// service time and hide the overload entirely.
+func TestRunLoadOpenLoopMeasuresQueueingDelay(t *testing.T) {
+	const service = 5 * time.Millisecond
+	_, addr := startServer(t, func(cfg *Config) {
+		cfg.Store = &slowStore{Store: cfg.Store, delay: service}
+	})
+	// One connection, arrivals every 1ms, service 5ms: the queue grows by
+	// ~4ms per op, so late arrivals wait tens of milliseconds.
+	res, err := RunLoad(LoadConfig{
+		Addr:     addr,
+		Conns:    1,
+		TotalOps: 60,
+		KeySpace: 8,
+		Seed:     1,
+		Rate:     1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := res.Latency.Percentile(99)
+	if p99 < 10*service {
+		t.Fatalf("open-loop p99 %v barely exceeds the %v service time: queueing delay is not being measured",
+			p99, service)
+	}
+	t.Logf("service=%v offered=1000/s p99=%v (omission-corrected)", service, p99)
+}

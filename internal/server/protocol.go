@@ -1,5 +1,6 @@
 // Package server is a TCP cache server speaking a memcached-compatible
-// text-protocol subset (get/gets with multi-key, set, delete, stats, noop, version, quit)
+// text-protocol subset (get/gets with multi-key, set, delete, touch, stats,
+// noop, version, quit, plus the gete TTL-carrying get extension)
 // over the sharded thread-safe caches in internal/concurrent. It exists to
 // carry the paper's LRU-vs-lazy-promotion comparison from in-process
 // microbenchmarks to served network traffic: the hit path stays exactly the
@@ -31,7 +32,7 @@ const (
 
 // Version identifies this server implementation in `version` responses and
 // the stats output.
-const Version = "repro-cache/0.8"
+const Version = "repro-cache/0.9"
 
 // Op is a parsed command kind.
 type Op uint8
@@ -47,6 +48,12 @@ const (
 	OpQuit
 	OpNoop
 	OpVersion
+	OpTouch
+	// OpGete is the TTL-carrying get extension: single key, and the VALUE
+	// header ends with the entry's cas and absolute expiry (unix seconds,
+	// 0 = never). Hot-key replication reads through it so replica writes
+	// can preserve the owner's TTL.
+	OpGete
 )
 
 // ClientError is a recoverable protocol error: the connection stays in sync
@@ -109,6 +116,8 @@ var (
 	tokQuit    = []byte("quit")
 	tokNoop    = []byte("noop")
 	tokVersion = []byte("version")
+	tokTouch   = []byte("touch")
+	tokGete    = []byte("gete")
 	tokNoReply = []byte("noreply")
 )
 
@@ -181,6 +190,46 @@ func ParseRequest(br *bufio.Reader, req *Request, maxValueLen int) error {
 			}
 			req.NoReply = true
 		}
+		return nil
+
+	case bytes.Equal(cmd, tokTouch):
+		// touch <key> <exptime> [noreply] — update the TTL in place. The
+		// key is copied like delete's so the branch shapes stay uniform.
+		req.Op = OpTouch
+		key, rest := nextToken(rest)
+		if !validKey(key) {
+			return ClientError("bad key")
+		}
+		exptimeTok, rest := nextToken(rest)
+		exptime, ok := parseInt(exptimeTok)
+		if !ok {
+			return ClientError("bad command line format")
+		}
+		req.keyStore = append(req.keyStore[:0], key...)
+		req.Keys = append(req.Keys[:0], req.keyStore)
+		req.Digests = append(req.Digests[:0], concurrent.Digest(key))
+		req.Exptime = exptime
+		if tok, _ := nextToken(rest); tok != nil {
+			if !bytes.Equal(tok, tokNoReply) {
+				return ClientError("bad command line format")
+			}
+			req.NoReply = true
+		}
+		return nil
+
+	case bytes.Equal(cmd, tokGete):
+		// gete <key> — single-key get whose VALUE header carries cas and
+		// absolute expiry. The key aliases the read buffer like get's.
+		req.Op = OpGete
+		key, rest := nextToken(rest)
+		if !validKey(key) {
+			return ClientError("bad key")
+		}
+		if tok, _ := nextToken(rest); tok != nil {
+			return ClientError("bad command line format")
+		}
+		req.Keys = append(req.Keys[:0], key)
+		req.Digests = append(req.Digests[:0], concurrent.Digest(key))
 		return nil
 
 	case bytes.Equal(cmd, tokStats):
@@ -389,6 +438,21 @@ func appendGetHeader(dst, key []byte, vlen int, flags uint32, cas uint64) []byte
 
 func appendGetsHeader(dst, key []byte, vlen int, flags uint32, cas uint64) []byte {
 	return appendValueHeader(dst, key, flags, vlen, cas, true)
+}
+
+// geteHeader returns a HitHeaderFunc rendering the extended VALUE header
+// "VALUE <key> <flags> <len> <cas> <exptime>\r\n" of a gete response. It
+// closes over the expiry (read in a separate store operation), which
+// allocates — acceptable for a replication-rate command, unlike the
+// get/gets hot path and its package-level header funcs.
+func geteHeader(expireAt int64) concurrent.HitHeaderFunc {
+	return func(dst, key []byte, vlen int, flags uint32, cas uint64) []byte {
+		dst = appendValueHeader(dst, key, flags, vlen, cas, true)
+		dst = dst[:len(dst)-2] // re-open the header to append the expiry
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, expireAt, 10)
+		return append(dst, '\r', '\n')
+	}
 }
 
 func writeEnd(bw respWriter)    { bw.WriteString("END\r\n") }

@@ -140,6 +140,57 @@ func TestParseRequestTable(t *testing.T) {
 				t.Fatalf("req=%+v err=%v", req, err)
 			}
 		}},
+		{"touch", "touch k 3600\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpTouch || string(req.Keys[0]) != "k" ||
+				req.Exptime != 3600 || req.NoReply {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"touch noreply", "touch k 60 noreply\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpTouch || !req.NoReply {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"touch negative exptime", "touch k -1\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Exptime != -1 {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"touch missing exptime", "touch k\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"touch bad exptime", "touch k abc\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"touch trailing junk", "touch k 60 nope\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"gete", "gete k\r\n", func(t *testing.T, req *Request, err error) {
+			if err != nil || req.Op != OpGete || len(req.Keys) != 1 || string(req.Keys[0]) != "k" {
+				t.Fatalf("req=%+v err=%v", req, err)
+			}
+		}},
+		{"gete wants exactly one key", "gete a b\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
+		{"gete no keys", "gete\r\n", func(t *testing.T, req *Request, err error) {
+			var ce ClientError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want ClientError, got %v", err)
+			}
+		}},
 		{"stats", "stats\r\n", func(t *testing.T, req *Request, err error) {
 			if err != nil || req.Op != OpStats {
 				t.Fatalf("req=%+v err=%v", req, err)

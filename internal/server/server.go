@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mrc"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/telemetry"
 )
 
@@ -87,6 +88,24 @@ type Config struct {
 	// cache_mrc_* metric families; the estimator's drain loop is owned by
 	// whoever constructed it.
 	MRC *mrc.Online
+
+	// TargetP99 enables the adaptive overload limiter: a p99
+	// service-latency budget the AIMD concurrency limit adapts against.
+	// Data ops acquire a limiter slot before dispatch; requests that
+	// cannot be admitted within the budget are shed with a fast
+	// SERVER_ERROR busy (mutations) or a miss-fast END (brownout reads)
+	// instead of queueing unboundedly. 0 leaves latency adaptation off.
+	TargetP99 time.Duration
+	// MaxInflight caps the limiter's concurrency limit (its starting and
+	// maximum value). <=0 means MaxConns. Setting it without TargetP99
+	// pins the limit — a static concurrency cap with a bounded queue.
+	// The limiter is constructed when either TargetP99 or MaxInflight is
+	// set; with neither, admission control is off entirely.
+	MaxInflight int
+	// MaxPending bounds how many admitted-but-waiting requests may queue
+	// for a limiter slot; arrivals beyond it shed immediately. <=0 means
+	// 4x the concurrency limit.
+	MaxPending int
 }
 
 // Server serves the memcached text protocol over a KV store. Each
@@ -105,6 +124,12 @@ type Server struct {
 	// 1 Hz sampler starts with ServeListeners and stops with Shutdown).
 	series     *telemetry.Series
 	seriesStop func()
+
+	// limiter is the adaptive admission controller (nil unless TargetP99
+	// or MaxInflight was set); its epoch ticker runs between
+	// ServeListeners and Shutdown like the telemetry sampler.
+	limiter     *overload.Limiter
+	limiterStop func()
 
 	// Shard-partition ownership, built by ServeListeners when the store
 	// exposes ShardTopology and more than one listener serves: owners[i] is
@@ -158,11 +183,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceSample > 0 || cfg.SlowRequest > 0 {
 		s.spans = obs.NewSpanBuffer(spanBufferSize)
 	}
+	if cfg.TargetP99 > 0 || cfg.MaxInflight > 0 {
+		maxLimit := cfg.MaxInflight
+		if maxLimit <= 0 {
+			maxLimit = cfg.MaxConns
+		}
+		s.limiter = overload.NewLimiter(overload.LimiterConfig{
+			Target:     cfg.TargetP99,
+			MaxLimit:   maxLimit,
+			MaxPending: cfg.MaxPending,
+		})
+	}
 	if cfg.Metrics != nil {
 		s.initMetrics(cfg.Metrics)
 	}
 	return s, nil
 }
+
+// limiterEpoch is the AIMD adaptation interval: long enough for a stable
+// over-target fraction per epoch, short enough to react within a second.
+const limiterEpoch = 100 * time.Millisecond
+
+// Limiter exposes the server's admission controller (nil when overload
+// control is off), for tests and admin surfaces.
+func (s *Server) Limiter() *overload.Limiter { return s.limiter }
 
 // resolveLogger picks the server's structured logger: Logger wins, a legacy
 // Logf is adapted through the obs shim, and with neither set diagnostics
@@ -345,6 +389,9 @@ func (s *Server) ServeListeners(lns []net.Listener) error {
 	if s.seriesStop == nil {
 		s.seriesStop = s.series.Start(s.sampleTelemetry, time.Second)
 	}
+	if s.limiter != nil && s.limiterStop == nil {
+		s.limiterStop = s.limiter.Start(limiterEpoch)
+	}
 	s.mu.Unlock()
 	if len(lns) == 1 {
 		return s.acceptLoop(lns[0], 0)
@@ -426,6 +473,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if stop := s.seriesStop; stop != nil {
 		s.seriesStop = nil
+		s.mu.Unlock()
+		stop()
+		s.mu.Lock()
+	}
+	if stop := s.limiterStop; stop != nil {
+		s.limiterStop = nil
 		s.mu.Unlock()
 		stop()
 		s.mu.Lock()

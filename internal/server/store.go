@@ -20,6 +20,13 @@ type Store interface {
 	DeleteDigest(key []byte, id uint64) bool
 	// ExpireDigest drops key, surfacing as an expiry in the event stream.
 	ExpireDigest(key []byte, id uint64) bool
+	// TouchDigest updates key's expiry deadline in place (0 = never),
+	// reporting whether the key was present and unexpired.
+	TouchDigest(key []byte, id uint64, expireAt int64) bool
+	// ExpireAtDigest reports key's absolute expiry deadline (0 = never)
+	// and whether the key is present and unexpired — the TTL read behind
+	// the gete command, which replication uses to forward owner TTLs.
+	ExpireAtDigest(key []byte, id uint64) (int64, bool)
 
 	// Occupancy and accounting, served through stats and metrics.
 	Items() int64

@@ -203,6 +203,37 @@ grep -q '^cache_window_hit_ratio{window="1m"}' "$tmpdir/mrc_metrics.txt" \
 grep -q '"mrc_sample_rate"' "$tmpdir/mrc_bench.json" \
     || { echo "bench artifact missing mrc signals" >&2; cat "$tmpdir/mrc_bench.json" >&2; exit 1; }
 kill "$mrc_pid"
+echo '== overload smoke (-target-p99 server sheds a flood, stays healthy)'
+"$tmpdir/cacheserver" -addr 127.0.0.1:21371 -admin-addr 127.0.0.1:21372 \
+    -max-entries 16384 -shards 8 -target-p99 50ms -max-inflight 1 -max-pending 2 \
+    -log-level warn > "$tmpdir/overload.log" 2>&1 &
+ovl_pid=$!
+trap 'kill $srv_pid $node_pids $bytes_pid $percore_pid $mrc_pid $ovl_pid 2>/dev/null; rm -rf "$tmpdir"' EXIT
+i=0
+until curl -fsS http://127.0.0.1:21372/healthz > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "overload-limited cacheserver did not become healthy" >&2
+        cat "$tmpdir/overload.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+# Flood a one-slot, two-seat server with 16 closed-loop connections moving
+# 512 KiB values — service time dominates, so arrivals pile up at admission.
+# Excess load must be answered with fast busy replies (counted as errors by
+# the resilient client, never retried), not queued without bound.
+"$tmpdir/cacheload" -addr 127.0.0.1:21371 -conns 16 -ops 4000 -keyspace 64 \
+    -valuesize 512kib -retries 1 > "$tmpdir/overloadload.txt"
+curl -fsS http://127.0.0.1:21372/metrics > "$tmpdir/overload_metrics.txt"
+shed=$(awk '$1 ~ /^cache_shed_total/ {sum += $2} END {printf "%.0f", sum}' "$tmpdir/overload_metrics.txt")
+[ -n "$shed" ] && [ "$shed" -gt 0 ] \
+    || { echo "cache_shed_total did not move under flood" >&2; cat "$tmpdir/overload_metrics.txt" >&2; exit 1; }
+grep -q '^cache_limiter_limit ' "$tmpdir/overload_metrics.txt" \
+    || { echo "cache_limiter_limit gauge missing from /metrics" >&2; exit 1; }
+curl -fsS http://127.0.0.1:21372/healthz > /dev/null \
+    || { echo "server unhealthy after overload flood" >&2; exit 1; }
+kill "$ovl_pid"
 echo '== benchdiff smoke (artifact diffed against itself is all-zero)'
 scripts/benchdiff "$tmpdir/percore_bench.json" "$tmpdir/percore_bench.json" > "$tmpdir/benchdiff.txt"
 grep -q '+0.0%' "$tmpdir/benchdiff.txt" \
